@@ -1,0 +1,84 @@
+(* Workload generators for the benchmark harness.
+
+   No published corpus accompanies the paper, so workloads are synthesized:
+   per-dialect statement mixes sized so the relative measurements (tailored
+   vs. full) are stable. Deterministic — no randomness. *)
+
+let minimal_queries =
+  [
+    "SELECT a FROM t";
+    "SELECT DISTINCT a FROM t";
+    "SELECT ALL a FROM t WHERE a = b";
+    "SELECT a FROM t WHERE x = y";
+  ]
+
+let tinysql_queries =
+  [
+    "SELECT nodeid, light FROM sensors";
+    "SELECT nodeid, AVG(temp) FROM sensors WHERE light > 100 GROUP BY nodeid EPOCH DURATION 1024";
+    "SELECT COUNT(*) FROM sensors WHERE temp > 25 SAMPLE PERIOD 2048";
+    "SELECT nodeid FROM sensors GROUP BY nodeid HAVING AVG(temp) > 30";
+  ]
+
+let scql_statements =
+  [
+    "SELECT balance FROM purse WHERE id = 1";
+    "UPDATE purse SET balance = 400 WHERE id = 1";
+    "INSERT INTO purse (id, balance) VALUES (7, 100)";
+    "DELETE FROM purse WHERE id = 7";
+  ]
+
+let embedded_statements =
+  [
+    "SELECT name, price FROM items WHERE stocked = TRUE ORDER BY price DESC LIMIT 10";
+    "INSERT INTO items (id, name, price) VALUES (1, 'bolt', 0.25)";
+    "UPDATE items SET price = price * 2 WHERE id = 1";
+    "DELETE FROM items WHERE id = 1";
+  ]
+
+let analytics_queries =
+  [
+    "SELECT r.region, SUM(s.amount) AS total FROM sales AS s INNER JOIN regions AS r ON s.region_id = r.id WHERE s.yr = 2007 GROUP BY r.region HAVING SUM(s.amount) > 1000 ORDER BY total DESC FETCH FIRST 10 ROWS ONLY";
+    "SELECT a FROM t WHERE a > ALL (SELECT b FROM u WHERE u.k = t.k)";
+    "SELECT x FROM t UNION ALL SELECT y FROM u INTERSECT SELECT z FROM v";
+    "SELECT CASE WHEN amount > 100 THEN 'big' ELSE 'small' END, CAST(amount AS INTEGER) FROM sales";
+  ]
+
+let queries_for dialect_name =
+  match dialect_name with
+  | "minimal" -> minimal_queries
+  | "scql" -> scql_statements
+  | "tinysql" -> tinysql_queries
+  | "embedded" -> embedded_statements
+  | "analytics" -> analytics_queries
+  | _ ->
+    minimal_queries @ tinysql_queries @ scql_statements @ embedded_statements
+    @ analytics_queries
+
+(* A long token stream for scanner throughput (E10). *)
+let scanner_input =
+  let clause i =
+    Printf.sprintf
+      "SELECT c%d, price * %d + 1 FROM items WHERE c%d = 'v%d' AND price <= %d.%02d"
+      i i i i i (i mod 100)
+  in
+  String.concat "\n" (List.init 200 clause)
+
+(* End-to-end engine workload (E11): schema + inserts + queries. *)
+let engine_setup =
+  [
+    "CREATE TABLE readings (nodeid INTEGER, temp DECIMAL(6, 2), light INTEGER)";
+  ]
+
+let engine_inserts n =
+  List.init n (fun i ->
+      Printf.sprintf
+        "INSERT INTO readings (nodeid, temp, light) VALUES (%d, %d.%02d, %d)"
+        (i mod 16) (15 + (i mod 20)) (i mod 100) (i * 7 mod 1024))
+
+let engine_queries =
+  [
+    "SELECT nodeid, AVG(temp), MAX(light) FROM readings WHERE light > 100 GROUP BY nodeid";
+    "SELECT COUNT(*) FROM readings WHERE temp > 25";
+    "SELECT nodeid FROM readings GROUP BY nodeid HAVING AVG(light) > 200";
+  ]

@@ -1,0 +1,1 @@
+bin/config_file.ml: Feature In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+bin/configure.ml: Compose Config_file Core Dialects Feature Fmt Grammar In_channel List Option Printf Report Sql Sql_ast String Sys

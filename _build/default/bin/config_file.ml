@@ -1,0 +1,26 @@
+(* Reading and writing feature-selection files: one feature name per line,
+   blank lines and '#' comments ignored. *)
+
+let load path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let names =
+    List.filter_map
+      (fun line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then None else Some line)
+      lines
+  in
+  Feature.Config.of_names names
+
+let save path config =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "# sqlpl feature selection (%d features)\n"
+        (Feature.Config.cardinal config);
+      List.iter
+        (fun name -> Printf.fprintf oc "%s\n" name)
+        (Feature.Config.to_names config))

@@ -1,0 +1,416 @@
+(* sqlpl — command-line interface of the customizable SQL parser product
+   line.
+
+   Subcommands:
+     dialects            list the built-in dialects
+     features            model statistics / full feature listing
+     diagram NAME        render a published feature diagram
+     validate            validate a feature selection
+     grammar             print the composed grammar of a dialect/selection
+     tokens              print the composed token set
+     parse SQL           parse a statement and print its CST
+     emit                print generated OCaml parser source
+     report              grammar report for a selection
+     diff A B            commonality/variability between two dialects
+     configure           interactive feature selection (the paper's UI)
+     run [SCRIPT]        execute statements against an in-memory database *)
+
+open Cmdliner
+
+(* --- shared options -------------------------------------------------- *)
+
+let dialect_arg =
+  let doc =
+    Printf.sprintf "Dialect to generate. One of: %s."
+      (String.concat ", "
+         (List.map (fun (d : Dialects.Dialect.t) -> d.name) Dialects.Dialect.all))
+  in
+  Arg.(value & opt string "full" & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc)
+
+let features_arg =
+  let doc =
+    "Select an explicit feature (repeatable). The selection seed is closed \
+     under parents, mandatory children and requires-constraints; when given, \
+     it replaces $(b,--dialect)."
+  in
+  Arg.(value & opt_all string [] & info [ "f"; "feature" ] ~docv:"FEATURE" ~doc)
+
+let config_file_arg =
+  let doc =
+    "Read the feature selection from $(docv) (one feature per line, '#' \
+     comments). Combines with $(b,--feature); replaces $(b,--dialect)."
+  in
+  Arg.(value & opt (some file) None & info [ "c"; "config" ] ~docv:"FILE" ~doc)
+
+let fail fmt = Printf.ksprintf (fun msg -> `Error (false, msg)) fmt
+
+let resolve_config dialect features config_file =
+  let from_file =
+    match config_file with
+    | None -> Feature.Config.of_names []
+    | Some path -> Config_file.load path
+  in
+  let seeds = Feature.Config.union from_file (Feature.Config.of_names features) in
+  if Feature.Config.cardinal seeds = 0 then
+    match Dialects.Dialect.find dialect with
+    | Some d -> Ok (d.Dialects.Dialect.name, d.Dialects.Dialect.config)
+    | None -> Error (Printf.sprintf "unknown dialect %S" dialect)
+  else Ok ("custom", Sql.Model.close seeds)
+
+let generate_front_end dialect features config_file =
+  match resolve_config dialect features config_file with
+  | Error msg -> Error msg
+  | Ok (label, config) -> (
+    match Core.generate ~label config with
+    | Ok g -> Ok g
+    | Error e -> Error (Fmt.str "%a" Core.pp_error e))
+
+(* --- dialects -------------------------------------------------------- *)
+
+let dialects_cmd =
+  let run () =
+    List.iter
+      (fun (d : Dialects.Dialect.t) ->
+        Printf.printf "%-10s %s\n           %s\n           %d features\n" d.name
+          d.title d.description
+          (Feature.Config.cardinal d.config))
+      Dialects.Dialect.all;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "dialects" ~doc:"List the built-in dialects")
+    Term.(ret (const run $ const ()))
+
+(* --- features --------------------------------------------------------- *)
+
+let features_cmd =
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print decomposition statistics only.")
+  in
+  let run stats =
+    let s = Sql.Model.stats in
+    Printf.printf "feature diagrams:          %d\n" s.Sql.Model.diagram_count;
+    Printf.printf "features across diagrams:  %d\n" s.Sql.Model.features_across_diagrams;
+    Printf.printf "distinct features:         %d\n" s.Sql.Model.features_in_model;
+    Printf.printf "cross-tree constraints:    %d\n" s.Sql.Model.constraint_count;
+    if not stats then begin
+      print_newline ();
+      print_string
+        (Feature.Diagram.render Sql.Model.model.Feature.Model.concept)
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "features"
+       ~doc:"Show the SQL:2003 feature model (statistics and full diagram)")
+    Term.(ret (const run $ stats_flag))
+
+(* --- diagram ----------------------------------------------------------- *)
+
+let diagram_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Diagram name, e.g. 'Query Specification' (paper Figure 1).")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available diagram names.")
+  in
+  let selected_arg =
+    let doc =
+      "Show [x]/[ ] checkboxes for the given dialect's selection."
+    in
+    Arg.(value & opt (some string) None & info [ "selected" ] ~docv:"DIALECT" ~doc)
+  in
+  let run list_them selected name =
+    if list_them then begin
+      List.iter (fun (n, _) -> print_endline n) Sql.Model.diagrams;
+      `Ok ()
+    end
+    else
+      match name with
+      | None -> fail "a diagram name is required (or use --list)"
+      | Some name -> (
+        match Sql.Model.diagram name with
+        | None -> fail "no diagram named %S (try --list)" name
+        | Some tree -> (
+          match selected with
+          | None ->
+            print_string (Feature.Diagram.render tree);
+            `Ok ()
+          | Some dialect -> (
+            match Dialects.Dialect.find dialect with
+            | None -> fail "unknown dialect %S" dialect
+            | Some d ->
+              print_string
+                (Feature.Diagram.render_selected d.Dialects.Dialect.config tree);
+              `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "diagram" ~doc:"Render a published per-construct feature diagram")
+    Term.(ret (const run $ list_flag $ selected_arg $ name_arg))
+
+(* --- validate ----------------------------------------------------------- *)
+
+let validate_cmd =
+  let run dialect features config_file =
+    match resolve_config dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok (label, config) -> (
+      match Sql.Model.validate config with
+      | [] ->
+        Printf.printf "%s: valid (%d features)\n" label
+          (Feature.Config.cardinal config);
+        `Ok ()
+      | violations ->
+        List.iter
+          (fun v ->
+            Printf.printf "violation: %s\n" (Fmt.str "%a" Feature.Config.pp_violation v))
+          violations;
+        fail "%s: %d violation(s)" label (List.length violations))
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a feature selection against the model")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg))
+
+(* --- grammar / tokens ------------------------------------------------------ *)
+
+let grammar_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ebnf", `Ebnf); ("bnf", `Bnf); ("antlr", `Antlr) ]) `Ebnf
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output notation: ebnf, bnf or antlr.")
+  in
+  let run dialect features config_file format =
+    match generate_front_end dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok g ->
+      let text =
+        match format with
+        | `Ebnf -> Grammar.Printer.to_ebnf g.Core.grammar
+        | `Bnf -> Grammar.Printer.to_bnf g.Core.grammar
+        | `Antlr -> Grammar.Printer.to_antlr g.Core.grammar
+      in
+      print_string text;
+      Printf.printf "\n-- %d rules, %d alternatives, %d tokens\n"
+        (Grammar.Cfg.rule_count g.Core.grammar)
+        (Grammar.Cfg.alternative_count g.Core.grammar)
+        (List.length g.Core.tokens);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "grammar" ~doc:"Print the composed grammar for a selection")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg $ format_arg))
+
+let tokens_cmd =
+  let run dialect features config_file =
+    match generate_front_end dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok g ->
+      print_string (Fmt.str "%a" Lexing_gen.Spec.pp g.Core.tokens);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "tokens" ~doc:"Print the composed token set for a selection")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg))
+
+(* --- parse -------------------------------------------------------------------- *)
+
+let parse_cmd =
+  let sql_arg =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"Statement to parse.")
+  in
+  let ast_flag =
+    Arg.(value & flag & info [ "ast" ] ~doc:"Print the lowered AST re-printed as SQL.")
+  in
+  let run dialect features config_file ast sql =
+    match generate_front_end dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok g ->
+      if ast then (
+        match Core.parse_statement g sql with
+        | Ok stmt ->
+          print_endline (Sql_ast.Sql_printer.statement stmt);
+          `Ok ()
+        | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
+      else (
+        match Core.parse_cst g sql with
+        | Ok cst ->
+          Fmt.pr "%a@." Parser_gen.Cst.pp cst;
+          `Ok ()
+        | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse one statement with a tailored parser")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg $ ast_flag $ sql_arg))
+
+(* --- emit --------------------------------------------------------------------- *)
+
+let emit_cmd =
+  let run dialect features config_file =
+    match generate_front_end dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok g ->
+      print_string (Core.emit_ocaml_parser g);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit standalone OCaml parser source for a selection")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg))
+
+(* --- report -------------------------------------------------------------------- *)
+
+let report_cmd =
+  let run dialect features config_file =
+    match generate_front_end dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok g ->
+      print_string (Report.to_string g);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Grammar report for a selection: sizes, statement classes, LL(1)              diagnostics, per-feature contributions")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg))
+
+(* --- diff ---------------------------------------------------------------------- *)
+
+let diff_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIALECT_A" ~doc:"First dialect.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIALECT_B" ~doc:"Second dialect.")
+  in
+  let run a b =
+    match Dialects.Dialect.find a, Dialects.Dialect.find b with
+    | None, _ -> fail "unknown dialect %S" a
+    | _, None -> fail "unknown dialect %S" b
+    | Some da, Some db ->
+      let ca = da.Dialects.Dialect.config and cb = db.Dialects.Dialect.config in
+      let names = Feature.Tree.names Sql.Model.model.Feature.Model.concept in
+      let shared, only_a, only_b =
+        List.fold_left
+          (fun (shared, oa, ob) n ->
+            match Feature.Config.mem n ca, Feature.Config.mem n cb with
+            | true, true -> (n :: shared, oa, ob)
+            | true, false -> (shared, n :: oa, ob)
+            | false, true -> (shared, oa, n :: ob)
+            | false, false -> (shared, oa, ob))
+          ([], [], []) names
+      in
+      Printf.printf "commonality: %d shared feature(s)\n" (List.length shared);
+      Printf.printf "\nonly in %s (%d):\n" a (List.length only_a);
+      List.iter (fun n -> Printf.printf "  %s\n" n) (List.rev only_a);
+      Printf.printf "\nonly in %s (%d):\n" b (List.length only_b);
+      List.iter (fun n -> Printf.printf "  %s\n" n) (List.rev only_b);
+      (match Core.generate_dialect da, Core.generate_dialect db with
+       | Ok ga, Ok gb ->
+         Printf.printf "\ngrammar size: %s %d rules / %d tokens, %s %d rules / %d tokens\n"
+           a
+           (Grammar.Cfg.rule_count ga.Core.grammar)
+           (List.length ga.Core.tokens)
+           b
+           (Grammar.Cfg.rule_count gb.Core.grammar)
+           (List.length gb.Core.tokens)
+       | _, _ -> ());
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Commonality/variability analysis between two dialects")
+    Term.(ret (const run $ a_arg $ b_arg))
+
+(* --- configure ----------------------------------------------------------------- *)
+
+let configure_cmd =
+  (* Unlike the other subcommands, configuring starts from an empty selection
+     unless a starting point is requested explicitly. *)
+  let start_dialect_arg =
+    let doc = "Start from a built-in dialect instead of an empty selection." in
+    Arg.(value & opt (some string) None & info [ "d"; "dialect" ] ~docv:"DIALECT" ~doc)
+  in
+  let run dialect features config_file =
+    let initial =
+      match dialect, features, config_file with
+      | None, [], None -> Ok ("empty", Sql.Model.close (Feature.Config.of_names []))
+      | Some d, _, _ -> resolve_config d features config_file
+      | None, _, _ -> resolve_config "" features config_file
+    in
+    match initial with
+    | Error msg -> fail "%s" msg
+    | Ok (_, config) ->
+      Configure.run config;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "configure"
+       ~doc:"Interactively select features and generate parsers (the paper's \
+             envisioned configuration UI)")
+    Term.(ret (const run $ start_dialect_arg $ features_arg $ config_file_arg))
+
+(* --- run ------------------------------------------------------------------------ *)
+
+let print_outcome = function
+  | Engine.Executor.Rows rs ->
+    print_endline (String.concat " | " rs.Engine.Executor.columns);
+    List.iter
+      (fun row ->
+        print_endline (String.concat " | " (List.map Engine.Value.to_string row)))
+      rs.Engine.Executor.rows;
+    Printf.printf "(%d rows)\n" (List.length rs.Engine.Executor.rows)
+  | Engine.Executor.Affected n -> Printf.printf "%d row(s) affected\n" n
+  | Engine.Executor.Done msg -> print_endline msg
+
+let run_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:"SQL script (semicolon-separated). Reads stdin when omitted.")
+  in
+  let run dialect features config_file script =
+    match generate_front_end dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok g ->
+      let session = Core.session g in
+      let text =
+        match script with
+        | Some path -> In_channel.with_open_text path In_channel.input_all
+        | None -> In_channel.input_all stdin
+      in
+      let rec go = function
+        | [] -> `Ok ()
+        | sql :: rest -> (
+          Printf.printf "> %s\n" (String.trim sql);
+          match Core.run session sql with
+          | Ok outcome ->
+            print_outcome outcome;
+            go rest
+          | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
+      in
+      go (Core.split_statements text)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a SQL script against an in-memory database with a \
+             tailored front-end")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg $ script_arg))
+
+let () =
+  let info =
+    Cmd.info "sqlpl" ~version:"1.0.0"
+      ~doc:"Customizable SQL parsers from feature compositions (EDBT'08 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            dialects_cmd; features_cmd; diagram_cmd; validate_cmd; grammar_cmd;
+            tokens_cmd; parse_cmd; emit_cmd; report_cmd; diff_cmd; configure_cmd;
+            run_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/dialect_explorer.ml: Compose Core Dialects Feature Fmt List Printf Sql

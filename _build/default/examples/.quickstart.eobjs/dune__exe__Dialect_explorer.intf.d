@@ -1,0 +1,1 @@
+examples/dialect_explorer.mli:

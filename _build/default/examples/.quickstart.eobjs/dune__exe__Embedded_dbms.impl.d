@@ -1,0 +1,1 @@
+examples/embedded_dbms.ml: Core Dialects Engine Feature Fmt Grammar Lexing_gen List Printf String

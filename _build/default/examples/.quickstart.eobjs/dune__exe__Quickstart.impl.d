@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Feature Fmt Grammar List Printf Sql String

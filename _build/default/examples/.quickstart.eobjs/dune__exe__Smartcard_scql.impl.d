@@ -1,0 +1,1 @@
+examples/smartcard_scql.ml: Core Dialects Engine Fmt List Printf String

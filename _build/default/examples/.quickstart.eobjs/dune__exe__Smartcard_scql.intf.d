@@ -1,0 +1,1 @@
+examples/smartcard_scql.mli:

@@ -1,0 +1,1 @@
+examples/tinysql_sensors.ml: Core Dialects Engine Fmt Grammar List Printf Sql_ast String

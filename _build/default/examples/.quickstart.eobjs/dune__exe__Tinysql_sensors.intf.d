@@ -1,0 +1,1 @@
+examples/tinysql_sensors.mli:

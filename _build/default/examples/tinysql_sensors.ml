@@ -1,0 +1,107 @@
+(* TinySQL over a simulated sensor network.
+
+   TinyDB's TinySQL (the paper's motivating scaled-down dialect) restricts
+   SQL — single table, no aliases, no ORDER BY — and extends it with
+   acquisitional clauses (EPOCH DURATION / SAMPLE PERIOD). This example:
+
+   1. generates the TinySQL parser from its feature configuration;
+   2. simulates a 16-mote sensor field feeding a `sensors` table;
+   3. runs acquisitional queries epoch by epoch, honouring EPOCH DURATION;
+   4. shows that base-station SQL is rejected by the mote's parser.
+
+   Run with: dune exec examples/tinysql_sensors.exe *)
+
+let mote_count = 16
+
+(* Deterministic synthetic sensor field: temperature and light vary by mote
+   and epoch (no real hardware — see DESIGN.md on substitutions). *)
+let sample ~epoch ~nodeid =
+  let temp = 18 + ((nodeid * 7 + epoch * 3) mod 15) in
+  let light = 100 + ((nodeid * 131 + epoch * 17) mod 900) in
+  (temp, light)
+
+let () =
+  (* The mote firmware carries only the TinySQL front-end... *)
+  let tinysql =
+    match Core.generate_dialect Dialects.Dialect.tinysql with
+    | Ok g -> g
+    | Error e -> Fmt.failwith "%a" Core.pp_error e
+  in
+  Printf.printf "TinySQL parser: %d rules, %d tokens (full SQL: %d rules)\n\n"
+    (Grammar.Cfg.rule_count tinysql.Core.grammar)
+    (List.length tinysql.Core.tokens)
+    127;
+
+  (* ... while the simulation harness uses a full front-end to maintain the
+     sensors table the acquisitional queries read. *)
+  let harness =
+    match Core.generate_dialect Dialects.Dialect.full with
+    | Ok g -> Core.session g
+    | Error e -> Fmt.failwith "%a" Core.pp_error e
+  in
+  let admin sql =
+    match Core.run harness sql with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "admin %S: %a" sql Core.pp_error e
+  in
+  admin "CREATE TABLE sensors (nodeid INTEGER, ep INTEGER, temp INTEGER, light INTEGER)";
+
+  let collect_epoch epoch =
+    admin "DELETE FROM sensors";
+    for nodeid = 0 to mote_count - 1 do
+      let temp, light = sample ~epoch ~nodeid in
+      admin
+        (Printf.sprintf
+           "INSERT INTO sensors (nodeid, ep, temp, light) VALUES (%d, %d, %d, %d)"
+           nodeid epoch temp light)
+    done
+  in
+
+  (* An acquisitional query, parsed by the MOTE's parser; its epoch clause
+     drives the sampling loop. *)
+  let acquire sql =
+    Printf.printf "tinysql> %s\n" sql;
+    match Core.parse_statement tinysql sql with
+    | Error e -> Printf.printf "  rejected by mote parser: %s\n\n" (Fmt.str "%a" Core.pp_error e)
+    | Ok (Sql_ast.Ast.Query_stmt q) ->
+      let epochs =
+        match q.Sql_ast.Ast.epoch with
+        | Some { Sql_ast.Ast.duration = Some d; _ } -> max 1 (d / 512)
+        | _ -> 1
+      in
+      for epoch = 1 to epochs do
+        collect_epoch epoch;
+        (* Execute the mote-parsed query on the collected samples. *)
+        match Engine.Database.query (Core.database harness) q with
+        | Ok rs ->
+          Printf.printf "  epoch %d: %s\n" epoch
+            (String.concat "; "
+               (List.map
+                  (fun row ->
+                    String.concat "," (List.map Engine.Value.to_string row))
+                  rs.Engine.Executor.rows))
+        | Error msg -> Printf.printf "  epoch %d: error %s\n" epoch msg
+      done;
+      print_newline ()
+    | Ok _ -> print_endline "  not a query\n"
+  in
+
+  acquire "SELECT COUNT(*), AVG(temp) FROM sensors EPOCH DURATION 1024";
+  acquire
+    "SELECT nodeid, AVG(light) FROM sensors WHERE temp > 25 GROUP BY nodeid \
+     HAVING AVG(light) > 500 EPOCH DURATION 1536 SAMPLE PERIOD 64";
+  acquire "SELECT MAX(temp), MIN(temp) FROM sensors EPOCH DURATION 512";
+
+  (* Base-station SQL has no business on a mote. *)
+  print_endline "Statements outside the TinySQL feature selection:";
+  List.iter
+    (fun sql ->
+      Printf.printf "  %-60s %s\n" sql
+        (if Core.accepts tinysql sql then "ACCEPTED (bug!)" else "rejected"))
+    [
+      "SELECT s.nodeid AS n FROM sensors AS s";
+      "SELECT nodeid FROM sensors ORDER BY nodeid";
+      "SELECT a FROM t INNER JOIN u ON t.x = u.x";
+      "CREATE TABLE intruder (a INTEGER)";
+      "DROP TABLE sensors";
+    ]

@@ -1,0 +1,1 @@
+lib/ast/sql_printer.ml: Ast Buffer List Printf String

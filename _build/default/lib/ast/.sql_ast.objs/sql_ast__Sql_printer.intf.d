@@ -1,0 +1,1 @@
+lib/ast/sql_printer.mli: Ast

@@ -1,0 +1,502 @@
+(** Abstract syntax of the supported SQL subset.
+
+    The AST covers the full feature model: queries (including set operations,
+    joins, grouping and windows-free SQL:2003 Foundation constructs), DML,
+    DDL, access control and transaction statements. Lowering from the CST is
+    tolerant — a dialect that omits a feature simply never produces the
+    corresponding constructor. *)
+
+type ident = string
+
+(** Possibly schema-qualified object name. *)
+type object_name = {
+  qualifier : ident option;
+  name : ident;
+}
+
+(** Interval qualifier: [DAY], [YEAR TO MONTH], ... *)
+type interval_qualifier = {
+  from_field : ident;
+  to_field : ident option;
+}
+
+type literal =
+  | L_integer of int
+  | L_decimal of float
+  | L_string of string
+  | L_bool of bool
+  | L_null
+  | L_date of string       (** [DATE '2008-03-29'] — kept textual *)
+  | L_time of string
+  | L_timestamp of string
+  | L_interval of string * interval_qualifier  (** [INTERVAL '5' DAY] *)
+
+type data_type =
+  | T_integer
+  | T_smallint
+  | T_bigint
+  | T_decimal of (int * int option) option  (** precision, scale *)
+  | T_float
+  | T_real
+  | T_double
+  | T_char of int option
+  | T_varchar of int option
+  | T_boolean
+  | T_date
+  | T_time
+  | T_timestamp
+  | T_interval of interval_qualifier
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Concat
+
+type cmpop =
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+
+type set_quantifier =
+  | All
+  | Distinct
+
+type agg_func =
+  | F_count
+  | F_sum
+  | F_avg
+  | F_min
+  | F_max
+  | F_every
+  | F_any
+
+type trim_side =
+  | Trim_leading
+  | Trim_trailing
+  | Trim_both
+
+type expr =
+  | Lit of literal
+  | Column of ident option * ident       (** optional qualifier, column *)
+  | Unary of sign * expr
+  | Binop of binop * expr * expr
+  | Aggregate of aggregate
+  | Call of ident * expr list
+      (** built-in scalar functions ([UPPER], [ABS], [MOD], [COALESCE],
+          [NULLIF], [CHAR_LENGTH], ...) and user function calls, normalized
+          to one shape *)
+  | Substring of { arg : expr; from_ : expr; for_ : expr option }
+  | Position of { needle : expr; haystack : expr }
+  | Trim of { side : trim_side option; removed : expr option; arg : expr }
+  | Extract of { field : ident; arg : expr }
+  | Case_simple of {
+      operand : expr;
+      branches : (expr * expr) list;
+      else_ : expr option;
+    }
+  | Case_searched of { branches : (cond * expr) list; else_ : expr option }
+  | Cast of expr * data_type
+  | Scalar_subquery of query
+  | Next_value of ident  (** [NEXT VALUE FOR sequence] *)
+  | Parameter of int
+      (** dynamic parameter marker [?]; ordinals are 1-based in lexical
+          order, assigned during lowering *)
+  | Overlay of { arg : expr; placing : expr; from_ : expr; for_ : expr option }
+  | Window_call of {
+      wfunc : ident;                 (** RANK, DENSE_RANK, ROW_NUMBER *)
+      partition_by : expr list;
+      win_order_by : expr list;
+    }
+
+and sign =
+  | S_plus
+  | S_minus
+
+and aggregate = {
+  func : agg_func;
+  agg_quantifier : set_quantifier option;
+  arg : agg_arg;
+}
+
+and agg_arg =
+  | A_star           (** the star argument of [COUNT] *)
+  | A_expr of expr
+
+and cond =
+  | Comparison of cmpop * expr * expr
+  | Quantified_comparison of {
+      op : cmpop;
+      lhs : expr;
+      quantifier : quantifier;
+      subquery : query;
+    }
+  | Between of {
+      negated : bool;
+      symmetric : bool;  (** [BETWEEN SYMMETRIC] accepts swapped bounds *)
+      arg : expr;
+      low : expr;
+      high : expr;
+    }
+  | In_list of { negated : bool; arg : expr; values : expr list }
+  | In_subquery of { negated : bool; arg : expr; subquery : query }
+  | Like of { negated : bool; arg : expr; pattern : expr; escape : expr option }
+  | Is_null of { negated : bool; arg : expr }
+  | Is_distinct_from of { negated : bool; lhs : expr; rhs : expr }
+  | Exists of query
+  | Unique of query
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+  | Is_truth of { negated : bool; arg : cond; truth : truth }
+  | Overlaps of expr * expr
+  | Similar of { negated : bool; arg : expr; pattern : expr }
+  | Bool_expr of expr
+      (** a value expression in boolean position, e.g. [WHERE active] *)
+
+and quantifier =
+  | Q_all
+  | Q_some
+
+and truth =
+  | True
+  | False
+  | Unknown
+
+(* Queries *)
+
+and query = {
+  with_ : with_clause option;  (** common table expressions *)
+  body : query_body;
+  order_by : sort_spec list;
+  fetch : fetch option;
+  epoch : epoch option;  (** TinySQL acquisition clause *)
+  updatability : updatability option;  (** cursor updatability clause *)
+}
+
+and updatability =
+  | For_read_only
+  | For_update of ident list  (** [FOR UPDATE \[OF columns\]] *)
+
+and with_clause = {
+  recursive : bool;
+  ctes : cte list;
+}
+
+and cte = {
+  cte_name : ident;
+  cte_columns : ident list;  (** optional column list *)
+  cte_query : query;
+}
+
+and query_body =
+  | Select of select
+  | Set_operation of {
+      op : set_op;
+      quantifier : set_quantifier option;
+      corresponding : bool;  (** match operand columns by name *)
+      lhs : query_body;
+      rhs : query_body;
+    }
+  | Values of expr list list
+  | Paren_query of query
+
+and set_op =
+  | Union
+  | Except
+  | Intersect
+
+and select = {
+  select_quantifier : set_quantifier option;
+  projection : select_item list;
+  from : table_ref list;
+  where : cond option;
+  group_by : group_element list;
+  having : cond option;
+}
+
+and select_item =
+  | Star
+  | Qualified_star of ident           (** [t.*] *)
+  | Expr_item of expr * ident option  (** expression with optional alias *)
+
+and group_element =
+  | Group_expr of expr
+  | Rollup of expr list
+  | Cube of expr list
+  | Grouping_sets of expr list list
+
+and table_ref =
+  | Table of object_name * correlation option
+  | Derived_table of query * correlation
+  | Joined of {
+      lhs : table_ref;
+      kind : join_kind;
+      rhs : table_ref;
+      condition : join_condition option;
+    }
+
+and correlation = {
+  alias : ident;
+  columns : ident list;  (** optional derived column list *)
+}
+
+and join_kind =
+  | Inner
+  | Left_outer
+  | Right_outer
+  | Full_outer
+  | Cross
+  | Natural
+
+and join_condition =
+  | On of cond
+  | Using of ident list
+
+and sort_spec = {
+  sort_expr : expr;
+  descending : bool;
+  nulls_last : bool option;
+}
+
+and fetch =
+  | Fetch_first of int   (** [FETCH FIRST n ROWS ONLY] *)
+  | Limit of int         (** embedded-systems style [LIMIT n] *)
+
+and epoch = {
+  duration : int option;       (** [EPOCH DURATION n] *)
+  sample_period : int option;  (** [SAMPLE PERIOD n] *)
+}
+
+(* DML *)
+
+type insert_source =
+  | Insert_values of expr list list
+  | Insert_query of query
+  | Insert_defaults
+
+type insert = {
+  table : object_name;
+  columns : ident list;
+  source : insert_source;
+}
+
+type set_clause = {
+  target : ident;
+  value : expr option;  (** [None] means [DEFAULT] *)
+}
+
+type update = {
+  table : object_name;
+  assignments : set_clause list;
+  update_where : cond option;
+}
+
+type delete = {
+  table : object_name;
+  delete_where : cond option;
+}
+
+type merge_action =
+  | When_matched_update of set_clause list
+  | When_not_matched_insert of ident list * expr list
+
+type merge = {
+  target : object_name;
+  target_alias : ident option;
+  source : table_ref;
+  on : cond;
+  actions : merge_action list;
+}
+
+(* DDL *)
+
+type referential_action =
+  | Ra_cascade
+  | Ra_set_null
+  | Ra_set_default
+  | Ra_restrict
+  | Ra_no_action
+
+type references_spec = {
+  ref_table : object_name;
+  ref_columns : ident list;
+  on_delete : referential_action option;
+  on_update : referential_action option;
+}
+
+type column_constraint =
+  | C_not_null
+  | C_unique
+  | C_primary_key
+  | C_references of references_spec
+  | C_check of cond
+
+type column_def = {
+  column : ident;
+  ty : data_type;
+  default : expr option;
+  constraints : column_constraint list;
+}
+
+type table_constraint_body =
+  | T_unique of ident list
+  | T_primary_key of ident list
+  | T_foreign_key of ident list * references_spec
+  | T_check of cond
+
+type table_constraint = {
+  constraint_name : ident option;
+  body : table_constraint_body;
+}
+
+type table_element =
+  | Column_element of column_def
+  | Constraint_element of table_constraint
+
+type create_table = {
+  table_name : object_name;
+  elements : table_element list;
+}
+
+type create_view = {
+  view_name : object_name;
+  view_columns : ident list;
+  view_query : query;
+  check_option : bool;
+}
+
+type drop_behavior =
+  | Cascade
+  | Restrict
+
+type drop_kind =
+  | Drop_table
+  | Drop_view
+
+type drop = {
+  drop_kind : drop_kind;
+  drop_name : object_name;
+  behavior : drop_behavior option;
+}
+
+type alter_action =
+  | Add_column of column_def
+  | Drop_column of ident * drop_behavior option
+  | Set_column_default of ident * expr
+  | Drop_column_default of ident
+  | Add_constraint of table_constraint
+
+type alter_table = {
+  altered : object_name;
+  action : alter_action;
+}
+
+(* Access control *)
+
+type privilege =
+  | P_select
+  | P_insert
+  | P_update of ident list
+  | P_delete
+  | P_references of ident list
+  | P_all
+
+type grantee =
+  | Public
+  | User of ident
+
+type grant = {
+  privileges : privilege list;
+  grant_on : object_name;
+  grantees : grantee list;
+  with_grant_option : bool;
+}
+
+type revoke = {
+  revoked : privilege list;
+  revoke_on : object_name;
+  revokees : grantee list;
+  grant_option_for : bool;
+  revoke_behavior : drop_behavior option;
+}
+
+(* Transactions *)
+
+type isolation_level =
+  | Read_uncommitted
+  | Read_committed
+  | Repeatable_read
+  | Serializable
+
+type transaction_statement =
+  | Commit
+  | Rollback of ident option        (** optional savepoint *)
+  | Savepoint of ident
+  | Release_savepoint of ident
+  | Start_transaction of isolation_level option
+  | Set_transaction of isolation_level
+
+(* Sessions *)
+
+type session_statement =
+  | Set_session_authorization of ident
+  | Reset_session_authorization
+
+(* Sequence generators *)
+
+type sequence_statement =
+  | Create_sequence of {
+      seq_name : ident;
+      seq_start : int option;
+      seq_increment : int option;
+    }
+  | Drop_sequence of ident
+
+(* Schemas *)
+
+type schema_statement =
+  | Create_schema of ident
+  | Drop_schema of ident * drop_behavior option
+  | Set_schema of ident
+
+(* Statements *)
+
+type statement =
+  | Query_stmt of query
+  | Insert_stmt of insert
+  | Update_stmt of update
+  | Delete_stmt of delete
+  | Merge_stmt of merge
+  | Create_table_stmt of create_table
+  | Create_view_stmt of create_view
+  | Drop_stmt of drop
+  | Alter_table_stmt of alter_table
+  | Grant_stmt of grant
+  | Revoke_stmt of revoke
+  | Transaction_stmt of transaction_statement
+  | Schema_stmt of schema_statement
+  | Sequence_stmt of sequence_statement
+  | Session_stmt of session_statement
+  | Explain_stmt of query  (** diagnostics extension: [EXPLAIN <query>] *)
+
+(** {1 Helpers} *)
+
+val simple_name : ident -> object_name
+(** An unqualified object name. *)
+
+val equal_statement : statement -> statement -> bool
+(** Structural equality (the types are pure data, so this is exact). *)
+
+val equal_expr : expr -> expr -> bool
+val equal_query : query -> query -> bool
+
+val query_of_body : query_body -> query
+(** A bare query: no WITH clause, ORDER BY, FETCH, EPOCH or updatability. *)
+
+val select_of_projection : select_item list -> select
+(** A SELECT with only a projection (no FROM/WHERE/GROUP BY/HAVING). *)

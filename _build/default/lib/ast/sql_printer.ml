@@ -1,0 +1,627 @@
+open Ast
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      Buffer.add_char buf c;
+      if c = '\'' then Buffer.add_char buf '\'')
+    s;
+  Buffer.contents buf
+
+let interval_qualifier (q : interval_qualifier) =
+  match q.to_field with
+  | None -> q.from_field
+  | Some f -> Printf.sprintf "%s TO %s" q.from_field f
+
+let literal = function
+  | L_integer n -> if n < 0 then Printf.sprintf "(- %d)" (-n) else string_of_int n
+  | L_decimal f ->
+    let s = Printf.sprintf "%.6f" f in
+    s
+  | L_string s -> Printf.sprintf "'%s'" (escape_string s)
+  | L_bool true -> "TRUE"
+  | L_bool false -> "FALSE"
+  | L_null -> "NULL"
+  | L_date s -> Printf.sprintf "DATE '%s'" s
+  | L_time s -> Printf.sprintf "TIME '%s'" s
+  | L_timestamp s -> Printf.sprintf "TIMESTAMP '%s'" s
+  | L_interval (s, q) ->
+    Printf.sprintf "INTERVAL '%s' %s" (escape_string s) (interval_qualifier q)
+
+let data_type = function
+  | T_integer -> "INTEGER"
+  | T_smallint -> "SMALLINT"
+  | T_bigint -> "BIGINT"
+  | T_decimal None -> "DECIMAL"
+  | T_decimal (Some (p, None)) -> Printf.sprintf "DECIMAL(%d)" p
+  | T_decimal (Some (p, Some s)) -> Printf.sprintf "DECIMAL(%d, %d)" p s
+  | T_float -> "FLOAT"
+  | T_real -> "REAL"
+  | T_double -> "DOUBLE PRECISION"
+  | T_char None -> "CHAR"
+  | T_char (Some n) -> Printf.sprintf "CHAR(%d)" n
+  | T_varchar None -> "VARCHAR"
+  | T_varchar (Some n) -> Printf.sprintf "VARCHAR(%d)" n
+  | T_boolean -> "BOOLEAN"
+  | T_date -> "DATE"
+  | T_time -> "TIME"
+  | T_timestamp -> "TIMESTAMP"
+  | T_interval q -> "INTERVAL " ^ interval_qualifier q
+
+let object_name o =
+  match o.qualifier with
+  | None -> o.name
+  | Some q -> q ^ "." ^ o.name
+
+let cmpop = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Concat -> "||"
+
+let agg_func = function
+  | F_count -> "COUNT"
+  | F_sum -> "SUM"
+  | F_avg -> "AVG"
+  | F_min -> "MIN"
+  | F_max -> "MAX"
+  | F_every -> "EVERY"
+  | F_any -> "ANY"
+
+let quantifier_str = function All -> "ALL" | Distinct -> "DISTINCT"
+
+(* Expressions print in a precedence-free style: every compound arithmetic
+   operand is parenthesized, which keeps the grammar round-trip exact without
+   a precedence-aware printer. *)
+let rec expr = function
+  | Lit l -> literal l
+  | Column (None, c) -> c
+  | Column (Some q, c) -> q ^ "." ^ c
+  | Unary (S_plus, e) -> Printf.sprintf "+ %s" (atom e)
+  | Unary (S_minus, e) -> Printf.sprintf "- %s" (atom e)
+  | Binop (op, a, b) ->
+    Printf.sprintf "%s %s %s" (atom a) (binop_str op) (atom b)
+  | Aggregate { func; agg_quantifier; arg } ->
+    let q = match agg_quantifier with None -> "" | Some q -> quantifier_str q ^ " " in
+    let a = match arg with A_star -> "*" | A_expr e -> expr e in
+    Printf.sprintf "%s(%s%s)" (agg_func func) q a
+  | Call (f, []) -> f  (* niladic functions: CURRENT_DATE, CURRENT_USER, ... *)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Substring { arg; from_; for_ } ->
+    let f = match for_ with None -> "" | Some e -> " FOR " ^ expr e in
+    Printf.sprintf "SUBSTRING(%s FROM %s%s)" (expr arg) (expr from_) f
+  | Position { needle; haystack } ->
+    Printf.sprintf "POSITION(%s IN %s)" (expr needle) (expr haystack)
+  | Trim { side; removed; arg } ->
+    let side_str =
+      match side with
+      | None -> ""
+      | Some Trim_leading -> "LEADING "
+      | Some Trim_trailing -> "TRAILING "
+      | Some Trim_both -> "BOTH "
+    in
+    let removed_str = match removed with None -> "" | Some e -> expr e ^ " " in
+    if side_str = "" && removed_str = "" then
+      Printf.sprintf "TRIM(%s)" (expr arg)
+    else Printf.sprintf "TRIM(%s%sFROM %s)" side_str removed_str (expr arg)
+  | Extract { field; arg } -> Printf.sprintf "EXTRACT(%s FROM %s)" field (expr arg)
+  | Case_simple { operand; branches; else_ } ->
+    let b =
+      String.concat " "
+        (List.map
+           (fun (w, t) -> Printf.sprintf "WHEN %s THEN %s" (expr w) (expr t))
+           branches)
+    in
+    let e = match else_ with None -> "" | Some e -> Printf.sprintf " ELSE %s" (expr e) in
+    Printf.sprintf "CASE %s %s%s END" (expr operand) b e
+  | Case_searched { branches; else_ } ->
+    let b =
+      String.concat " "
+        (List.map
+           (fun (w, t) -> Printf.sprintf "WHEN %s THEN %s" (cond w) (expr t))
+           branches)
+    in
+    let e = match else_ with None -> "" | Some e -> Printf.sprintf " ELSE %s" (expr e) in
+    Printf.sprintf "CASE %s%s END" b e
+  | Cast (e, ty) -> Printf.sprintf "CAST(%s AS %s)" (expr e) (data_type ty)
+  | Scalar_subquery q -> Printf.sprintf "(%s)" (query q)
+  | Next_value s -> Printf.sprintf "NEXT VALUE FOR %s" s
+  | Parameter _ -> "?"
+  | Overlay { arg; placing; from_; for_ } ->
+    let f = match for_ with None -> "" | Some e -> " FOR " ^ expr e in
+    Printf.sprintf "OVERLAY(%s PLACING %s FROM %s%s)" (expr arg) (expr placing)
+      (expr from_) f
+  | Window_call { wfunc; partition_by; win_order_by } ->
+    let partition =
+      match partition_by with
+      | [] -> ""
+      | es -> "PARTITION BY " ^ String.concat ", " (List.map expr es)
+    in
+    let order =
+      match win_order_by with
+      | [] -> ""
+      | es -> "ORDER BY " ^ String.concat ", " (List.map expr es)
+    in
+    let spec =
+      String.concat " " (List.filter (fun s -> s <> "") [ partition; order ])
+    in
+    Printf.sprintf "%s() OVER (%s)" wfunc spec
+
+and atom e =
+  match e with
+  | Lit _ | Column _ | Aggregate _ | Call _ | Substring _ | Position _ | Trim _
+  | Extract _ | Case_simple _ | Case_searched _ | Cast _ | Scalar_subquery _
+  | Next_value _ | Parameter _ | Overlay _ | Window_call _ ->
+    expr e
+  | Unary _ | Binop _ -> Printf.sprintf "(%s)" (expr e)
+
+and cond = function
+  | Comparison (op, a, b) -> Printf.sprintf "%s %s %s" (expr a) (cmpop op) (expr b)
+  | Quantified_comparison { op; lhs; quantifier; subquery } ->
+    let q = match quantifier with Q_all -> "ALL" | Q_some -> "SOME" in
+    Printf.sprintf "%s %s %s (%s)" (expr lhs) (cmpop op) q (query subquery)
+  | Between { negated; symmetric; arg; low; high } ->
+    Printf.sprintf "%s %sBETWEEN %s%s AND %s" (expr arg)
+      (if negated then "NOT " else "")
+      (if symmetric then "SYMMETRIC " else "")
+      (expr low) (expr high)
+  | In_list { negated; arg; values } ->
+    Printf.sprintf "%s %sIN (%s)" (expr arg)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map expr values))
+  | In_subquery { negated; arg; subquery } ->
+    Printf.sprintf "%s %sIN (%s)" (expr arg)
+      (if negated then "NOT " else "")
+      (query subquery)
+  | Like { negated; arg; pattern; escape } ->
+    let esc = match escape with None -> "" | Some e -> " ESCAPE " ^ expr e in
+    Printf.sprintf "%s %sLIKE %s%s" (expr arg)
+      (if negated then "NOT " else "")
+      (expr pattern) esc
+  | Is_null { negated; arg } ->
+    Printf.sprintf "%s IS %sNULL" (expr arg) (if negated then "NOT " else "")
+  | Is_distinct_from { negated; lhs; rhs } ->
+    Printf.sprintf "%s IS %sDISTINCT FROM %s" (expr lhs)
+      (if negated then "NOT " else "")
+      (expr rhs)
+  | Exists q -> Printf.sprintf "EXISTS (%s)" (query q)
+  | Unique q -> Printf.sprintf "UNIQUE (%s)" (query q)
+  | Not c -> Printf.sprintf "NOT %s" (cond_atom c)
+  | And (a, b) -> Printf.sprintf "%s AND %s" (cond_atom a) (cond_atom b)
+  | Or (a, b) -> Printf.sprintf "%s OR %s" (cond_atom a) (cond_atom b)
+  | Is_truth { negated; arg; truth } ->
+    let t = match truth with True -> "TRUE" | False -> "FALSE" | Unknown -> "UNKNOWN" in
+    Printf.sprintf "%s IS %s%s" (cond_atom arg) (if negated then "NOT " else "") t
+  | Overlaps (a, b) -> Printf.sprintf "%s OVERLAPS %s" (expr a) (expr b)
+  | Similar { negated; arg; pattern } ->
+    Printf.sprintf "%s %sSIMILAR TO %s" (expr arg)
+      (if negated then "NOT " else "")
+      (expr pattern)
+  | Bool_expr e -> expr e
+
+and cond_atom c =
+  match c with
+  | Bool_expr _ -> cond c
+  | Comparison _ | Quantified_comparison _ | Between _ | In_list _
+  | In_subquery _ | Like _ | Is_null _ | Is_distinct_from _ | Exists _
+  | Unique _ | Not _ | And _ | Or _ | Is_truth _ | Overlaps _ | Similar _ ->
+    Printf.sprintf "(%s)" (cond c)
+
+and query q =
+  let with_prefix =
+    match q.with_ with
+    | None -> ""
+    | Some { recursive; ctes } ->
+      "WITH "
+      ^ (if recursive then "RECURSIVE " else "")
+      ^ String.concat ", "
+          (List.map
+             (fun (c : cte) ->
+               let cols =
+                 match c.cte_columns with
+                 | [] -> ""
+                 | cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+               in
+               Printf.sprintf "%s%s AS (%s)" c.cte_name cols (query c.cte_query))
+             ctes)
+      ^ " "
+  in
+  let body = with_prefix ^ query_body q.body in
+  let order =
+    match q.order_by with
+    | [] -> ""
+    | specs ->
+      " ORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun s ->
+               let dir = if s.descending then " DESC" else " ASC" in
+               let nulls =
+                 match s.nulls_last with
+                 | None -> ""
+                 | Some true -> " NULLS LAST"
+                 | Some false -> " NULLS FIRST"
+               in
+               expr s.sort_expr ^ dir ^ nulls)
+             specs)
+  in
+  let fetch =
+    match q.fetch with
+    | None -> ""
+    | Some (Fetch_first n) -> Printf.sprintf " FETCH FIRST %d ROWS ONLY" n
+    | Some (Limit n) -> Printf.sprintf " LIMIT %d" n
+  in
+  let updatability =
+    match q.updatability with
+    | None -> ""
+    | Some For_read_only -> " FOR READ ONLY"
+    | Some (For_update []) -> " FOR UPDATE"
+    | Some (For_update cols) ->
+      Printf.sprintf " FOR UPDATE OF %s" (String.concat ", " cols)
+  in
+  let epoch =
+    match q.epoch with
+    | None -> ""
+    | Some { duration; sample_period } ->
+      let d = match duration with None -> "" | Some n -> Printf.sprintf " EPOCH DURATION %d" n in
+      let s = match sample_period with None -> "" | Some n -> Printf.sprintf " SAMPLE PERIOD %d" n in
+      d ^ s
+  in
+  body ^ order ^ fetch ^ updatability ^ epoch
+
+and query_body = function
+  | Select s -> select s
+  | Set_operation { op; quantifier; corresponding; lhs; rhs } ->
+    let op_str =
+      match op with Union -> "UNION" | Except -> "EXCEPT" | Intersect -> "INTERSECT"
+    in
+    let q = match quantifier with None -> "" | Some q -> " " ^ quantifier_str q in
+    let corr = if corresponding then " CORRESPONDING" else "" in
+    Printf.sprintf "%s %s%s%s %s" (query_body lhs) op_str q corr (query_body rhs)
+  | Values rows ->
+    "VALUES "
+    ^ String.concat ", "
+        (List.map
+           (fun row -> Printf.sprintf "(%s)" (String.concat ", " (List.map expr row)))
+           rows)
+  | Paren_query q -> Printf.sprintf "(%s)" (query q)
+
+and select s =
+  let quant =
+    match s.select_quantifier with None -> "" | Some q -> quantifier_str q ^ " "
+  in
+  let proj =
+    String.concat ", "
+      (List.map
+         (function
+           | Star -> "*"
+           | Qualified_star q -> q ^ ".*"
+           | Expr_item (e, None) -> expr e
+           | Expr_item (e, Some a) -> Printf.sprintf "%s AS %s" (expr e) a)
+         s.projection)
+  in
+  let from =
+    match s.from with
+    | [] -> ""
+    | refs -> " FROM " ^ String.concat ", " (List.map table_ref refs)
+  in
+  let where = match s.where with None -> "" | Some c -> " WHERE " ^ cond c in
+  let group =
+    match s.group_by with
+    | [] -> ""
+    | els ->
+      " GROUP BY "
+      ^ String.concat ", "
+          (List.map
+             (function
+               | Group_expr e -> expr e
+               | Rollup es ->
+                 Printf.sprintf "ROLLUP (%s)" (String.concat ", " (List.map expr es))
+               | Cube es ->
+                 Printf.sprintf "CUBE (%s)" (String.concat ", " (List.map expr es))
+               | Grouping_sets sets ->
+                 Printf.sprintf "GROUPING SETS (%s)"
+                   (String.concat ", "
+                      (List.map
+                         (fun es ->
+                           Printf.sprintf "(%s)"
+                             (String.concat ", " (List.map expr es)))
+                         sets)))
+             els)
+  in
+  let having = match s.having with None -> "" | Some c -> " HAVING " ^ cond c in
+  Printf.sprintf "SELECT %s%s%s%s%s%s" quant proj from where group having
+
+and correlation (c : Ast.correlation) =
+  match c.columns with
+  | [] -> Printf.sprintf " AS %s" c.alias
+  | cols -> Printf.sprintf " AS %s (%s)" c.alias (String.concat ", " cols)
+
+and table_ref = function
+  | Table (name, corr) ->
+    object_name name ^ (match corr with None -> "" | Some c -> correlation c)
+  | Derived_table (q, corr) ->
+    Printf.sprintf "(%s)%s" (query q) (correlation corr)
+  | Joined { lhs; kind; rhs; condition } ->
+    let kind_str =
+      match kind with
+      | Inner -> "INNER JOIN"
+      | Left_outer -> "LEFT OUTER JOIN"
+      | Right_outer -> "RIGHT OUTER JOIN"
+      | Full_outer -> "FULL OUTER JOIN"
+      | Cross -> "CROSS JOIN"
+      | Natural -> "NATURAL JOIN"
+    in
+    let cond_str =
+      match condition with
+      | None -> ""
+      | Some (On c) -> " ON " ^ cond c
+      | Some (Using cols) -> Printf.sprintf " USING (%s)" (String.concat ", " cols)
+    in
+    Printf.sprintf "%s %s %s%s" (table_ref lhs) kind_str (join_operand rhs) cond_str
+
+and join_operand r =
+  match r with
+  | Joined _ -> Printf.sprintf "(%s)" (table_ref r)
+  | Table _ | Derived_table _ -> table_ref r
+
+let privilege = function
+  | P_select -> "SELECT"
+  | P_insert -> "INSERT"
+  | P_update [] -> "UPDATE"
+  | P_update cols -> Printf.sprintf "UPDATE (%s)" (String.concat ", " cols)
+  | P_delete -> "DELETE"
+  | P_references [] -> "REFERENCES"
+  | P_references cols -> Printf.sprintf "REFERENCES (%s)" (String.concat ", " cols)
+  | P_all -> "ALL PRIVILEGES"
+
+let grantee = function
+  | Public -> "PUBLIC"
+  | User u -> u
+
+let referential_action = function
+  | Ra_cascade -> "CASCADE"
+  | Ra_set_null -> "SET NULL"
+  | Ra_set_default -> "SET DEFAULT"
+  | Ra_restrict -> "RESTRICT"
+  | Ra_no_action -> "NO ACTION"
+
+let references_spec r =
+  let cols =
+    match r.ref_columns with
+    | [] -> ""
+    | cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+  in
+  let od =
+    match r.on_delete with
+    | None -> ""
+    | Some a -> " ON DELETE " ^ referential_action a
+  in
+  let ou =
+    match r.on_update with
+    | None -> ""
+    | Some a -> " ON UPDATE " ^ referential_action a
+  in
+  Printf.sprintf "REFERENCES %s%s%s%s" (object_name r.ref_table) cols od ou
+
+let column_constraint = function
+  | C_not_null -> "NOT NULL"
+  | C_unique -> "UNIQUE"
+  | C_primary_key -> "PRIMARY KEY"
+  | C_references r -> references_spec r
+  | C_check c -> Printf.sprintf "CHECK (%s)" (cond c)
+
+let column_def c =
+  let default =
+    match c.default with None -> "" | Some e -> " DEFAULT " ^ expr e
+  in
+  let constraints =
+    String.concat ""
+      (List.map (fun cc -> " " ^ column_constraint cc) c.constraints)
+  in
+  Printf.sprintf "%s %s%s%s" c.column (data_type c.ty) default constraints
+
+let table_constraint tc =
+  let name =
+    match tc.constraint_name with
+    | None -> ""
+    | Some n -> Printf.sprintf "CONSTRAINT %s " n
+  in
+  let body =
+    match tc.body with
+    | T_unique cols -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " cols)
+    | T_primary_key cols ->
+      Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " cols)
+    | T_foreign_key (cols, r) ->
+      Printf.sprintf "FOREIGN KEY (%s) %s" (String.concat ", " cols)
+        (references_spec r)
+    | T_check c -> Printf.sprintf "CHECK (%s)" (cond c)
+  in
+  name ^ body
+
+let drop_behavior = function Cascade -> "CASCADE" | Restrict -> "RESTRICT"
+
+let isolation_level = function
+  | Read_uncommitted -> "READ UNCOMMITTED"
+  | Read_committed -> "READ COMMITTED"
+  | Repeatable_read -> "REPEATABLE READ"
+  | Serializable -> "SERIALIZABLE"
+
+let statement = function
+  | Query_stmt q -> query q
+  | Insert_stmt i ->
+    let cols =
+      match i.columns with
+      | [] -> ""
+      | cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+    in
+    let source =
+      match i.source with
+      | Insert_values rows ->
+        " VALUES "
+        ^ String.concat ", "
+            (List.map
+               (fun row ->
+                 Printf.sprintf "(%s)" (String.concat ", " (List.map expr row)))
+               rows)
+      | Insert_query q -> " " ^ query q
+      | Insert_defaults -> " DEFAULT VALUES"
+    in
+    Printf.sprintf "INSERT INTO %s%s%s" (object_name i.table) cols source
+  | Update_stmt u ->
+    let sets =
+      String.concat ", "
+        (List.map
+           (fun (s : set_clause) ->
+             match s.value with
+             | Some e -> Printf.sprintf "%s = %s" s.target (expr e)
+             | None -> Printf.sprintf "%s = DEFAULT" s.target)
+           u.assignments)
+    in
+    let where =
+      match u.update_where with None -> "" | Some c -> " WHERE " ^ cond c
+    in
+    Printf.sprintf "UPDATE %s SET %s%s" (object_name u.table) sets where
+  | Delete_stmt d ->
+    let where =
+      match d.delete_where with None -> "" | Some c -> " WHERE " ^ cond c
+    in
+    Printf.sprintf "DELETE FROM %s%s" (object_name d.table) where
+  | Merge_stmt m ->
+    let alias =
+      match m.target_alias with None -> "" | Some a -> " AS " ^ a
+    in
+    let actions =
+      String.concat " "
+        (List.map
+           (function
+             | When_matched_update sets ->
+               "WHEN MATCHED THEN UPDATE SET "
+               ^ String.concat ", "
+                   (List.map
+                      (fun (s : set_clause) ->
+                        match s.value with
+                        | Some e -> Printf.sprintf "%s = %s" s.target (expr e)
+                        | None -> Printf.sprintf "%s = DEFAULT" s.target)
+                      sets)
+             | When_not_matched_insert (cols, vals) ->
+               let cols_str =
+                 match cols with
+                 | [] -> ""
+                 | cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+               in
+               Printf.sprintf "WHEN NOT MATCHED THEN INSERT%s VALUES (%s)"
+                 cols_str
+                 (String.concat ", " (List.map expr vals)))
+           m.actions)
+    in
+    Printf.sprintf "MERGE INTO %s%s USING %s ON %s %s" (object_name m.target)
+      alias (table_ref m.source) (cond m.on) actions
+  | Create_table_stmt ct ->
+    let elements =
+      String.concat ", "
+        (List.map
+           (function
+             | Column_element c -> column_def c
+             | Constraint_element tc -> table_constraint tc)
+           ct.elements)
+    in
+    Printf.sprintf "CREATE TABLE %s (%s)" (object_name ct.table_name) elements
+  | Create_view_stmt cv ->
+    let cols =
+      match cv.view_columns with
+      | [] -> ""
+      | cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+    in
+    let check = if cv.check_option then " WITH CHECK OPTION" else "" in
+    Printf.sprintf "CREATE VIEW %s%s AS %s%s" (object_name cv.view_name) cols
+      (query cv.view_query) check
+  | Drop_stmt d ->
+    let kind = match d.drop_kind with Drop_table -> "TABLE" | Drop_view -> "VIEW" in
+    let behavior =
+      match d.behavior with None -> "" | Some b -> " " ^ drop_behavior b
+    in
+    Printf.sprintf "DROP %s %s%s" kind (object_name d.drop_name) behavior
+  | Alter_table_stmt a ->
+    let action =
+      match a.action with
+      | Add_column c -> "ADD COLUMN " ^ column_def c
+      | Drop_column (c, b) ->
+        Printf.sprintf "DROP COLUMN %s%s" c
+          (match b with None -> "" | Some b -> " " ^ drop_behavior b)
+      | Set_column_default (c, e) ->
+        Printf.sprintf "ALTER COLUMN %s SET DEFAULT %s" c (expr e)
+      | Drop_column_default c -> Printf.sprintf "ALTER COLUMN %s DROP DEFAULT" c
+      | Add_constraint tc -> "ADD " ^ table_constraint tc
+    in
+    Printf.sprintf "ALTER TABLE %s %s" (object_name a.altered) action
+  | Grant_stmt g ->
+    let privs =
+      match g.privileges with
+      | [ P_all ] -> "ALL PRIVILEGES"
+      | ps -> String.concat ", " (List.map privilege ps)
+    in
+    let wgo = if g.with_grant_option then " WITH GRANT OPTION" else "" in
+    Printf.sprintf "GRANT %s ON TABLE %s TO %s%s" privs (object_name g.grant_on)
+      (String.concat ", " (List.map grantee g.grantees))
+      wgo
+  | Revoke_stmt r ->
+    let gof = if r.grant_option_for then "GRANT OPTION FOR " else "" in
+    let privs =
+      match r.revoked with
+      | [ P_all ] -> "ALL PRIVILEGES"
+      | ps -> String.concat ", " (List.map privilege ps)
+    in
+    let behavior =
+      match r.revoke_behavior with
+      | None -> ""
+      | Some b -> " " ^ drop_behavior b
+    in
+    Printf.sprintf "REVOKE %s%s ON TABLE %s FROM %s%s" gof privs
+      (object_name r.revoke_on)
+      (String.concat ", " (List.map grantee r.revokees))
+      behavior
+  | Transaction_stmt t -> (
+    match t with
+    | Commit -> "COMMIT"
+    | Rollback None -> "ROLLBACK"
+    | Rollback (Some sp) -> Printf.sprintf "ROLLBACK TO SAVEPOINT %s" sp
+    | Savepoint sp -> Printf.sprintf "SAVEPOINT %s" sp
+    | Release_savepoint sp -> Printf.sprintf "RELEASE SAVEPOINT %s" sp
+    | Start_transaction None -> "START TRANSACTION"
+    | Start_transaction (Some lvl) ->
+      Printf.sprintf "START TRANSACTION ISOLATION LEVEL %s" (isolation_level lvl)
+    | Set_transaction lvl ->
+      Printf.sprintf "SET TRANSACTION ISOLATION LEVEL %s" (isolation_level lvl))
+  | Sequence_stmt s -> (
+    match s with
+    | Create_sequence { seq_name; seq_start; seq_increment } ->
+      Printf.sprintf "CREATE SEQUENCE %s%s%s" seq_name
+        (match seq_start with None -> "" | Some n -> Printf.sprintf " START WITH %d" n)
+        (match seq_increment with
+         | None -> ""
+         | Some n -> Printf.sprintf " INCREMENT BY %d" n)
+    | Drop_sequence name -> Printf.sprintf "DROP SEQUENCE %s" name)
+  | Explain_stmt q -> Printf.sprintf "EXPLAIN %s" (query q)
+  | Session_stmt s -> (
+    match s with
+    | Set_session_authorization u -> Printf.sprintf "SET SESSION AUTHORIZATION %s" u
+    | Reset_session_authorization -> "RESET SESSION AUTHORIZATION")
+  | Schema_stmt s -> (
+    match s with
+    | Create_schema name -> Printf.sprintf "CREATE SCHEMA %s" name
+    | Drop_schema (name, None) -> Printf.sprintf "DROP SCHEMA %s" name
+    | Drop_schema (name, Some b) ->
+      Printf.sprintf "DROP SCHEMA %s %s" name (drop_behavior b)
+    | Set_schema name -> Printf.sprintf "SET SCHEMA %s" name)

@@ -1,0 +1,12 @@
+(** Rendering ASTs back to SQL text.
+
+    The printer emits SQL that the full-dialect parser accepts, enabling the
+    print/parse round-trip property tests. Output is single-line,
+    fully-parenthesized only where needed. *)
+
+val literal : Ast.literal -> string
+val data_type : Ast.data_type -> string
+val expr : Ast.expr -> string
+val cond : Ast.cond -> string
+val query : Ast.query -> string
+val statement : Ast.statement -> string

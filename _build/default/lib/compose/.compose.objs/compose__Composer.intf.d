@@ -1,0 +1,1 @@
+lib/compose/composer.mli: Feature Fmt Fragment Grammar Lexing_gen Rules

@@ -1,0 +1,1 @@
+lib/compose/fragment.ml: Grammar Lexing_gen List Map String

@@ -1,0 +1,1 @@
+lib/compose/fragment.mli: Grammar Lexing_gen

@@ -1,0 +1,1 @@
+lib/compose/rules.ml: Fmt Grammar List Option Production String Symbol

@@ -1,0 +1,1 @@
+lib/compose/rules.mli: Fmt Grammar

@@ -1,0 +1,61 @@
+(** Composing a configuration's fragments into a grammar and token set.
+
+    Given a feature model, a fragment registry and a valid configuration,
+    the composer determines the {e composition sequence} and folds the
+    composition calculus over it. The sequence is the pre-order of the
+    selected features in the diagram: a parent (base) always composes before
+    its children (extensions), and siblings compose in diagram order — which
+    is what anchors merged optional clauses in the right syntactic position
+    (e.g. [WHERE] before [GROUP BY] under Table Expression). The [requires] /
+    [excludes] constraints decide {e which} selections are admissible (they
+    are enforced by validation), not the order. *)
+
+type output = {
+  grammar : Grammar.Cfg.t;
+  tokens : Lexing_gen.Spec.set;
+  sequence : string list;  (** composition sequence actually used *)
+}
+
+type error =
+  | Invalid_configuration of Feature.Config.violation list
+  | Token_conflict of { feature : string; conflict : Lexing_gen.Spec.conflict }
+  | Incoherent_grammar of {
+      problems : Grammar.Cfg.problem list;
+      hints : (string * string) list;
+          (** (undefined non-terminal, feature whose fragment defines it) *)
+    }
+
+val pp_error : error Fmt.t
+
+val sequence : Feature.Model.t -> Feature.Config.t -> string list
+(** The composition sequence for a configuration: the selected features in
+    diagram pre-order. *)
+
+type trace_event = {
+  feature : string;         (** fragment owner *)
+  lhs : string;             (** rule being composed *)
+  outcome : Rules.outcome option;
+      (** per composed alternative; [None] when the feature introduced the
+          rule *)
+}
+
+val trace :
+  Feature.Model.t ->
+  Fragment.registry ->
+  Feature.Config.t ->
+  trace_event list
+(** Replay the composition and report, per fragment rule, which of the
+    paper's composition rules fired (the §3.2 narrative, mechanized). The
+    configuration is assumed valid; invalid selections yield a best-effort
+    trace. *)
+
+val compose :
+  start:string ->
+  Feature.Model.t ->
+  Fragment.registry ->
+  Feature.Config.t ->
+  (output, error) result
+(** Validate the configuration, determine the sequence, compose all
+    fragments. The composed grammar is checked for coherence (undefined
+    non-terminals indicate a fragment whose dependency feature is missing —
+    the error carries hints naming the features that would define them). *)

@@ -1,0 +1,34 @@
+type t = {
+  feature : string;
+  rules : Grammar.Production.t list;
+  tokens : Lexing_gen.Spec.set;
+}
+
+let empty feature = { feature; rules = []; tokens = [] }
+let make ~feature ?(tokens = []) rules = { feature; rules; tokens }
+let is_empty t = t.rules = [] && t.tokens = []
+
+module String_map = Map.Make (String)
+
+type registry = t String_map.t
+
+let registry fragments =
+  List.fold_left (fun m f -> String_map.add f.feature f m) String_map.empty
+    fragments
+
+let find reg name = String_map.find_opt name reg
+let fragments reg = List.map snd (String_map.bindings reg)
+
+let defining_feature reg nt =
+  String_map.fold
+    (fun name frag acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if
+          List.exists
+            (fun (r : Grammar.Production.t) -> String.equal r.lhs nt)
+            frag.rules
+        then Some name
+        else None)
+    reg None

@@ -1,0 +1,32 @@
+(** Grammar fragments: the unit of composition.
+
+    Each feature of the model owns a fragment — the feature's sub-grammar
+    plus its token file. Purely organizational features (inner nodes that
+    only group others) own the empty fragment. *)
+
+type t = {
+  feature : string;                        (** owning feature name *)
+  rules : Grammar.Production.t list;       (** sub-grammar *)
+  tokens : Lexing_gen.Spec.set;            (** token file *)
+}
+
+val empty : string -> t
+val make :
+  feature:string ->
+  ?tokens:Lexing_gen.Spec.set ->
+  Grammar.Production.t list ->
+  t
+
+val is_empty : t -> bool
+
+type registry
+(** Maps feature names to their fragments. *)
+
+val registry : t list -> registry
+val find : registry -> string -> t option
+val fragments : registry -> t list
+
+val defining_feature : registry -> string -> string option
+(** [defining_feature reg nt] is a feature whose fragment defines the
+    non-terminal [nt] — used to hint which missing feature would fix an
+    undefined-non-terminal composition problem. *)

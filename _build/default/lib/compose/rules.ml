@@ -1,0 +1,110 @@
+open Grammar
+
+type outcome =
+  | Kept_old
+  | Merged
+  | Replaced
+  | Appended
+
+let pp_outcome ppf o =
+  Fmt.string ppf
+    (match o with
+     | Kept_old -> "kept-old"
+     | Merged -> "merged"
+     | Replaced -> "replaced"
+     | Appended -> "appended")
+
+(* An alternative segmented into its required anchors and the optional terms
+   attached after each anchor (or before the first one). *)
+type segments = {
+  leading : Production.term list;
+  anchored : (Production.term * Production.term list) list;
+}
+
+let segment alt =
+  let leading, anchored_rev =
+    List.fold_left
+      (fun (leading, anchored) term ->
+        if Production.is_optional_term term then
+          match anchored with
+          | [] -> (leading @ [ term ], anchored)
+          | (anchor, opts) :: rest -> (leading, (anchor, opts @ [ term ]) :: rest)
+        else (leading, (term, []) :: anchored))
+      ([], []) alt
+  in
+  { leading; anchored = List.rev anchored_rev }
+
+let skeleton alt = List.map fst (segment alt).anchored
+
+let mergeable a b =
+  List.equal Production.term_equal (skeleton a) (skeleton b)
+
+let union_terms xs ys =
+  xs @ List.filter (fun y -> not (List.exists (Production.term_equal y) xs)) ys
+
+let merge a b =
+  let sa = segment a and sb = segment b in
+  let leading = union_terms sa.leading sb.leading in
+  let anchored =
+    List.map2
+      (fun (anchor, opts_a) (_, opts_b) -> (anchor, union_terms opts_a opts_b))
+      sa.anchored sb.anchored
+  in
+  leading @ List.concat_map (fun (anchor, opts) -> anchor :: opts) anchored
+
+(* Containment is anchored at the first symbol: [contains a b] holds when
+   both alternatives start with the same symbol and the flattening of [b] is
+   a subsequence of the flattening of [a]. Anchoring rules out accidental
+   matches between unrelated alternatives that merely share a suffix (e.g.
+   [SAVEPOINT <id>] inside [ROLLBACK \[WORK\] \[TO SAVEPOINT <id>\]]); all of
+   the paper's containment examples share their head symbol. *)
+let contains a b =
+  let fa = Production.flatten a and fb = Production.flatten b in
+  match fa, fb with
+  | x :: _, y :: _ -> Symbol.equal x y && Production.subsequence fb fa
+  | _, _ -> false
+
+let compose_alt old_alts new_alt =
+  (* An exact duplicate anywhere is a no-op (checked against every existing
+     alternative first, so that self-composition is the identity even when an
+     earlier alternative would be mergeable with the duplicate). Otherwise
+     the first existing alternative the new one relates to (mergeable /
+     containing / contained) decides the outcome, and unrelated alternatives
+     are appended as an extra choice. *)
+  if List.exists (Production.alt_equal new_alt) old_alts then
+    (old_alts, Kept_old)
+  else
+    let rec go = function
+      | [] -> None
+      | a :: rest ->
+        if mergeable a new_alt then Some (merge a new_alt :: rest, Merged)
+        else if contains new_alt a then Some (new_alt :: rest, Replaced)
+        else if contains a new_alt then Some (a :: rest, Kept_old)
+        else
+          Option.map (fun (rest', outcome) -> (a :: rest', outcome)) (go rest)
+    in
+    match go old_alts with
+    | Some result -> result
+    | None -> (old_alts @ [ new_alt ], Appended)
+
+let compose_production (old_rule : Production.t) (new_rule : Production.t) =
+  if not (String.equal old_rule.lhs new_rule.lhs) then
+    invalid_arg "Rules.compose_production: differing left-hand sides";
+  let alts =
+    List.fold_left
+      (fun alts new_alt -> fst (compose_alt alts new_alt))
+      old_rule.alts new_rule.alts
+  in
+  { old_rule with alts }
+
+let compose_rules old_rules fragment_rules =
+  let add acc (new_rule : Production.t) =
+    let rec insert = function
+      | [] -> [ new_rule ]
+      | (r : Production.t) :: rest when String.equal r.lhs new_rule.lhs ->
+        compose_production r new_rule :: rest
+      | r :: rest -> r :: insert rest
+    in
+    insert acc
+  in
+  List.fold_left add old_rules fragment_rules

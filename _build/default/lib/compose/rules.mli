@@ -1,0 +1,57 @@
+(** The paper's grammar-composition calculus (§3.2).
+
+    Production rules labelled with the same non-terminal are composed
+    alternative by alternative:
+
+    - if the new and old alternatives are equal, nothing changes;
+    - if both have the same {e required skeleton} (the sequence of
+      non-optional terms), their optional parts are merged, each optional
+      group staying anchored after its corresponding non-optional term —
+      the paper's "we compose any optional specification within a production
+      after the corresponding non optional specification";
+    - if the new alternative {e contains} the old one (both start with the
+      same symbol and the old flattened symbol sequence is a subsequence of
+      the new one — this subsumes the paper's plain [A: BC] vs [A: B],
+      optional [A: B\[C\]] vs [A: B], and sublist-vs-complex-list
+      [A: B \[, B\]] vs [A: B] cases; anchoring at the head symbol prevents
+      unrelated alternatives that merely share a suffix from capturing each
+      other), the new one replaces it;
+    - if the new alternative is contained in the old one, the old one is
+      retained;
+    - otherwise the new alternative is appended as an additional choice. *)
+
+type outcome =
+  | Kept_old     (** old production retained (equal or containing) *)
+  | Merged       (** optional parts merged into the anchored skeleton *)
+  | Replaced     (** new production replaced the old one *)
+  | Appended     (** appended as an additional choice *)
+
+val pp_outcome : outcome Fmt.t
+
+val mergeable : Grammar.Production.alt -> Grammar.Production.alt -> bool
+(** Same required skeleton? *)
+
+val merge : Grammar.Production.alt -> Grammar.Production.alt -> Grammar.Production.alt
+(** Anchored merge of optional parts; undefined unless {!mergeable}. *)
+
+val contains : Grammar.Production.alt -> Grammar.Production.alt -> bool
+(** [contains a b]: [a] contains [b] in the paper's sense (head-anchored
+    flattened-subsequence test). *)
+
+val compose_alt :
+  Grammar.Production.alt list ->
+  Grammar.Production.alt ->
+  Grammar.Production.alt list * outcome
+(** Compose one new alternative into the alternatives of an existing rule. *)
+
+val compose_production :
+  Grammar.Production.t -> Grammar.Production.t -> Grammar.Production.t
+(** Compose two rules for the same non-terminal (raises [Invalid_argument]
+    on differing left-hand sides). *)
+
+val compose_rules :
+  Grammar.Production.t list ->
+  Grammar.Production.t list ->
+  Grammar.Production.t list
+(** Compose a fragment's rules into an accumulated rule list: same-lhs rules
+    compose, fresh rules are appended in order. *)

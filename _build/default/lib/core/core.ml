@@ -1,0 +1,119 @@
+type generated = {
+  label : string;
+  config : Feature.Config.t;
+  grammar : Grammar.Cfg.t;
+  tokens : Lexing_gen.Spec.set;
+  scanner : Lexing_gen.Scanner.t;
+  parser : Parser_gen.Engine.t;
+  sequence : string list;
+}
+
+type error =
+  | Compose_error of Compose.Composer.error
+  | Generation_error of Parser_gen.Engine.gen_error
+  | Lex_error of Lexing_gen.Scanner.error
+  | Parse_error of Parser_gen.Engine.parse_error
+  | Lowering_error of Lower.error
+  | Execution_error of string
+
+let pp_error ppf = function
+  | Compose_error e -> Compose.Composer.pp_error ppf e
+  | Generation_error e -> Parser_gen.Engine.pp_gen_error ppf e
+  | Lex_error e -> Lexing_gen.Scanner.pp_error ppf e
+  | Parse_error e -> Parser_gen.Engine.pp_parse_error ppf e
+  | Lowering_error e -> Lower.pp_error ppf e
+  | Execution_error msg -> Fmt.pf ppf "execution error: %s" msg
+
+let ( let* ) = Result.bind
+
+let generate ?(label = "custom") config =
+  let* out =
+    Result.map_error (fun e -> Compose_error e) (Sql.Model.compose config)
+  in
+  let* parser =
+    Result.map_error
+      (fun e -> Generation_error e)
+      (Parser_gen.Engine.generate out.Compose.Composer.grammar)
+  in
+  Ok
+    {
+      label;
+      config;
+      grammar = out.Compose.Composer.grammar;
+      tokens = out.Compose.Composer.tokens;
+      scanner = Lexing_gen.Scanner.create out.Compose.Composer.tokens;
+      parser;
+      sequence = out.Compose.Composer.sequence;
+    }
+
+let generate_dialect (d : Dialects.Dialect.t) =
+  generate ~label:d.Dialects.Dialect.name d.Dialects.Dialect.config
+
+let scan g sql =
+  Result.map_error (fun e -> Lex_error e) (Lexing_gen.Scanner.scan g.scanner sql)
+
+let parse_cst g sql =
+  let* tokens = scan g sql in
+  Result.map_error (fun e -> Parse_error e) (Parser_gen.Engine.parse g.parser tokens)
+
+let parse_statement g sql =
+  let* cst = parse_cst g sql in
+  Result.map_error (fun e -> Lowering_error e) (Lower.statement cst)
+
+let accepts g sql = Result.is_ok (parse_cst g sql)
+
+let emit_ocaml_parser g =
+  Parser_gen.Codegen.emit
+    ~module_doc:
+      (Printf.sprintf "Generated parser for the %S feature configuration."
+         g.label)
+    g.grammar
+
+type session = {
+  front_end : generated;
+  db : Engine.Database.t;
+}
+
+let session front_end = { front_end; db = Engine.Database.create () }
+let session_parser s = s.front_end
+let database s = s.db
+
+let run s sql =
+  let* stmt = parse_statement s.front_end sql in
+  Result.map_error (fun m -> Execution_error m) (Engine.Database.execute s.db stmt)
+
+let run_prepared s sql values =
+  let* stmt = parse_statement s.front_end sql in
+  let* bound =
+    Result.map_error (fun m -> Execution_error m) (Engine.Params.bind stmt values)
+  in
+  Result.map_error (fun m -> Execution_error m) (Engine.Database.execute s.db bound)
+
+(* Split a script on semicolons at top level (string literals respected). *)
+let split_statements text =
+  let buf = Buffer.create 128 in
+  let out = ref [] in
+  let in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '\'' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if c = ';' && not !in_string then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    text;
+  out := Buffer.contents buf :: !out;
+  List.rev (List.filter (fun s -> String.trim s <> "") !out)
+
+let run_script s statements =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | sql :: rest ->
+      let* outcome = run s sql in
+      go (outcome :: acc) rest
+  in
+  go [] statements

@@ -1,0 +1,83 @@
+(** Facade of the customizable-SQL-parser product line.
+
+    This is the API a downstream user works with:
+
+    {[
+      let parser = Core.generate_dialect Dialects.Dialect.tinysql |> Result.get_ok in
+      let stmt = Core.parse_statement parser "SELECT nodeid, AVG(temp) FROM sensors GROUP BY nodeid EPOCH DURATION 1024" in
+      ...
+    ]}
+
+    [generate] runs the paper's pipeline: validate the feature instance
+    description, determine the composition sequence, compose the
+    sub-grammars and token files, and hand the composed grammar to the
+    parser generator. The result bundles the generated scanner and parser.
+
+    [session] adds the engine: an in-memory database executing the parsed
+    statements, turning a tailored parser into a tailored DBMS front-end. *)
+
+type generated = {
+  label : string;                      (** dialect or configuration name *)
+  config : Feature.Config.t;
+  grammar : Grammar.Cfg.t;
+  tokens : Lexing_gen.Spec.set;
+  scanner : Lexing_gen.Scanner.t;
+  parser : Parser_gen.Engine.t;
+  sequence : string list;              (** composition sequence used *)
+}
+
+type error =
+  | Compose_error of Compose.Composer.error
+  | Generation_error of Parser_gen.Engine.gen_error
+  | Lex_error of Lexing_gen.Scanner.error
+  | Parse_error of Parser_gen.Engine.parse_error
+  | Lowering_error of Lower.error
+  | Execution_error of string
+
+val pp_error : error Fmt.t
+
+val generate : ?label:string -> Feature.Config.t -> (generated, error) result
+(** Generate the parser for a configuration of {!Sql.Model.model}. *)
+
+val generate_dialect : Dialects.Dialect.t -> (generated, error) result
+
+val scan :
+  generated -> string -> (Lexing_gen.Token.t list, error) result
+
+val parse_cst : generated -> string -> (Parser_gen.Cst.t, error) result
+(** Scan and parse one statement to a concrete syntax tree. *)
+
+val parse_statement : generated -> string -> (Sql_ast.Ast.statement, error) result
+(** Scan, parse and lower one statement. *)
+
+val accepts : generated -> string -> bool
+(** Does the tailored parser accept the statement? (Lexical errors count as
+    rejection: an unknown keyword simply is no keyword in the dialect.) *)
+
+val emit_ocaml_parser : generated -> string
+(** Source text of a standalone OCaml parser for the composed grammar
+    (mirrors ANTLR's code generation). *)
+
+(** Sessions: a generated front-end bound to an in-memory database. *)
+type session
+
+val session : generated -> session
+val session_parser : session -> generated
+val database : session -> Engine.Database.t
+
+val run : session -> string -> (Engine.Executor.outcome, error) result
+(** Parse and execute one statement. *)
+
+val run_prepared :
+  session -> string -> Engine.Value.t list ->
+  (Engine.Executor.outcome, error) result
+(** Parse a statement containing dynamic parameter markers ([?], the
+    "Dynamic Parameters" feature), bind the given values positionally, and
+    execute. *)
+
+val run_script : session -> string list -> (Engine.Executor.outcome list, error) result
+(** Run statements in order, stopping at the first error. *)
+
+val split_statements : string -> string list
+(** Split a script on top-level semicolons (string literals respected);
+    blank statements are dropped. *)

@@ -1,0 +1,1 @@
+lib/dialects/dialect.ml: Feature List Sql String

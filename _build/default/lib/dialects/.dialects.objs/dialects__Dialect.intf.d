@@ -1,0 +1,1 @@
+lib/dialects/dialect.mli: Feature

@@ -1,0 +1,154 @@
+type t = {
+  name : string;
+  title : string;
+  description : string;
+  config : Feature.Config.t;
+}
+
+let make ~name ~title ~description seeds =
+  {
+    name;
+    title;
+    description;
+    config = Sql.Model.close (Feature.Config.of_names seeds);
+  }
+
+let minimal_select =
+  make ~name:"minimal" ~title:"Minimal SELECT (paper §3.2)"
+    ~description:
+      "Single-column, single-table SELECT with optional DISTINCT/ALL and an \
+       optional WHERE clause over equality comparisons."
+    [
+      "Query Specification"; "Set Quantifier"; "All"; "Distinct"; "Where";
+      "Comparison Predicate"; "Equals";
+    ]
+
+let comparison_ops =
+  [
+    "Comparison Predicate"; "Equals"; "Not Equals"; "Less Than"; "Greater Than";
+    "Less Or Equal"; "Greater Or Equal";
+  ]
+
+let basic_literals =
+  [ "Literals"; "Integer Literal"; "Decimal Literal"; "String Literal"; "Null Literal" ]
+
+let scql =
+  make ~name:"scql" ~title:"SCQL (smart-card SQL, ISO 7816-7)"
+    ~description:
+      "Interindustry smart-card commands: single-table CRUD with WHERE, \
+       CREATE/DROP TABLE, and GRANT/REVOKE for card security attributes. No \
+       joins, no aggregation, no subqueries."
+    ([
+       "Where"; "And"; "Not";
+       "Multiple Select Sublists"; "Asterisk";
+       "Insert Statement"; "Insert Column List";
+       "Update Statement"; "Update Where";
+       "Delete Statement"; "Delete Where";
+       "Table Definition"; "Integer Type"; "Char Type"; "Varchar Type";
+       "Not Null";
+       "Drop Statement"; "Drop Table";
+       "Grant Statement"; "Select Privilege"; "Insert Privilege";
+       "Update Privilege"; "Delete Privilege"; "Public Grantee";
+       "Revoke Statement";
+     ]
+     @ comparison_ops @ basic_literals)
+
+let tinysql =
+  make ~name:"tinysql" ~title:"TinySQL (TinyDB, sensor networks)"
+    ~description:
+      "Acquisitional queries over a single sensor table: aggregation with \
+       GROUP BY/HAVING, WHERE, and the EPOCH DURATION / SAMPLE PERIOD \
+       clauses. Single table in FROM, no column aliases, no ORDER BY."
+    ([
+       "Where"; "And"; "Or";
+       "Multiple Select Sublists"; "Asterisk";
+       "Group By"; "Having";
+       "Aggregate Functions"; "Count"; "Count Star"; "Sum"; "Avg"; "Min"; "Max";
+       "Arithmetic"; "Addition"; "Subtraction"; "Multiplication"; "Division";
+       "Epoch Duration"; "Sample Period";
+     ]
+     @ comparison_ops @ basic_literals)
+
+let embedded =
+  make ~name:"embedded" ~title:"Embedded core"
+    ~description:
+      "CRUD for resource-constrained devices: SELECT with WHERE, ORDER BY \
+       and LIMIT, INSERT/UPDATE/DELETE, CREATE/DROP TABLE with basic types \
+       and NOT NULL / PRIMARY KEY constraints."
+    ([
+       "Where"; "And"; "Or"; "Not";
+       "Multiple Select Sublists"; "Asterisk"; "As Clause";
+       "Order By"; "Ordering Direction"; "Ascending"; "Descending"; "Limit";
+       "Boolean Literal";
+       "Arithmetic"; "Addition"; "Subtraction"; "Multiplication"; "Division";
+       "Insert Statement"; "Insert Column List"; "Multi-row Insert";
+       "Update Statement"; "Update Where";
+       "Delete Statement"; "Delete Where";
+       "Table Definition"; "Default Clause"; "Integer Type"; "Varchar Type";
+       "Boolean Type"; "Decimal Type"; "Not Null"; "Primary Key Column";
+       "Unique Column";
+       "Drop Statement"; "Drop Table";
+       "Dynamic Parameters"; "Explain Statement";
+     ]
+     @ comparison_ops @ basic_literals)
+
+let analytics =
+  make ~name:"analytics" ~title:"Analytics / warehousing"
+    ~description:
+      "Query-heavy dialect: joins (inner/outer/cross), subqueries and \
+       quantified comparisons, set operations, GROUP BY with ROLLUP/CUBE, \
+       HAVING, CASE, CAST, string/numeric functions, ORDER BY and FETCH \
+       FIRST; DDL and INSERT for loading."
+    ([
+       "Where"; "And"; "Or"; "Not"; "Is Truth Test"; "Parenthesized Boolean";
+       "Between Predicate"; "In Predicate"; "In Subquery"; "Like Predicate";
+       "Escape Clause"; "Null Predicate"; "Exists Predicate";
+       "Quantified Comparison"; "Boolean Value Expression";
+       "Multiple Select Sublists"; "Asterisk"; "Qualified Asterisk"; "As Clause";
+       "Set Quantifier"; "All"; "Distinct";
+       "Multiple Table References"; "Correlation Name"; "Derived Column List";
+       "Derived Table"; "Joined Table"; "Inner Join"; "Outer Join"; "Left Join";
+       "Right Join"; "Full Join"; "Cross Join"; "Natural Join";
+       "Join Specification"; "On Clause"; "Using Clause";
+       "Group By"; "Rollup"; "Cube"; "Grouping Sets"; "Having";
+       "Set Operations"; "Union"; "Union Quantifier"; "Except"; "Intersect";
+       "Parenthesized Query"; "Subquery"; "Table Value Constructor";
+       "With Clause"; "Recursive With";
+       "Order By"; "Ordering Direction"; "Ascending"; "Descending";
+       "Nulls Ordering"; "Fetch First";
+       "Qualified Column Reference"; "Qualified Names";
+       "Boolean Literal"; "Datetime Literal";
+       "Arithmetic"; "Addition"; "Subtraction"; "Multiplication"; "Division";
+       "Unary Sign"; "String Concatenation"; "Parenthesized Expression";
+       "Scalar Subquery";
+       "Case Expression"; "Searched Case"; "Simple Case"; "Nullif"; "Coalesce";
+       "Cast";
+       "Aggregate Functions"; "Count"; "Count Star"; "Sum"; "Avg"; "Min"; "Max";
+       "Aggregate Quantifier";
+       "String Functions"; "Upper"; "Lower"; "Char Length"; "Substring"; "Trim";
+       "Position";
+       "Numeric Functions"; "Absolute Value"; "Modulus"; "Extract";
+       "Integer Type"; "Smallint Type"; "Bigint Type"; "Decimal Type";
+       "Float Type"; "Real Type"; "Double Type"; "Char Type"; "Varchar Type";
+       "Boolean Type"; "Date Type"; "Time Type"; "Timestamp Type";
+       "Insert Statement"; "Insert Column List"; "Multi-row Insert";
+       "Insert From Query";
+       "Table Definition"; "Default Clause"; "Not Null"; "Primary Key Column";
+       "Unique Column";
+       "View Definition"; "View Column List";
+       "Drop Statement"; "Drop Table"; "Drop View"; "Drop Behavior";
+     ]
+     @ comparison_ops @ basic_literals)
+
+let full =
+  {
+    name = "full";
+    title = "Full SQL Foundation";
+    description = "Every feature of the model.";
+    config = Feature.Config.full Sql.Model.model;
+  }
+
+let all = [ minimal_select; scql; tinysql; embedded; analytics; full ]
+
+let find name =
+  List.find_opt (fun d -> String.equal d.name name) all

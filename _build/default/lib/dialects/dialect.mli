@@ -1,0 +1,43 @@
+(** Product instances of the SQL product line.
+
+    Each dialect is a feature configuration of {!Sql.Model.model}, written as
+    a seed set and closed under the model's structural and [requires]
+    constraints. The set mirrors the paper's motivating products: the §3.2
+    worked example, smart-card SQL (SCQL, ISO 7816-7), TinySQL (TinyDB,
+    sensor networks), an embedded core, an analytics dialect and full SQL
+    Foundation. *)
+
+type t = {
+  name : string;          (** short CLI-friendly name, e.g. ["tinysql"] *)
+  title : string;
+  description : string;
+  config : Feature.Config.t;  (** closed, valid configuration *)
+}
+
+val minimal_select : t
+(** The paper's §3.2 worked example: single-column, single-table SELECT with
+    optional DISTINCT/ALL and optional WHERE (equality only). *)
+
+val scql : t
+(** Smart-card SQL: single-table SELECT/INSERT/UPDATE/DELETE, CREATE/DROP
+    TABLE, GRANT/REVOKE — no joins, no aggregation, no subqueries. *)
+
+val tinysql : t
+(** Sensor-network SQL: aggregation over a single table with GROUP BY /
+    HAVING and the acquisitional EPOCH DURATION / SAMPLE PERIOD clauses; no
+    joins, no column aliases, no ORDER BY. *)
+
+val embedded : t
+(** A small embedded core: CRUD with WHERE and ORDER BY plus LIMIT, basic
+    types and constraints. *)
+
+val analytics : t
+(** Query-heavy dialect: joins, subqueries, set operations, grouping
+    (including ROLLUP/CUBE), CASE/CAST, string and numeric functions; DDL
+    and INSERT for loading, no access control. *)
+
+val full : t
+(** Every feature of the model. *)
+
+val all : t list
+val find : string -> t option

@@ -1,0 +1,1 @@
+lib/engine/catalog.ml: List Printf Schema Sql_ast String Table

@@ -1,0 +1,1 @@
+lib/engine/catalog.mli: Sql_ast Table

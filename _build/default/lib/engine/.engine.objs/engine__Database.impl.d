@@ -1,0 +1,1 @@
+lib/engine/database.ml: Ast Catalog Executor List Printf Privileges Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Catalog Executor Sql_ast

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Array Ast Catalog Float Fmt Fun List Option Printf Schema Sql_ast Sql_printer String Table Value Vec

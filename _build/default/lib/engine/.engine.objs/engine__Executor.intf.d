@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Catalog Fmt Sql_ast Value

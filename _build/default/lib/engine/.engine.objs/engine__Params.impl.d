@@ -1,0 +1,1 @@
+lib/engine/params.ml: Array Ast List Option Printf Sql_ast Value

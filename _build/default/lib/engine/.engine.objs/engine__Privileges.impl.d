@@ -1,0 +1,1 @@
+lib/engine/privileges.ml: Ast Catalog List Option Printf Sql_ast String

@@ -1,0 +1,1 @@
+lib/engine/privileges.mli: Catalog Sql_ast

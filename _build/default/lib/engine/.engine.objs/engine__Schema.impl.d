@@ -1,0 +1,1 @@
+lib/engine/schema.ml: Ast List Printf Sql_ast String

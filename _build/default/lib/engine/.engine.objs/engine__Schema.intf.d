@@ -1,0 +1,1 @@
+lib/engine/schema.mli: Sql_ast

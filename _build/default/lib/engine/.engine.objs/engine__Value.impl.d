@@ -1,0 +1,1 @@
+lib/engine/value.ml: Bool Float Fmt Int Printf Sql_ast String

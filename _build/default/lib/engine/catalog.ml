@@ -1,0 +1,127 @@
+type relation =
+  | Base_table of Table.t
+  | View of Sql_ast.Ast.create_view
+
+type grant_record = {
+  privileges : Sql_ast.Ast.privilege list;
+  on_table : string;
+  grantee : Sql_ast.Ast.grantee;
+  grant_option : bool;
+}
+
+type sequence = {
+  mutable next : int;
+  increment : int;
+}
+
+type t = {
+  mutable relations : (string * relation) list;  (* in creation order *)
+  mutable grant_records : grant_record list;
+  mutable sequence_list : (string * sequence) list;
+}
+
+let create () = { relations = []; grant_records = []; sequence_list = [] }
+
+let find t name = List.assoc_opt name t.relations
+
+let add t name relation =
+  if find t name <> None then
+    Error (Printf.sprintf "relation %S already exists" name)
+  else begin
+    t.relations <- t.relations @ [ (name, relation) ];
+    Ok ()
+  end
+
+let add_table t (table : Table.t) =
+  add t table.Table.schema.Schema.name (Base_table table)
+
+let add_view t (view : Sql_ast.Ast.create_view) =
+  add t view.Sql_ast.Ast.view_name.Sql_ast.Ast.name (View view)
+
+let drop t name =
+  if find t name = None then Error (Printf.sprintf "relation %S does not exist" name)
+  else begin
+    t.relations <- List.filter (fun (n, _) -> not (String.equal n name)) t.relations;
+    Ok ()
+  end
+
+let replace_table t (table : Table.t) =
+  let name = table.Table.schema.Schema.name in
+  t.relations <-
+    List.map
+      (fun (n, r) -> if String.equal n name then (n, Base_table table) else (n, r))
+      t.relations
+
+let tables t =
+  List.filter_map
+    (function _, Base_table table -> Some table | _, View _ -> None)
+    t.relations
+
+let relation_names t = List.map fst t.relations
+
+let add_grant t g = t.grant_records <- t.grant_records @ [ g ]
+
+let remove_grants t ~on_table ~grantee ~privileges =
+  let matches g =
+    String.equal g.on_table on_table
+    && g.grantee = grantee
+    && (List.mem Sql_ast.Ast.P_all privileges
+        || List.exists (fun p -> List.mem p privileges) g.privileges)
+  in
+  let before = List.length t.grant_records in
+  t.grant_records <- List.filter (fun g -> not (matches g)) t.grant_records;
+  before - List.length t.grant_records
+
+let grants t = t.grant_records
+
+let create_sequence t ~name ~start ~increment =
+  if List.mem_assoc name t.sequence_list then
+    Error (Printf.sprintf "sequence %S already exists" name)
+  else begin
+    t.sequence_list <- t.sequence_list @ [ (name, { next = start; increment }) ];
+    Ok ()
+  end
+
+let drop_sequence t name =
+  if List.mem_assoc name t.sequence_list then begin
+    t.sequence_list <- List.remove_assoc name t.sequence_list;
+    Ok ()
+  end
+  else Error (Printf.sprintf "sequence %S does not exist" name)
+
+let next_value t name =
+  match List.assoc_opt name t.sequence_list with
+  | None -> Error (Printf.sprintf "sequence %S does not exist" name)
+  | Some seq ->
+    let v = seq.next in
+    seq.next <- v + seq.increment;
+    Ok v
+
+let sequences t = t.sequence_list
+
+let snapshot t =
+  {
+    sequence_list =
+      List.map (fun (n, s) -> (n, { next = s.next; increment = s.increment }))
+        t.sequence_list;
+    relations =
+      List.map
+        (fun (n, r) ->
+          match r with
+          | Base_table table -> (n, Base_table (Table.snapshot table))
+          | View _ -> (n, r))
+        t.relations;
+    grant_records = t.grant_records;
+  }
+
+let restore t ~from =
+  t.relations <- from.relations;
+  t.grant_records <- from.grant_records;
+  t.sequence_list <- from.sequence_list
+
+let overlay base extra =
+  {
+    relations = extra @ base.relations;
+    grant_records = base.grant_records;
+    sequence_list = base.sequence_list;
+  }

@@ -1,0 +1,51 @@
+(** The database catalog: tables, views and recorded grants. *)
+
+type relation =
+  | Base_table of Table.t
+  | View of Sql_ast.Ast.create_view
+
+type grant_record = {
+  privileges : Sql_ast.Ast.privilege list;
+  on_table : string;
+  grantee : Sql_ast.Ast.grantee;
+  grant_option : bool;
+}
+
+(** Sequence generator state. *)
+type sequence = {
+  mutable next : int;
+  increment : int;
+}
+
+type t
+
+val create : unit -> t
+val find : t -> string -> relation option
+val add_table : t -> Table.t -> (unit, string) result
+val add_view : t -> Sql_ast.Ast.create_view -> (unit, string) result
+val drop : t -> string -> (unit, string) result
+val replace_table : t -> Table.t -> unit
+val tables : t -> Table.t list
+val relation_names : t -> string list
+val add_grant : t -> grant_record -> unit
+val remove_grants :
+  t -> on_table:string -> grantee:Sql_ast.Ast.grantee ->
+  privileges:Sql_ast.Ast.privilege list -> int
+val grants : t -> grant_record list
+val create_sequence :
+  t -> name:string -> start:int -> increment:int -> (unit, string) result
+
+val drop_sequence : t -> string -> (unit, string) result
+
+val next_value : t -> string -> (int, string) result
+(** Advance the sequence and return its next value. *)
+
+val sequences : t -> (string * sequence) list
+
+val snapshot : t -> t
+val restore : t -> from:t -> unit
+
+val overlay : t -> (string * relation) list -> t
+(** [overlay base extra] is a catalog whose lookups see [extra] first (in
+    order) and fall back to [base]. Base tables are shared, not copied —
+    used to bring WITH-clause results into scope for one query. *)

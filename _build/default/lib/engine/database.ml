@@ -1,0 +1,92 @@
+open Sql_ast
+
+type t = {
+  catalog : Catalog.t;
+  mutable transaction : Catalog.t option;       (* snapshot at BEGIN *)
+  mutable savepoints : (string * Catalog.t) list;
+  mutable user : string option;                 (* None = owner session *)
+}
+
+let create () =
+  { catalog = Catalog.create (); transaction = None; savepoints = []; user = None }
+
+let set_user t user = t.user <- user
+let current_user t = t.user
+let catalog t = t.catalog
+let in_transaction t = t.transaction <> None
+let table_names t = Catalog.relation_names t.catalog
+
+let transaction_statement t (stmt : Ast.transaction_statement) =
+  match stmt with
+  | Ast.Start_transaction _ ->
+    if t.transaction <> None then Error "transaction already in progress"
+    else begin
+      t.transaction <- Some (Catalog.snapshot t.catalog);
+      Ok (Executor.Done "transaction started")
+    end
+  | Ast.Commit ->
+    t.transaction <- None;
+    t.savepoints <- [];
+    Ok (Executor.Done "committed")
+  | Ast.Rollback None -> (
+    match t.transaction with
+    | None -> Error "no transaction in progress"
+    | Some snapshot ->
+      Catalog.restore t.catalog ~from:snapshot;
+      t.transaction <- None;
+      t.savepoints <- [];
+      Ok (Executor.Done "rolled back"))
+  | Ast.Rollback (Some name) -> (
+    match List.assoc_opt name t.savepoints with
+    | None -> Error (Printf.sprintf "unknown savepoint %s" name)
+    | Some snapshot ->
+      Catalog.restore t.catalog ~from:snapshot;
+      (* Savepoints established after the restored one are discarded. *)
+      let rec keep = function
+        | [] -> []
+        | (n, _) :: _ as all when String.equal n name -> all
+        | _ :: rest -> keep rest
+      in
+      t.savepoints <- keep t.savepoints;
+      Ok (Executor.Done (Printf.sprintf "rolled back to %s" name)))
+  | Ast.Savepoint name ->
+    t.savepoints <- (name, Catalog.snapshot t.catalog) :: t.savepoints;
+    Ok (Executor.Done (Printf.sprintf "savepoint %s" name))
+  | Ast.Release_savepoint name ->
+    if List.mem_assoc name t.savepoints then begin
+      t.savepoints <- List.remove_assoc name t.savepoints;
+      Ok (Executor.Done (Printf.sprintf "savepoint %s released" name))
+    end
+    else Error (Printf.sprintf "unknown savepoint %s" name)
+  | Ast.Set_transaction _ ->
+    (* Isolation levels are recorded syntax only in a single-session engine. *)
+    Ok (Executor.Done "ok")
+
+let execute t (stmt : Ast.statement) =
+  let authorized =
+    match t.user with
+    | None -> Ok ()
+    | Some user -> Privileges.check t.catalog ~user stmt
+  in
+  match authorized with
+  | Error _ as e -> e
+  | Ok () -> (
+  match stmt with
+  | Ast.Session_stmt (Ast.Set_session_authorization user) ->
+    t.user <- Some user;
+    Ok (Executor.Done (Printf.sprintf "session user is now %s" user))
+  | Ast.Session_stmt Ast.Reset_session_authorization ->
+    t.user <- None;
+    Ok (Executor.Done "session user reset")
+  | Ast.Transaction_stmt ts -> transaction_statement t ts
+  | _ -> (
+    try Ok (Executor.run_statement t.catalog stmt) with
+    | Executor.Error msg -> Error msg
+    | Value.Type_error msg -> Error msg
+    | Value.Division_by_zero -> Error "division by zero"))
+
+let query t q =
+  try Ok (Executor.run_query t.catalog q) with
+  | Executor.Error msg -> Error msg
+  | Value.Type_error msg -> Error msg
+  | Value.Division_by_zero -> Error "division by zero"

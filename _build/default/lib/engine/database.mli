@@ -1,0 +1,29 @@
+(** Database facade: a catalog plus simple transaction support.
+
+    Transactions are snapshot-based: START TRANSACTION snapshots the
+    catalog, ROLLBACK restores it, COMMIT discards the snapshot. SAVEPOINT
+    pushes named snapshots; ROLLBACK TO SAVEPOINT restores one. This is the
+    semantics the embedded-systems workloads need, not a concurrency
+    story — the engine is single-session. *)
+
+type t
+
+val create : unit -> t
+val catalog : t -> Catalog.t
+
+val execute : t -> Sql_ast.Ast.statement -> (Executor.outcome, string) result
+(** Execute any statement, including transaction statements. When a session
+    user is set, the statement is first checked against the recorded grants
+    (see {!Privileges}). *)
+
+val set_user : t -> string option -> unit
+(** [set_user db (Some u)] makes subsequent statements run as [u], enforcing
+    GRANT/REVOKE records; [set_user db None] returns to the unrestricted
+    owner session. *)
+
+val current_user : t -> string option
+
+val query : t -> Sql_ast.Ast.query -> (Executor.result_set, string) result
+
+val in_transaction : t -> bool
+val table_names : t -> string list

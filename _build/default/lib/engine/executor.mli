@@ -1,0 +1,27 @@
+(** Query and statement execution over the catalog.
+
+    The executor is deliberately naive (nested-loop joins, full scans,
+    sort-based ORDER BY): it is the semantic substrate behind the generated
+    parsers, not a competitive query engine. *)
+
+type result_set = {
+  columns : string list;
+  rows : Value.t list list;
+}
+
+exception Error of string
+(** Raised on semantic errors: unknown tables/columns, type errors,
+    constraint violations, unsupported constructs. *)
+
+type outcome =
+  | Rows of result_set          (** queries *)
+  | Affected of int             (** DML row counts *)
+  | Done of string              (** DDL/DCL/transaction acknowledgements *)
+
+val run_query : Catalog.t -> Sql_ast.Ast.query -> result_set
+val run_statement : Catalog.t -> Sql_ast.Ast.statement -> outcome
+(** Executes everything except transaction statements, which the
+    {!Database} layer handles (it owns the snapshot machinery). Raises
+    {!Error}. *)
+
+val pp_result_set : result_set Fmt.t

@@ -1,0 +1,246 @@
+open Sql_ast
+
+exception Missing of int
+
+let literal_of_value = function
+  | Value.Null -> Ast.L_null
+  | Value.Int n -> Ast.L_integer n
+  | Value.Float f -> Ast.L_decimal f
+  | Value.Str s -> Ast.L_string s
+  | Value.Bool b -> Ast.L_bool b
+
+(* One generic traversal, parameterized by what to do at Parameter nodes. *)
+let rec map_expr f (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Parameter n -> f n
+  | Ast.Lit _ | Ast.Column _ | Ast.Next_value _ -> e
+  | Ast.Unary (s, e) -> Ast.Unary (s, map_expr f e)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, map_expr f a, map_expr f b)
+  | Ast.Aggregate a ->
+    Ast.Aggregate
+      {
+        a with
+        arg = (match a.arg with Ast.A_star -> Ast.A_star | Ast.A_expr e -> Ast.A_expr (map_expr f e));
+      }
+  | Ast.Call (name, args) -> Ast.Call (name, List.map (map_expr f) args)
+  | Ast.Substring { arg; from_; for_ } ->
+    Ast.Substring
+      { arg = map_expr f arg; from_ = map_expr f from_; for_ = Option.map (map_expr f) for_ }
+  | Ast.Position { needle; haystack } ->
+    Ast.Position { needle = map_expr f needle; haystack = map_expr f haystack }
+  | Ast.Trim { side; removed; arg } ->
+    Ast.Trim { side; removed = Option.map (map_expr f) removed; arg = map_expr f arg }
+  | Ast.Extract { field; arg } -> Ast.Extract { field; arg = map_expr f arg }
+  | Ast.Overlay { arg; placing; from_; for_ } ->
+    Ast.Overlay
+      {
+        arg = map_expr f arg;
+        placing = map_expr f placing;
+        from_ = map_expr f from_;
+        for_ = Option.map (map_expr f) for_;
+      }
+  | Ast.Case_simple { operand; branches; else_ } ->
+    Ast.Case_simple
+      {
+        operand = map_expr f operand;
+        branches = List.map (fun (w, t) -> (map_expr f w, map_expr f t)) branches;
+        else_ = Option.map (map_expr f) else_;
+      }
+  | Ast.Case_searched { branches; else_ } ->
+    Ast.Case_searched
+      {
+        branches = List.map (fun (w, t) -> (map_cond f w, map_expr f t)) branches;
+        else_ = Option.map (map_expr f) else_;
+      }
+  | Ast.Cast (e, ty) -> Ast.Cast (map_expr f e, ty)
+  | Ast.Scalar_subquery q -> Ast.Scalar_subquery (map_query f q)
+  | Ast.Window_call w ->
+    Ast.Window_call
+      {
+        w with
+        partition_by = List.map (map_expr f) w.partition_by;
+        win_order_by = List.map (map_expr f) w.win_order_by;
+      }
+
+and map_cond f (c : Ast.cond) : Ast.cond =
+  match c with
+  | Ast.Comparison (op, a, b) -> Ast.Comparison (op, map_expr f a, map_expr f b)
+  | Ast.Quantified_comparison q ->
+    Ast.Quantified_comparison
+      { q with lhs = map_expr f q.lhs; subquery = map_query f q.subquery }
+  | Ast.Between b ->
+    Ast.Between
+      {
+        b with
+        arg = map_expr f b.arg;
+        low = map_expr f b.low;
+        high = map_expr f b.high;
+      }
+  | Ast.In_list i ->
+    Ast.In_list
+      { i with arg = map_expr f i.arg; values = List.map (map_expr f) i.values }
+  | Ast.In_subquery i ->
+    Ast.In_subquery { i with arg = map_expr f i.arg; subquery = map_query f i.subquery }
+  | Ast.Like l ->
+    Ast.Like
+      {
+        l with
+        arg = map_expr f l.arg;
+        pattern = map_expr f l.pattern;
+        escape = Option.map (map_expr f) l.escape;
+      }
+  | Ast.Is_null i -> Ast.Is_null { i with arg = map_expr f i.arg }
+  | Ast.Is_distinct_from d ->
+    Ast.Is_distinct_from { d with lhs = map_expr f d.lhs; rhs = map_expr f d.rhs }
+  | Ast.Exists q -> Ast.Exists (map_query f q)
+  | Ast.Unique q -> Ast.Unique (map_query f q)
+  | Ast.Not c -> Ast.Not (map_cond f c)
+  | Ast.And (a, b) -> Ast.And (map_cond f a, map_cond f b)
+  | Ast.Or (a, b) -> Ast.Or (map_cond f a, map_cond f b)
+  | Ast.Is_truth t -> Ast.Is_truth { t with arg = map_cond f t.arg }
+  | Ast.Overlaps (a, b) -> Ast.Overlaps (map_expr f a, map_expr f b)
+  | Ast.Similar s ->
+    Ast.Similar { s with arg = map_expr f s.arg; pattern = map_expr f s.pattern }
+  | Ast.Bool_expr e -> Ast.Bool_expr (map_expr f e)
+
+and map_query f (q : Ast.query) : Ast.query =
+  {
+    q with
+    with_ =
+      Option.map
+        (fun (wc : Ast.with_clause) ->
+          {
+            wc with
+            ctes =
+              List.map
+                (fun (cte : Ast.cte) ->
+                  { cte with cte_query = map_query f cte.cte_query })
+                wc.ctes;
+          })
+        q.with_;
+    body = map_body f q.body;
+    order_by =
+      List.map (fun s -> { s with Ast.sort_expr = map_expr f s.Ast.sort_expr }) q.order_by;
+  }
+
+and map_body f (b : Ast.query_body) : Ast.query_body =
+  match b with
+  | Ast.Select s ->
+    Ast.Select
+      {
+        s with
+        projection =
+          List.map
+            (function
+              | Ast.Expr_item (e, a) -> Ast.Expr_item (map_expr f e, a)
+              | (Ast.Star | Ast.Qualified_star _) as item -> item)
+            s.projection;
+        from = List.map (map_ref f) s.from;
+        where = Option.map (map_cond f) s.where;
+        group_by =
+          List.map
+            (function
+              | Ast.Group_expr e -> Ast.Group_expr (map_expr f e)
+              | Ast.Rollup es -> Ast.Rollup (List.map (map_expr f) es)
+              | Ast.Cube es -> Ast.Cube (List.map (map_expr f) es)
+              | Ast.Grouping_sets sets ->
+                Ast.Grouping_sets (List.map (List.map (map_expr f)) sets))
+            s.group_by;
+        having = Option.map (map_cond f) s.having;
+      }
+  | Ast.Set_operation s ->
+    Ast.Set_operation { s with lhs = map_body f s.lhs; rhs = map_body f s.rhs }
+  | Ast.Values rows -> Ast.Values (List.map (List.map (map_expr f)) rows)
+  | Ast.Paren_query q -> Ast.Paren_query (map_query f q)
+
+and map_ref f (r : Ast.table_ref) : Ast.table_ref =
+  match r with
+  | Ast.Table _ -> r
+  | Ast.Derived_table (q, c) -> Ast.Derived_table (map_query f q, c)
+  | Ast.Joined j ->
+    Ast.Joined
+      {
+        j with
+        lhs = map_ref f j.lhs;
+        rhs = map_ref f j.rhs;
+        condition =
+          Option.map
+            (function
+              | Ast.On c -> Ast.On (map_cond f c)
+              | Ast.Using _ as u -> u)
+            j.condition;
+      }
+
+let map_statement f (stmt : Ast.statement) : Ast.statement =
+  match stmt with
+  | Ast.Query_stmt q -> Ast.Query_stmt (map_query f q)
+  | Ast.Explain_stmt q -> Ast.Explain_stmt (map_query f q)
+  | Ast.Insert_stmt i ->
+    Ast.Insert_stmt
+      {
+        i with
+        source =
+          (match i.source with
+           | Ast.Insert_values rows -> Ast.Insert_values (List.map (List.map (map_expr f)) rows)
+           | Ast.Insert_query q -> Ast.Insert_query (map_query f q)
+           | Ast.Insert_defaults -> Ast.Insert_defaults);
+      }
+  | Ast.Update_stmt u ->
+    Ast.Update_stmt
+      {
+        u with
+        assignments =
+          List.map
+            (fun (sc : Ast.set_clause) ->
+              { sc with Ast.value = Option.map (map_expr f) sc.Ast.value })
+            u.assignments;
+        update_where = Option.map (map_cond f) u.update_where;
+      }
+  | Ast.Delete_stmt d ->
+    Ast.Delete_stmt { d with delete_where = Option.map (map_cond f) d.delete_where }
+  | Ast.Merge_stmt m ->
+    Ast.Merge_stmt
+      {
+        m with
+        source = map_ref f m.source;
+        on = map_cond f m.on;
+        actions =
+          List.map
+            (function
+              | Ast.When_matched_update sets ->
+                Ast.When_matched_update
+                  (List.map
+                     (fun (sc : Ast.set_clause) ->
+                       { sc with Ast.value = Option.map (map_expr f) sc.Ast.value })
+                     sets)
+              | Ast.When_not_matched_insert (cols, vals) ->
+                Ast.When_not_matched_insert (cols, List.map (map_expr f) vals))
+            m.actions;
+      }
+  | Ast.Create_table_stmt _ | Ast.Create_view_stmt _ | Ast.Drop_stmt _
+  | Ast.Alter_table_stmt _ | Ast.Grant_stmt _ | Ast.Revoke_stmt _
+  | Ast.Transaction_stmt _ | Ast.Schema_stmt _ | Ast.Sequence_stmt _
+  | Ast.Session_stmt _ ->
+    stmt
+
+let bind stmt values =
+  let arr = Array.of_list values in
+  match
+    map_statement
+      (fun n ->
+        if n >= 1 && n <= Array.length arr then Ast.Lit (literal_of_value arr.(n - 1))
+        else raise (Missing n))
+      stmt
+  with
+  | bound -> Ok bound
+  | exception Missing n -> Error (Printf.sprintf "no value bound for parameter ?%d" n)
+
+let parameter_count stmt =
+  let highest = ref 0 in
+  ignore
+    (map_statement
+       (fun n ->
+         if n > !highest then highest := n;
+         Ast.Parameter n)
+       stmt);
+  !highest

@@ -1,0 +1,14 @@
+(** Binding dynamic parameters.
+
+    A statement parsed from SQL with [?] markers carries
+    [Ast.Parameter ordinal] nodes (1-based, lexical order). [bind]
+    substitutes literal values for them, yielding an executable statement —
+    the prepare/execute split of SQL's dynamic-SQL binding style. *)
+
+val bind :
+  Sql_ast.Ast.statement -> Value.t list -> (Sql_ast.Ast.statement, string) result
+(** [bind stmt values] replaces [Parameter i] with [List.nth values (i-1)].
+    Fails when an ordinal has no value. Extra values are tolerated. *)
+
+val parameter_count : Sql_ast.Ast.statement -> int
+(** Highest parameter ordinal occurring in the statement (0 if none). *)

@@ -1,0 +1,205 @@
+open Sql_ast
+
+type requirement = {
+  table : string;
+  privilege : Ast.privilege;
+}
+
+(* --- tables a query reads -------------------------------------------------- *)
+
+let rec tables_of_query (q : Ast.query) acc =
+  let acc =
+    match q.Ast.with_ with
+    | None -> acc
+    | Some wc ->
+      List.fold_left
+        (fun acc (cte : Ast.cte) -> tables_of_query cte.Ast.cte_query acc)
+        acc wc.Ast.ctes
+  in
+  tables_of_body q.Ast.body acc
+
+and tables_of_body (b : Ast.query_body) acc =
+  match b with
+  | Ast.Select s ->
+    let acc = List.fold_left (fun acc r -> tables_of_ref r acc) acc s.Ast.from in
+    let acc =
+      List.fold_left
+        (fun acc item ->
+          match item with
+          | Ast.Expr_item (e, _) -> tables_of_expr e acc
+          | Ast.Star | Ast.Qualified_star _ -> acc)
+        acc s.Ast.projection
+    in
+    let acc = Option.fold ~none:acc ~some:(fun c -> tables_of_cond c acc) s.Ast.where in
+    Option.fold ~none:acc ~some:(fun c -> tables_of_cond c acc) s.Ast.having
+  | Ast.Set_operation { lhs; rhs; _ } -> tables_of_body rhs (tables_of_body lhs acc)
+  | Ast.Values rows ->
+    List.fold_left (List.fold_left (fun acc e -> tables_of_expr e acc)) acc rows
+  | Ast.Paren_query q -> tables_of_query q acc
+
+and tables_of_ref (r : Ast.table_ref) acc =
+  match r with
+  | Ast.Table (name, _) -> name.Ast.name :: acc
+  | Ast.Derived_table (q, _) -> tables_of_query q acc
+  | Ast.Joined { lhs; rhs; condition; _ } ->
+    let acc = tables_of_ref rhs (tables_of_ref lhs acc) in
+    (match condition with
+     | Some (Ast.On c) -> tables_of_cond c acc
+     | Some (Ast.Using _) | None -> acc)
+
+and tables_of_expr (e : Ast.expr) acc =
+  match e with
+  | Ast.Scalar_subquery q -> tables_of_query q acc
+  | Ast.Lit _ | Ast.Column _ | Ast.Next_value _ | Ast.Parameter _ -> acc
+  | Ast.Unary (_, e) -> tables_of_expr e acc
+  | Ast.Binop (_, a, b) -> tables_of_expr b (tables_of_expr a acc)
+  | Ast.Aggregate { arg = Ast.A_expr e; _ } -> tables_of_expr e acc
+  | Ast.Aggregate { arg = Ast.A_star; _ } -> acc
+  | Ast.Call (_, args) -> List.fold_left (fun acc e -> tables_of_expr e acc) acc args
+  | Ast.Substring { arg; from_; for_ } ->
+    let acc = tables_of_expr from_ (tables_of_expr arg acc) in
+    Option.fold ~none:acc ~some:(fun e -> tables_of_expr e acc) for_
+  | Ast.Position { needle; haystack } ->
+    tables_of_expr haystack (tables_of_expr needle acc)
+  | Ast.Trim { removed; arg; _ } ->
+    let acc = tables_of_expr arg acc in
+    Option.fold ~none:acc ~some:(fun e -> tables_of_expr e acc) removed
+  | Ast.Extract { arg; _ } -> tables_of_expr arg acc
+  | Ast.Overlay { arg; placing; from_; for_ } ->
+    let acc = tables_of_expr from_ (tables_of_expr placing (tables_of_expr arg acc)) in
+    Option.fold ~none:acc ~some:(fun e -> tables_of_expr e acc) for_
+  | Ast.Case_simple { operand; branches; else_ } ->
+    let acc = tables_of_expr operand acc in
+    let acc =
+      List.fold_left
+        (fun acc (w, t) -> tables_of_expr t (tables_of_expr w acc))
+        acc branches
+    in
+    Option.fold ~none:acc ~some:(fun e -> tables_of_expr e acc) else_
+  | Ast.Case_searched { branches; else_ } ->
+    let acc =
+      List.fold_left
+        (fun acc (w, t) -> tables_of_expr t (tables_of_cond w acc))
+        acc branches
+    in
+    Option.fold ~none:acc ~some:(fun e -> tables_of_expr e acc) else_
+  | Ast.Cast (e, _) -> tables_of_expr e acc
+  | Ast.Window_call { partition_by; win_order_by; _ } ->
+    List.fold_left
+      (fun acc e -> tables_of_expr e acc)
+      acc
+      (partition_by @ win_order_by)
+
+and tables_of_cond (c : Ast.cond) acc =
+  match c with
+  | Ast.Comparison (_, a, b) -> tables_of_expr b (tables_of_expr a acc)
+  | Ast.Quantified_comparison { lhs; subquery; _ } ->
+    tables_of_query subquery (tables_of_expr lhs acc)
+  | Ast.Between { arg; low; high; _ } ->
+    tables_of_expr high (tables_of_expr low (tables_of_expr arg acc))
+  | Ast.In_list { arg; values; _ } ->
+    List.fold_left (fun acc e -> tables_of_expr e acc) (tables_of_expr arg acc) values
+  | Ast.In_subquery { arg; subquery; _ } ->
+    tables_of_query subquery (tables_of_expr arg acc)
+  | Ast.Like { arg; pattern; escape; _ } ->
+    let acc = tables_of_expr pattern (tables_of_expr arg acc) in
+    Option.fold ~none:acc ~some:(fun e -> tables_of_expr e acc) escape
+  | Ast.Is_null { arg; _ } -> tables_of_expr arg acc
+  | Ast.Is_distinct_from { lhs; rhs; _ } -> tables_of_expr rhs (tables_of_expr lhs acc)
+  | Ast.Exists q | Ast.Unique q -> tables_of_query q acc
+  | Ast.Not c -> tables_of_cond c acc
+  | Ast.And (a, b) | Ast.Or (a, b) -> tables_of_cond b (tables_of_cond a acc)
+  | Ast.Is_truth { arg; _ } -> tables_of_cond arg acc
+  | Ast.Overlaps (a, b) -> tables_of_expr b (tables_of_expr a acc)
+  | Ast.Similar { arg; pattern; _ } -> tables_of_expr pattern (tables_of_expr arg acc)
+  | Ast.Bool_expr e -> tables_of_expr e acc
+
+let dedupe names =
+  List.rev
+    (List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) [] names)
+
+let reads_of_query q = dedupe (tables_of_query q [])
+
+let requirements (stmt : Ast.statement) =
+  let select_on tables = List.map (fun t -> { table = t; privilege = Ast.P_select }) tables in
+  match stmt with
+  | Ast.Query_stmt q | Ast.Explain_stmt q -> Some (select_on (reads_of_query q))
+  | Ast.Insert_stmt i ->
+    let reads =
+      match i.Ast.source with
+      | Ast.Insert_query q -> reads_of_query q
+      | Ast.Insert_values rows ->
+        dedupe
+          (List.concat_map (List.concat_map (fun e -> tables_of_expr e [])) rows)
+      | Ast.Insert_defaults -> []
+    in
+    Some
+      ({ table = i.Ast.table.Ast.name; privilege = Ast.P_insert } :: select_on reads)
+  | Ast.Update_stmt u ->
+    let reads =
+      dedupe
+        (Option.fold ~none:[] ~some:(fun c -> tables_of_cond c []) u.Ast.update_where
+         @ List.concat_map
+             (fun (sc : Ast.set_clause) ->
+               Option.fold ~none:[] ~some:(fun e -> tables_of_expr e []) sc.Ast.value)
+             u.Ast.assignments)
+    in
+    Some
+      ({ table = u.Ast.table.Ast.name; privilege = Ast.P_update [] }
+       :: select_on (List.filter (fun t -> t <> u.Ast.table.Ast.name) reads))
+  | Ast.Delete_stmt d ->
+    Some [ { table = d.Ast.table.Ast.name; privilege = Ast.P_delete } ]
+  | Ast.Merge_stmt m ->
+    Some
+      [
+        { table = m.Ast.target.Ast.name; privilege = Ast.P_update [] };
+        { table = m.Ast.target.Ast.name; privilege = Ast.P_insert };
+      ]
+  | Ast.Transaction_stmt _ -> Some []
+  | Ast.Session_stmt _ ->
+    (* Demo semantics: any session may switch its authorization (a real
+       system would restrict this to the owner). *)
+    Some []
+  | Ast.Create_table_stmt _ | Ast.Create_view_stmt _ | Ast.Drop_stmt _
+  | Ast.Alter_table_stmt _ | Ast.Grant_stmt _ | Ast.Revoke_stmt _
+  | Ast.Schema_stmt _ | Ast.Sequence_stmt _ -> None
+
+let covers (wanted : Ast.privilege) (granted : Ast.privilege) =
+  match wanted, granted with
+  | _, Ast.P_all -> true
+  | Ast.P_select, Ast.P_select -> true
+  | Ast.P_insert, Ast.P_insert -> true
+  | Ast.P_delete, Ast.P_delete -> true
+  | Ast.P_update _, Ast.P_update _ -> true
+  | Ast.P_references _, Ast.P_references _ -> true
+  | _, _ -> false
+
+let granted_to catalog ~user { table; privilege } =
+  List.exists
+    (fun (g : Catalog.grant_record) ->
+      String.equal g.Catalog.on_table table
+      && (match g.Catalog.grantee with
+          | Ast.Public -> true
+          | Ast.User u -> String.equal u user)
+      && List.exists (covers privilege) g.Catalog.privileges)
+    (Catalog.grants catalog)
+
+let privilege_name = function
+  | Ast.P_select -> "SELECT"
+  | Ast.P_insert -> "INSERT"
+  | Ast.P_update _ -> "UPDATE"
+  | Ast.P_delete -> "DELETE"
+  | Ast.P_references _ -> "REFERENCES"
+  | Ast.P_all -> "ALL"
+
+let check catalog ~user stmt =
+  match requirements stmt with
+  | None ->
+    Error (Printf.sprintf "user %s may not run definition or control statements" user)
+  | Some reqs -> (
+    match List.find_opt (fun r -> not (granted_to catalog ~user r)) reqs with
+    | None -> Ok ()
+    | Some r ->
+      Error
+        (Printf.sprintf "user %s lacks %s on %s" user (privilege_name r.privilege)
+           r.table))

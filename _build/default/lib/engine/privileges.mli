@@ -1,0 +1,23 @@
+(** Privilege checking against recorded grants.
+
+    When a session user is set (see {!Database.set_user}), every statement is
+    checked against the catalog's grant records before execution: SELECT
+    needs [P_select] on every table the statement reads, INSERT/UPDATE/DELETE
+    need the corresponding privilege on their target (plus [P_select] on
+    tables they read), and DDL/DCL/transaction statements are owner-only.
+    Grants to [PUBLIC] apply to every user; [P_all] covers everything. *)
+
+type requirement = {
+  table : string;
+  privilege : Sql_ast.Ast.privilege;
+}
+
+val requirements : Sql_ast.Ast.statement -> requirement list option
+(** The privileges a statement needs, or [None] when the statement is
+    owner-only (DDL, access control, schema and sequence definition).
+    Transaction statements need nothing. *)
+
+val check :
+  Catalog.t -> user:string -> Sql_ast.Ast.statement -> (unit, string) result
+(** [check catalog ~user stmt] verifies every requirement against the
+    recorded grants. *)

@@ -1,0 +1,145 @@
+open Sql_ast
+
+type column = {
+  col_name : string;
+  col_type : Ast.data_type;
+  not_null : bool;
+  primary_key : bool;
+  unique : bool;
+  default : Ast.expr option;
+  references : Ast.references_spec option;
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  checks : Ast.cond list;
+  unique_sets : string list list;
+  foreign_keys : (string list * Ast.references_spec) list;
+}
+
+let column_of_def (def : Ast.column_def) =
+  let has c = List.mem c def.constraints in
+  let references =
+    List.find_map
+      (function Ast.C_references r -> Some r | _ -> None)
+      def.constraints
+  in
+  {
+    col_name = def.column;
+    col_type = def.ty;
+    not_null = has Ast.C_not_null || has Ast.C_primary_key;
+    primary_key = has Ast.C_primary_key;
+    unique = has Ast.C_unique || has Ast.C_primary_key;
+    default = def.default;
+    references;
+  }
+
+let of_create_table (ct : Ast.create_table) =
+  let columns =
+    List.filter_map
+      (function Ast.Column_element c -> Some (column_of_def c) | _ -> None)
+      ct.elements
+  in
+  let constraints =
+    List.filter_map
+      (function Ast.Constraint_element tc -> Some tc | _ -> None)
+      ct.elements
+  in
+  let names = List.map (fun c -> c.col_name) columns in
+  let dup =
+    List.find_opt
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      names
+  in
+  match dup with
+  | Some n -> Error (Printf.sprintf "duplicate column %S" n)
+  | None ->
+    let unknown =
+      List.concat_map
+        (fun (tc : Ast.table_constraint) ->
+          let cols =
+            match tc.body with
+            | Ast.T_unique cs | Ast.T_primary_key cs | Ast.T_foreign_key (cs, _)
+              -> cs
+            | Ast.T_check _ -> []
+          in
+          List.filter (fun c -> not (List.mem c names)) cols)
+        constraints
+    in
+    (match unknown with
+     | c :: _ -> Error (Printf.sprintf "constraint names unknown column %S" c)
+     | [] ->
+       let column_checks =
+         List.concat_map
+           (function
+             | Ast.Column_element (def : Ast.column_def) ->
+               List.filter_map
+                 (function Ast.C_check cond -> Some cond | _ -> None)
+                 def.constraints
+             | Ast.Constraint_element _ -> [])
+           ct.elements
+       in
+       let table_checks =
+         List.filter_map
+           (fun (tc : Ast.table_constraint) ->
+             match tc.body with Ast.T_check c -> Some c | _ -> None)
+           constraints
+       in
+       let pk_sets =
+         List.filter_map
+           (fun (tc : Ast.table_constraint) ->
+             match tc.body with
+             | Ast.T_primary_key cs | Ast.T_unique cs -> Some cs
+             | _ -> None)
+           constraints
+       in
+       let pk_count =
+         List.length (List.filter (fun c -> c.primary_key) columns)
+         + List.length
+             (List.filter
+                (fun (tc : Ast.table_constraint) ->
+                  match tc.body with Ast.T_primary_key _ -> true | _ -> false)
+                constraints)
+       in
+       if pk_count > 1 then Error "multiple primary keys"
+       else
+         let columns =
+           (* A table-level PRIMARY KEY marks its columns NOT NULL. *)
+           let pk_cols =
+             List.concat_map
+               (fun (tc : Ast.table_constraint) ->
+                 match tc.body with Ast.T_primary_key cs -> cs | _ -> [])
+               constraints
+           in
+           List.map
+             (fun c ->
+               if List.mem c.col_name pk_cols then { c with not_null = true }
+               else c)
+             columns
+         in
+         Ok
+           {
+             name = ct.table_name.Ast.name;
+             columns;
+             checks = column_checks @ table_checks;
+             unique_sets = pk_sets;
+             foreign_keys =
+               List.filter_map
+                 (fun (tc : Ast.table_constraint) ->
+                   match tc.body with
+                   | Ast.T_foreign_key (cs, r) -> Some (cs, r)
+                   | _ -> None)
+                 constraints;
+           })
+
+let column_names t = List.map (fun c -> c.col_name) t.columns
+let find_column t name =
+  List.find_opt (fun c -> String.equal c.col_name name) t.columns
+
+let column_index t name =
+  let rec go i = function
+    | [] -> None
+    | c :: rest -> if String.equal c.col_name name then Some i else go (i + 1) rest
+  in
+  go 0 t.columns

@@ -1,0 +1,27 @@
+(** Table schemas derived from CREATE TABLE statements. *)
+
+type column = {
+  col_name : string;
+  col_type : Sql_ast.Ast.data_type;
+  not_null : bool;
+  primary_key : bool;
+  unique : bool;
+  default : Sql_ast.Ast.expr option;
+  references : Sql_ast.Ast.references_spec option;
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  checks : Sql_ast.Ast.cond list;       (** column and table CHECK conditions *)
+  unique_sets : string list list;        (** multi-column UNIQUE/PRIMARY KEY *)
+  foreign_keys : (string list * Sql_ast.Ast.references_spec) list;
+}
+
+val of_create_table : Sql_ast.Ast.create_table -> (t, string) result
+(** Build a schema; fails on duplicate column names, multiple primary keys
+    or constraints naming unknown columns. *)
+
+val column_names : t -> string list
+val find_column : t -> string -> column option
+val column_index : t -> string -> int option

@@ -1,0 +1,14 @@
+type t = {
+  schema : Schema.t;
+  rows : Value.t array Vec.t;
+}
+
+let create schema = { schema; rows = Vec.create () }
+let row_count t = Vec.length t.rows
+let insert t row = Vec.push t.rows row
+let rows_list t = Vec.to_list t.rows
+
+let snapshot t =
+  let rows = Vec.copy t.rows in
+  Vec.map_in_place Array.copy rows;
+  { schema = t.schema; rows }

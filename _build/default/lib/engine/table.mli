@@ -1,0 +1,13 @@
+(** In-memory tables: a schema plus row storage. *)
+
+type t = {
+  schema : Schema.t;
+  rows : Value.t array Vec.t;
+}
+
+val create : Schema.t -> t
+val row_count : t -> int
+val insert : t -> Value.t array -> unit
+val rows_list : t -> Value.t array list
+val snapshot : t -> t
+(** Deep copy used by the transaction machinery. *)

@@ -1,0 +1,139 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+exception Type_error of string
+exception Division_by_zero
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | (Null | Int _ | Float _ | Str _ | Bool _), _ -> false
+
+let compare_sql a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Str x, Str y -> Some (String.compare x y)
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | Int _, (Str _ | Bool _)
+  | Float _, (Str _ | Bool _)
+  | Str _, (Int _ | Float _ | Bool _)
+  | Bool _, (Int _ | Float _ | Str _) ->
+    raise (Type_error "comparison between incompatible types")
+
+let rank = function
+  | Null -> 0
+  | Int _ | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+
+let compare_total a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let of_literal = function
+  | Sql_ast.Ast.L_integer n -> Int n
+  | Sql_ast.Ast.L_decimal f -> Float f
+  | Sql_ast.Ast.L_string s -> Str s
+  | Sql_ast.Ast.L_bool b -> Bool b
+  | Sql_ast.Ast.L_null -> Null
+  | Sql_ast.Ast.L_date s | Sql_ast.Ast.L_time s | Sql_ast.Ast.L_timestamp s
+  | Sql_ast.Ast.L_interval (s, _) ->
+    Str s
+
+let arith int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | Float x, Float y -> Float (float_op x y)
+  | Int x, Float y -> Float (float_op (float_of_int x) y)
+  | Float x, Int y -> Float (float_op x (float_of_int y))
+  | (Str _ | Bool _), _ | _, (Str _ | Bool _) ->
+    raise (Type_error "arithmetic on non-numeric value")
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+
+let div a b =
+  match b with
+  | Int 0 -> raise Division_by_zero
+  | Float f when f = 0. -> raise Division_by_zero
+  | _ -> arith ( / ) ( /. ) a b
+
+let to_string = function
+  | Null -> "NULL"
+  | Int n -> string_of_int n
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+
+let concat a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | _, _ -> Str (to_string a ^ to_string b)
+
+let truncate_string limit s =
+  match limit with
+  | Some n when String.length s > n -> String.sub s 0 n
+  | _ -> s
+
+let coerce ty v =
+  match ty, v with
+  | _, Null -> Null
+  | (Sql_ast.Ast.T_integer | T_smallint | T_bigint), Int n -> Int n
+  | (T_integer | T_smallint | T_bigint), Float f -> Int (int_of_float f)
+  | (T_integer | T_smallint | T_bigint), Str s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Int n
+    | None -> raise (Type_error ("cannot cast '" ^ s ^ "' to integer")))
+  | (T_integer | T_smallint | T_bigint), Bool b -> Int (if b then 1 else 0)
+  | (T_decimal _ | T_float | T_real | T_double), Float f -> Float f
+  | (T_decimal _ | T_float | T_real | T_double), Int n -> Float (float_of_int n)
+  | (T_decimal _ | T_float | T_real | T_double), Str s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f -> Float f
+    | None -> raise (Type_error ("cannot cast '" ^ s ^ "' to decimal")))
+  | (T_decimal _ | T_float | T_real | T_double), Bool _ ->
+    raise (Type_error "cannot cast boolean to numeric")
+  | T_char limit, v -> Str (truncate_string limit (to_string v))
+  | T_varchar limit, v -> Str (truncate_string limit (to_string v))
+  | T_boolean, Bool b -> Bool b
+  | T_boolean, Int 0 -> Bool false
+  | T_boolean, Int _ -> Bool true
+  | T_boolean, Str s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "true" | "t" | "1" -> Bool true
+    | "false" | "f" | "0" -> Bool false
+    | _ -> raise (Type_error ("cannot cast '" ^ s ^ "' to boolean")))
+  | T_boolean, Float _ -> raise (Type_error "cannot cast float to boolean")
+  | (T_date | T_time | T_timestamp | T_interval _), Str s -> Str s
+  | (T_date | T_time | T_timestamp | T_interval _), _ ->
+    raise (Type_error "datetime values must be strings")
+
+let pp ppf v = Fmt.string ppf (to_string v)

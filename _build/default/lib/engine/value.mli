@@ -1,0 +1,45 @@
+(** Runtime values of the relational engine. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val equal : t -> t -> bool
+(** Structural equality; [Null] equals [Null] (used for grouping and
+    DISTINCT, where SQL treats nulls as not distinct from each other). *)
+
+val compare_sql : t -> t -> int option
+(** SQL comparison: [None] when either side is [Null] (unknown); numeric
+    values compare across [Int]/[Float]. *)
+
+val compare_total : t -> t -> int
+(** Total order for sorting: [Null] sorts first, then numbers, strings,
+    booleans. *)
+
+val is_null : t -> bool
+val of_literal : Sql_ast.Ast.literal -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic with SQL null propagation; mixing [Int] and [Float] promotes
+    to [Float]. Raises [Type_error] on non-numeric operands, [Division_by_zero]
+    on zero divisors. *)
+
+val concat : t -> t -> t
+
+exception Type_error of string
+exception Division_by_zero
+
+val coerce : Sql_ast.Ast.data_type -> t -> t
+(** Coerce a value to a column type (used by INSERT/UPDATE and CAST):
+    numeric widening/narrowing, string/number conversion for CAST, length
+    truncation for [CHAR(n)]/[VARCHAR(n)]. Raises [Type_error] when the
+    value cannot represent the type. *)
+
+val to_string : t -> string
+val pp : t Fmt.t

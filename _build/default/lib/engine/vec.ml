@@ -1,0 +1,58 @@
+type 'a t = {
+  mutable items : 'a array;
+  mutable size : int;
+}
+
+let create () = { items = [||]; size = 0 }
+let length v = v.size
+
+let get v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec.get";
+  v.items.(i)
+
+let set v i x =
+  if i < 0 || i >= v.size then invalid_arg "Vec.set";
+  v.items.(i) <- x
+
+let grow v x =
+  let capacity = Array.length v.items in
+  let fresh = Array.make (max 8 (2 * capacity)) x in
+  Array.blit v.items 0 fresh 0 v.size;
+  v.items <- fresh
+
+let push v x =
+  if v.size = Array.length v.items then grow v x;
+  v.items.(v.size) <- x;
+  v.size <- v.size + 1
+
+let to_list v = Array.to_list (Array.sub v.items 0 v.size)
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.items.(i)
+  done
+
+let filter_in_place keep v =
+  let kept = ref 0 in
+  for i = 0 to v.size - 1 do
+    if keep v.items.(i) then begin
+      v.items.(!kept) <- v.items.(i);
+      incr kept
+    end
+  done;
+  let removed = v.size - !kept in
+  v.size <- !kept;
+  removed
+
+let map_in_place f v =
+  for i = 0 to v.size - 1 do
+    v.items.(i) <- f v.items.(i)
+  done
+
+let copy v = { items = Array.copy v.items; size = v.size }
+let clear v = v.size <- 0

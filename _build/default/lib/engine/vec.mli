@@ -1,0 +1,22 @@
+(** Minimal growable array (row storage).
+
+    The standard library gains [Dynarray] only in OCaml 5.2; this is the
+    small subset the engine needs, with O(1) amortized append. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val filter_in_place : ('a -> bool) -> 'a t -> int
+(** Keep only elements satisfying the predicate, preserving order; returns
+    the number of removed elements. *)
+
+val map_in_place : ('a -> 'a) -> 'a t -> unit
+val copy : 'a t -> 'a t
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/feature/bignum.ml: Fmt Int List Printf String

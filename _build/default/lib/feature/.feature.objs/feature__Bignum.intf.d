@@ -1,0 +1,1 @@
+lib/feature/bignum.mli: Fmt

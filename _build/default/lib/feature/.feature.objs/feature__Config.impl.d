@@ -1,0 +1,1 @@
+lib/feature/config.ml: Fmt List Model Set String Tree

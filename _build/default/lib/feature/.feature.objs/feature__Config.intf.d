@@ -1,0 +1,1 @@
+lib/feature/config.mli: Fmt Model Set

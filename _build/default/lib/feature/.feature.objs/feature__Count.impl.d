@@ -1,0 +1,1 @@
+lib/feature/count.ml: Bignum List Tree

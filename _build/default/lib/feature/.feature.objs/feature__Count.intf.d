@@ -1,0 +1,1 @@
+lib/feature/count.mli: Bignum Tree

@@ -1,0 +1,1 @@
+lib/feature/diagram.ml: Buffer Config Fmt List Printf Tree

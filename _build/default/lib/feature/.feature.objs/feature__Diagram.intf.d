@@ -1,0 +1,1 @@
+lib/feature/diagram.mli: Config Tree

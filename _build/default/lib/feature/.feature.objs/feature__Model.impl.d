@@ -1,0 +1,1 @@
+lib/feature/model.ml: Fmt List String Tree

@@ -1,0 +1,1 @@
+lib/feature/model.mli: Fmt Tree

@@ -1,0 +1,1 @@
+lib/feature/tree.mli: Fmt

@@ -1,0 +1,107 @@
+(* Little-endian limbs in base 10^9. The invariant is: no trailing zero
+   limb, except that zero is represented by the empty list. *)
+
+let base = 1_000_000_000
+
+type t = int list
+
+let zero = []
+let one = [ 1 ]
+
+let normalize limbs =
+  let rec strip = function 0 :: rest -> strip rest | l -> l in
+  List.rev (strip (List.rev limbs))
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec go n = if n = 0 then [] else (n mod base) :: go (n / base) in
+  go n
+
+let add a b =
+  let rec go carry a b =
+    match a, b with
+    | [], [] -> if carry = 0 then [] else [ carry ]
+    | x :: a', [] -> go_one carry x a'
+    | [], y :: b' -> go_one carry y b'
+    | x :: a', y :: b' ->
+      let s = x + y + carry in
+      (s mod base) :: go (s / base) a' b'
+  and go_one carry x rest =
+    let s = x + carry in
+    (s mod base) :: (if s / base = 0 then rest else go (s / base) rest [])
+  in
+  go 0 a b
+
+let mul_small a k =
+  if k = 0 then []
+  else
+    let rec go carry = function
+      | [] -> if carry = 0 then [] else of_int carry
+      | x :: rest ->
+        let p = (x * k) + carry in
+        (p mod base) :: go (p / base) rest
+    in
+    go 0 a
+
+let mul a b =
+  let rec go shift acc = function
+    | [] -> acc
+    | y :: rest ->
+      let partial = List.init shift (fun _ -> 0) @ mul_small a y in
+      go (shift + 1) (add acc partial) rest
+  in
+  normalize (go 0 zero b)
+
+let pred = function
+  | [] -> []
+  | limbs ->
+    let rec go = function
+      | [] -> []
+      | x :: rest -> if x = 0 then (base - 1) :: go rest else (x - 1) :: rest
+    in
+    normalize (go limbs)
+
+let compare a b =
+  let la = List.length a and lb = List.length b in
+  if la <> lb then Int.compare la lb
+  else List.compare Int.compare (List.rev a) (List.rev b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | [] -> "0"
+  | limbs ->
+    (match List.rev limbs with
+     | [] -> assert false
+     | hi :: rest ->
+       String.concat ""
+         (string_of_int hi :: List.map (Printf.sprintf "%09d") rest))
+
+let of_string s =
+  if s = "" then invalid_arg "Bignum.of_string: empty";
+  String.iter
+    (fun c -> if not ('0' <= c && c <= '9') then invalid_arg "Bignum.of_string")
+    s;
+  let n = String.length s in
+  let rec pow10 k = if k = 0 then 1 else 10 * pow10 (k - 1) in
+  let rec go acc i =
+    if i >= n then acc
+    else
+      let chunk = min 9 (n - i) in
+      let v = int_of_string (String.sub s i chunk) in
+      let acc = add (mul_small acc (pow10 chunk)) (of_int v) in
+      go acc (i + chunk)
+  in
+  normalize (go zero 0)
+
+let to_int_opt n =
+  (* Horner evaluation from the most significant limb, with overflow check. *)
+  let rec horner acc = function
+    | [] -> Some acc
+    | x :: rest ->
+      if acc > (max_int - x) / base then None else horner ((acc * base) + x) rest
+  in
+  horner 0 (List.rev n)
+
+let digits n = String.length (to_string n)
+let pp ppf n = Fmt.string ppf (to_string n)

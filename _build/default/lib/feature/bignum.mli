@@ -1,0 +1,33 @@
+(** Minimal arbitrary-precision natural numbers.
+
+    Configuration counts of realistic feature models overflow native
+    integers (a model with 500 optional features has ~2{^500} products), so
+    the counting analysis needs big naturals. Only the operations the
+    counting needs are provided. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val pred : t -> t
+(** Saturating predecessor: [pred zero = zero]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t
+(** Parses a decimal string of digits. Raises [Invalid_argument] on anything
+    else. *)
+
+val to_int_opt : t -> int option
+(** [None] when the value exceeds [max_int]. *)
+
+val digits : t -> int
+(** Number of decimal digits ([digits zero = 1]). *)
+
+val pp : t Fmt.t

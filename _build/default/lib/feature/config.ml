@@ -1,0 +1,182 @@
+module String_set = Set.Make (String)
+
+type t = String_set.t
+
+let of_names = String_set.of_list
+let to_names = String_set.elements
+let mem = String_set.mem
+let cardinal = String_set.cardinal
+let union = String_set.union
+
+type violation =
+  | Unknown_feature of string
+  | Concept_not_selected of string
+  | Parent_not_selected of { feature : string; parent : string }
+  | Mandatory_child_missing of { parent : string; child : string }
+  | Alt_group_violation of { parent : string; selected : string list }
+  | Or_group_violation of { parent : string }
+  | Requires_violation of { feature : string; missing : string }
+  | Excludes_violation of { feature : string; conflicting : string }
+
+let pp_violation ppf = function
+  | Unknown_feature n -> Fmt.pf ppf "unknown feature %S" n
+  | Concept_not_selected n -> Fmt.pf ppf "concept %S not selected" n
+  | Parent_not_selected { feature; parent } ->
+    Fmt.pf ppf "%S selected but its parent %S is not" feature parent
+  | Mandatory_child_missing { parent; child } ->
+    Fmt.pf ppf "%S selected but mandatory child %S is not" parent child
+  | Alt_group_violation { parent; selected } ->
+    Fmt.pf ppf "alternative group under %S needs exactly one selection, got {%a}"
+      parent Fmt.(list ~sep:comma string) selected
+  | Or_group_violation { parent } ->
+    Fmt.pf ppf "OR group under %S needs at least one selection" parent
+  | Requires_violation { feature; missing } ->
+    Fmt.pf ppf "%S requires %S, which is not selected" feature missing
+  | Excludes_violation { feature; conflicting } ->
+    Fmt.pf ppf "%S excludes %S, but both are selected" feature conflicting
+
+let validate (model : Model.t) config =
+  let tree = model.concept in
+  let known = Tree.names tree in
+  let unknown =
+    List.filter_map
+      (fun n -> if List.mem n known then None else Some (Unknown_feature n))
+      (String_set.elements config)
+  in
+  let concept =
+    if String_set.mem tree.name config then []
+    else [ Concept_not_selected tree.name ]
+  in
+  let structural =
+    List.concat_map
+      (fun (f : Tree.t) ->
+        if not (String_set.mem f.name config) then
+          (* An unselected feature constrains nothing, but its selected
+             children are orphaned. *)
+          List.filter_map
+            (fun (c : Tree.t) ->
+              if String_set.mem c.name config then
+                Some (Parent_not_selected { feature = c.name; parent = f.name })
+              else None)
+            (Tree.children f)
+        else
+          List.concat_map
+            (fun g ->
+              match g with
+              | Tree.Child (Tree.Mandatory, c) ->
+                if String_set.mem c.name config then []
+                else [ Mandatory_child_missing { parent = f.name; child = c.name } ]
+              | Tree.Child (Tree.Optional, _) -> []
+              | Tree.Alt_group members ->
+                let selected =
+                  List.filter_map
+                    (fun (m : Tree.t) ->
+                      if String_set.mem m.name config then Some m.name else None)
+                    members
+                in
+                if List.length selected = 1 then []
+                else [ Alt_group_violation { parent = f.name; selected } ]
+              | Tree.Or_group members ->
+                if
+                  List.exists
+                    (fun (m : Tree.t) -> String_set.mem m.name config)
+                    members
+                then []
+                else [ Or_group_violation { parent = f.name } ])
+            f.groups)
+      (Tree.all_features tree)
+  in
+  let cross =
+    List.concat_map
+      (fun c ->
+        match c with
+        | Model.Requires (a, b) ->
+          if String_set.mem a config && not (String_set.mem b config) then
+            [ Requires_violation { feature = a; missing = b } ]
+          else []
+        | Model.Excludes (a, b) ->
+          if String_set.mem a config && String_set.mem b config then
+            [ Excludes_violation { feature = a; conflicting = b } ]
+          else [])
+      model.constraints
+  in
+  unknown @ concept @ structural @ cross
+
+let is_valid model config = validate model config = []
+
+let close (model : Model.t) seed =
+  let tree = model.concept in
+  let step config =
+    let config =
+      (* Ancestors of selected features. *)
+      String_set.fold
+        (fun name acc ->
+          match Tree.parent tree name with
+          | Some p -> String_set.add p.name acc
+          | None -> acc)
+        config config
+    in
+    let config =
+      (* Mandatory children of selected features. *)
+      List.fold_left
+        (fun acc (f : Tree.t) ->
+          if not (String_set.mem f.name acc) then acc
+          else
+            List.fold_left
+              (fun acc g ->
+                match g with
+                | Tree.Child (Tree.Mandatory, c) -> String_set.add c.name acc
+                | Tree.Child (Tree.Optional, _) | Tree.Or_group _ | Tree.Alt_group _
+                  -> acc)
+              acc f.groups)
+        config (Tree.all_features tree)
+    in
+    (* Requires closure. *)
+    List.fold_left
+      (fun acc c ->
+        match c with
+        | Model.Requires (a, b) when String_set.mem a acc -> String_set.add b acc
+        | Model.Requires _ | Model.Excludes _ -> acc)
+      config model.constraints
+  in
+  let rec fix c =
+    let c' = step c in
+    if String_set.equal c c' then c else fix c'
+  in
+  fix (String_set.add tree.name seed)
+
+let full (model : Model.t) = of_names (Tree.names model.concept)
+
+(* Small deterministic linear-congruential generator so sampling does not
+   depend on global Random state. *)
+let sample (model : Model.t) ~seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next_bool () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state land 0x10000 <> 0
+  in
+  let next_index n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!state lsr 7) mod n
+  in
+  let rec select acc (f : Tree.t) =
+    let acc = String_set.add f.name acc in
+    List.fold_left
+      (fun acc g ->
+        match g with
+        | Tree.Child (Tree.Mandatory, c) -> select acc c
+        | Tree.Child (Tree.Optional, c) -> if next_bool () then select acc c else acc
+        | Tree.Alt_group members ->
+          let chosen = List.nth members (next_index (List.length members)) in
+          select acc chosen
+        | Tree.Or_group members ->
+          let picked = List.filter (fun _ -> next_bool ()) members in
+          let picked =
+            match picked with
+            | [] -> [ List.nth members (next_index (List.length members)) ]
+            | _ :: _ -> picked
+          in
+          List.fold_left select acc picked)
+      acc f.groups
+  in
+  close model (select String_set.empty model.concept)

@@ -1,0 +1,54 @@
+(** Configurations ({e feature instance descriptions}).
+
+    A configuration is the set of selected feature names. Validity follows
+    FODA semantics: the concept is selected; a selected feature's parent is
+    selected; mandatory children of selected features are selected; ALT
+    groups of a selected parent have exactly one selected member; OR groups
+    have at least one; [requires] / [excludes] constraints hold. *)
+
+module String_set : Set.S with type elt = string
+
+type t = String_set.t
+
+val of_names : string list -> t
+val to_names : t -> string list
+val mem : string -> t -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+
+type violation =
+  | Unknown_feature of string
+  | Concept_not_selected of string
+  | Parent_not_selected of { feature : string; parent : string }
+  | Mandatory_child_missing of { parent : string; child : string }
+  | Alt_group_violation of { parent : string; selected : string list }
+  | Or_group_violation of { parent : string }
+  | Requires_violation of { feature : string; missing : string }
+  | Excludes_violation of { feature : string; conflicting : string }
+
+val pp_violation : violation Fmt.t
+
+val validate : Model.t -> t -> violation list
+(** All violations of the configuration against the model; a valid
+    configuration yields [[]]. *)
+
+val is_valid : Model.t -> t -> bool
+
+val close : Model.t -> t -> t
+(** [close model seed] is the least configuration containing [seed] that is
+    closed under: ancestors of selected features, mandatory children of
+    selected features, and [requires] constraints. This lets dialects be
+    written as small seed sets. The result may still violate OR/ALT group or
+    [excludes] constraints — run {!validate} afterwards. *)
+
+val full : Model.t -> t
+(** Every feature of the model. *)
+
+val sample : Model.t -> seed:int -> t
+(** A pseudo-random tree selection (top-down: mandatory children always,
+    optional children with probability 1/2, one ALT member, a non-empty OR
+    subset), then closed under [requires]. Deterministic in [seed].
+    Structurally valid by construction for constraint-free models; when
+    [requires] constraints target ALT/OR group members or [excludes]
+    constraints exist, the closure can reintroduce violations — run
+    {!validate} before using a sample. Used by property-based tests. *)

@@ -1,0 +1,22 @@
+let rec products (f : Tree.t) =
+  List.fold_left
+    (fun acc g -> Bignum.mul acc (group_products g))
+    Bignum.one f.groups
+
+and group_products = function
+  | Tree.Child (Tree.Mandatory, c) -> products c
+  | Tree.Child (Tree.Optional, c) -> Bignum.add Bignum.one (products c)
+  | Tree.Alt_group members ->
+    List.fold_left
+      (fun acc m -> Bignum.add acc (products m))
+      Bignum.zero members
+  | Tree.Or_group members ->
+    let all =
+      List.fold_left
+        (fun acc m -> Bignum.mul acc (Bignum.add Bignum.one (products m)))
+        Bignum.one members
+    in
+    Bignum.pred all
+
+let products_per_diagram diagrams =
+  List.map (fun (name, tree) -> (name, products tree)) diagrams

@@ -1,0 +1,18 @@
+(** Counting the products of a feature model.
+
+    [products] counts the valid tree selections of the diagram, ignoring
+    cross-tree constraints (the standard "number of configurations" measure
+    reported for feature models; exact treatment of requires/excludes needs a
+    SAT-based analysis, out of the paper's scope). *)
+
+val products : Tree.t -> Bignum.t
+(** Number of distinct valid selections of the diagram rooted at the
+    concept:
+
+    - a mandatory child contributes a factor [products child];
+    - an optional child contributes [1 + products child];
+    - an ALT group contributes the sum of its members' counts;
+    - an OR group contributes [∏ (1 + products member) - 1]. *)
+
+val products_per_diagram : (string * Tree.t) list -> (string * Bignum.t) list
+(** Counts for a family of published diagrams. *)

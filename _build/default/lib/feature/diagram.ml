@@ -1,0 +1,55 @@
+(* A renderable row: its text plus nested rows. Group arcs become rows of
+   their own with the group members nested beneath. *)
+type row = {
+  text : string;
+  children : row list;
+}
+
+let label ?selected decoration (f : Tree.t) =
+  let card =
+    match f.card with
+    | None -> ""
+    | Some c -> Fmt.str " %a" Tree.pp_cardinality c
+  in
+  let checkbox =
+    match selected with
+    | None -> ""
+    | Some config -> if Config.mem f.name config then "[x] " else "[ ] "
+  in
+  Printf.sprintf "%s%s%s%s" checkbox decoration f.name card
+
+let render_with ?selected tree =
+  let rec feature_row decoration (f : Tree.t) =
+    { text = label ?selected decoration f; children = rows_of f }
+  and rows_of (f : Tree.t) =
+    List.concat_map
+      (fun g ->
+        match g with
+        | Tree.Child (Tree.Mandatory, c) -> [ feature_row "* " c ]
+        | Tree.Child (Tree.Optional, c) -> [ feature_row "o " c ]
+        | Tree.Or_group members ->
+          [ { text = "<or>"; children = List.map (feature_row "") members } ]
+        | Tree.Alt_group members ->
+          [ { text = "<xor>"; children = List.map (feature_row "") members } ])
+      f.groups
+  in
+  let buf = Buffer.create 1024 in
+  let rec draw prefix rows =
+    match rows with
+    | [] -> ()
+    | row :: rest ->
+      let is_last = rest = [] in
+      Buffer.add_string buf prefix;
+      Buffer.add_string buf (if is_last then "`-- " else "|-- ");
+      Buffer.add_string buf row.text;
+      Buffer.add_char buf '\n';
+      draw (prefix ^ if is_last then "    " else "|   ") row.children;
+      draw prefix rest
+  in
+  Buffer.add_string buf (label ?selected "" tree);
+  Buffer.add_char buf '\n';
+  draw "" (rows_of tree);
+  Buffer.contents buf
+
+let render tree = render_with tree
+let render_selected config tree = render_with ~selected:config tree

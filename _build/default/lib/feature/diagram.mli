@@ -1,0 +1,13 @@
+(** Textual rendering of feature diagrams.
+
+    Renders the tree notation used by the paper's Figures 1 and 2 as ASCII
+    art: [*] marks mandatory children, [o] optional children, [<or>] and
+    [<xor>] group arcs, and cardinalities are printed after the feature
+    name. *)
+
+val render : Tree.t -> string
+(** Multi-line rendering, one feature per line. *)
+
+val render_selected : Config.t -> Tree.t -> string
+(** Like {!render}, with a [x]/[ ] checkbox per feature showing a
+    configuration. *)

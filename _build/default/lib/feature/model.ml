@@ -1,0 +1,48 @@
+type constraint_ =
+  | Requires of string * string
+  | Excludes of string * string
+
+type t = {
+  concept : Tree.t;
+  constraints : constraint_ list;
+}
+
+let make ?(constraints = []) concept = { concept; constraints }
+
+let pp_constraint ppf = function
+  | Requires (a, b) -> Fmt.pf ppf "%s requires %s" a b
+  | Excludes (a, b) -> Fmt.pf ppf "%s excludes %s" a b
+
+type problem =
+  | Duplicate_feature of string
+  | Constraint_on_unknown_feature of string
+
+let pp_problem ppf = function
+  | Duplicate_feature n -> Fmt.pf ppf "duplicate feature name %S" n
+  | Constraint_on_unknown_feature n ->
+    Fmt.pf ppf "constraint mentions unknown feature %S" n
+
+let check m =
+  let dups = List.map (fun n -> Duplicate_feature n) (Tree.duplicate_names m.concept) in
+  let known = Tree.names m.concept in
+  let unknown =
+    List.concat_map
+      (fun c ->
+        let a, b = match c with Requires (a, b) | Excludes (a, b) -> (a, b) in
+        List.filter_map
+          (fun n ->
+            if List.mem n known then None
+            else Some (Constraint_on_unknown_feature n))
+          [ a; b ])
+      m.constraints
+  in
+  dups @ unknown
+
+let requires_of m name =
+  List.filter_map
+    (function
+      | Requires (a, b) when String.equal a name -> Some b
+      | Requires _ | Excludes _ -> None)
+    m.constraints
+
+let feature_count m = Tree.feature_count m.concept

@@ -1,0 +1,33 @@
+(** Feature models: a feature diagram plus cross-tree constraints.
+
+    The paper expresses feature dependencies as [requires] / [excludes]
+    conditions which induce the {e composition sequence} of the selected
+    sub-grammars. *)
+
+type constraint_ =
+  | Requires of string * string  (** selecting the first needs the second *)
+  | Excludes of string * string  (** the two cannot both be selected *)
+
+type t = {
+  concept : Tree.t;
+  constraints : constraint_ list;
+}
+
+val make : ?constraints:constraint_ list -> Tree.t -> t
+
+val pp_constraint : constraint_ Fmt.t
+
+type problem =
+  | Duplicate_feature of string
+  | Constraint_on_unknown_feature of string
+
+val check : t -> problem list
+(** Model well-formedness: duplicate feature names, constraints mentioning
+    unknown features. *)
+
+val pp_problem : problem Fmt.t
+
+val requires_of : t -> string -> string list
+(** Features directly required by the given feature. *)
+
+val feature_count : t -> int

@@ -1,0 +1,68 @@
+type cardinality = {
+  min : int;
+  max : int option;
+}
+
+type relation =
+  | Mandatory
+  | Optional
+
+type t = {
+  name : string;
+  card : cardinality option;
+  groups : group list;
+}
+
+and group =
+  | Child of relation * t
+  | Or_group of t list
+  | Alt_group of t list
+
+let leaf ?card name = { name; card; groups = [] }
+let feature ?card name groups = { name; card; groups }
+let mandatory f = Child (Mandatory, f)
+let optional f = Child (Optional, f)
+let one_or_more = { min = 1; max = None }
+
+let group_features = function
+  | Child (_, f) -> [ f ]
+  | Or_group fs | Alt_group fs -> fs
+
+let children f = List.concat_map group_features f.groups
+
+let rec fold fn acc f =
+  let acc = fn acc f in
+  List.fold_left (fun acc c -> fold fn acc c) acc (children f)
+
+let all_features f = List.rev (fold (fun acc f -> f :: acc) [] f)
+let names f = List.map (fun f -> f.name) (all_features f)
+let feature_count f = List.length (all_features f)
+
+let find tree name =
+  List.find_opt (fun f -> String.equal f.name name) (all_features tree)
+
+let parent tree name =
+  List.find_opt
+    (fun f -> List.exists (fun c -> String.equal c.name name) (children f))
+    (all_features tree)
+
+let rec depth f =
+  match children f with
+  | [] -> 1
+  | cs -> 1 + List.fold_left (fun d c -> max d (depth c)) 0 cs
+
+let duplicate_names tree =
+  let sorted = List.sort String.compare (names tree) in
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then a :: dups (List.filter (fun x -> not (String.equal x a)) rest)
+      else dups rest
+    | _ -> []
+  in
+  dups sorted
+
+let pp_cardinality ppf c =
+  match c.max with
+  | Some m when m = c.min -> Fmt.pf ppf "[%d]" c.min
+  | Some m -> Fmt.pf ppf "[%d..%d]" c.min m
+  | None -> Fmt.pf ppf "[%d..*]" c.min

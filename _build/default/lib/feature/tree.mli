@@ -1,0 +1,66 @@
+(** Feature diagrams.
+
+    A feature diagram models a concept as a tree of features (FODA-style):
+    every feature owns a list of child {e groups} — single children that are
+    mandatory or optional, OR groups (select at least one) and ALT groups
+    (select exactly one). A feature may carry a UML-style cardinality
+    annotation such as the paper's [Select Sublist \[1..*\]]. *)
+
+type cardinality = {
+  min : int;
+  max : int option;  (** [None] means unbounded ([*]) *)
+}
+
+type relation =
+  | Mandatory
+  | Optional
+
+type t = {
+  name : string;
+  card : cardinality option;
+  groups : group list;
+}
+
+and group =
+  | Child of relation * t
+  | Or_group of t list   (** select at least one when the parent is selected *)
+  | Alt_group of t list  (** select exactly one when the parent is selected *)
+
+val leaf : ?card:cardinality -> string -> t
+(** A feature with no children. *)
+
+val feature : ?card:cardinality -> string -> group list -> t
+
+val mandatory : t -> group
+val optional : t -> group
+
+val one_or_more : cardinality
+(** The [\[1..*\]] cardinality. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all features of the diagram. *)
+
+val all_features : t -> t list
+(** All features in pre-order (the diagram's concept first). *)
+
+val names : t -> string list
+
+val feature_count : t -> int
+
+val find : t -> string -> t option
+(** [find tree name] is the feature named [name], if present. *)
+
+val parent : t -> string -> t option
+(** [parent tree name] is the feature whose groups contain [name]. [None] for
+    the root or unknown names. *)
+
+val children : t -> t list
+(** Immediate children of a feature across all its groups. *)
+
+val depth : t -> int
+
+val duplicate_names : t -> string list
+(** Names used by more than one feature — diagrams must be duplicate-free to
+    be usable as configuration spaces. *)
+
+val pp_cardinality : cardinality Fmt.t

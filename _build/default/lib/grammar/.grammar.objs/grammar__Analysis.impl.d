@@ -1,0 +1,1 @@
+lib/grammar/analysis.ml: Cfg Fmt List Map Option Production Set String Symbol

@@ -1,0 +1,1 @@
+lib/grammar/builder.ml: Cfg List Production Symbol

@@ -1,0 +1,1 @@
+lib/grammar/cfg.ml: Fmt List Production String

@@ -1,0 +1,1 @@
+lib/grammar/printer.ml: Buffer Cfg Fmt List Printf Production String Symbol

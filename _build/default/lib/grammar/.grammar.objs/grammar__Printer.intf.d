@@ -1,0 +1,1 @@
+lib/grammar/printer.mli: Cfg

@@ -1,0 +1,1 @@
+lib/grammar/production.ml: Fmt List String Symbol

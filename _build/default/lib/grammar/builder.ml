@@ -1,0 +1,11 @@
+let nt n = Production.Sym (Symbol.Nonterminal n)
+let t n = Production.Sym (Symbol.Terminal n)
+let opt ts = Production.Opt ts
+let star ts = Production.Star ts
+let plus ts = Production.Plus ts
+let grp alts = Production.Group alts
+let alts1 names = Production.Group (List.map (fun n -> [ t n ]) names)
+let comma_list ?(sep = "COMMA") x = [ x; star [ t sep; x ] ]
+let rule lhs alts = Production.make lhs alts
+let r1 lhs alt = Production.make lhs [ alt ]
+let grammar ~start rules = Cfg.make ~start rules

@@ -1,0 +1,37 @@
+(** Combinator DSL for writing grammar fragments concisely.
+
+    The SQL:2003 decomposition defines several hundred small sub-grammars;
+    this module keeps them readable. *)
+
+val nt : string -> Production.term
+(** Non-terminal occurrence. *)
+
+val t : string -> Production.term
+(** Terminal (token kind) occurrence. *)
+
+val opt : Production.term list -> Production.term
+(** [\[ ... \]] optional sequence. *)
+
+val star : Production.term list -> Production.term
+(** [( ... )*]. *)
+
+val plus : Production.term list -> Production.term
+(** [( ... )+]. *)
+
+val grp : Production.term list list -> Production.term
+(** Inline choice [( a | b )]. *)
+
+val alts1 : string list -> Production.term
+(** [alts1 ["A"; "B"]] is the inline terminal choice [( A | B )] — common for
+    keyword alternatives such as [( ASC | DESC )]. *)
+
+val comma_list : ?sep:string -> Production.term -> Production.term list
+(** [comma_list x] is the paper's {e complex list} [x ( COMMA x )*]. *)
+
+val rule : string -> Production.alt list -> Production.t
+(** A rule with several alternatives. *)
+
+val r1 : string -> Production.term list -> Production.t
+(** A rule with a single alternative. *)
+
+val grammar : start:string -> Production.t list -> Cfg.t

@@ -1,0 +1,97 @@
+type t = {
+  start : string;
+  rules : Production.t list;
+}
+
+(* Merge same-lhs rules by appending alternatives not already present; keeps
+   first-occurrence order of both rules and alternatives. *)
+let merge_rules rules =
+  let add acc (rule : Production.t) =
+    let rec insert = function
+      | [] -> [ rule ]
+      | (r : Production.t) :: rest when String.equal r.lhs rule.lhs ->
+        let fresh =
+          List.filter
+            (fun a -> not (List.exists (Production.alt_equal a) r.alts))
+            rule.alts
+        in
+        { r with alts = r.alts @ fresh } :: rest
+      | r :: rest -> r :: insert rest
+    in
+    insert acc
+  in
+  List.fold_left add [] rules
+
+let make ~start rules = { start; rules = merge_rules rules }
+
+let find g nt =
+  List.find_opt (fun (r : Production.t) -> String.equal r.lhs nt) g.rules
+
+let defined g = List.map (fun (r : Production.t) -> r.lhs) g.rules
+
+let terminals g =
+  let add seen n = if List.mem n seen then seen else n :: seen in
+  List.rev
+    (List.fold_left
+       (fun seen r -> List.fold_left add seen (Production.mentioned_terminals r))
+       [] g.rules)
+
+let rule_count g = List.length g.rules
+
+let alternative_count g =
+  List.fold_left (fun n (r : Production.t) -> n + List.length r.alts) 0 g.rules
+
+let symbol_count g =
+  List.fold_left
+    (fun n (r : Production.t) ->
+      List.fold_left (fun n a -> n + List.length (Production.flatten a)) n r.alts)
+    0 g.rules
+
+type problem =
+  | Undefined_nonterminal of { nonterminal : string; referenced_from : string }
+  | Unreachable_rule of string
+  | Undefined_start
+
+let pp_problem ppf = function
+  | Undefined_nonterminal { nonterminal; referenced_from } ->
+    Fmt.pf ppf "undefined non-terminal <%s> referenced from <%s>" nonterminal
+      referenced_from
+  | Unreachable_rule nt -> Fmt.pf ppf "rule <%s> unreachable from start" nt
+  | Undefined_start -> Fmt.string ppf "start symbol has no defining rule"
+
+let check g =
+  let defined_set = defined g in
+  let undefined =
+    List.concat_map
+      (fun (r : Production.t) ->
+        List.filter_map
+          (fun nt ->
+            if List.mem nt defined_set then None
+            else
+              Some
+                (Undefined_nonterminal
+                   { nonterminal = nt; referenced_from = r.lhs }))
+          (Production.mentioned_nonterminals r))
+      g.rules
+  in
+  let start_problems = if find g g.start = None then [ Undefined_start ] else [] in
+  (* Reachability from the start symbol over defined rules. *)
+  let rec reach seen nt =
+    if List.mem nt seen then seen
+    else
+      match find g nt with
+      | None -> seen
+      | Some r ->
+        List.fold_left reach (nt :: seen) (Production.mentioned_nonterminals r)
+  in
+  let reachable = reach [] g.start in
+  let unreachable =
+    List.filter_map
+      (fun nt -> if List.mem nt reachable then None else Some (Unreachable_rule nt))
+      defined_set
+  in
+  start_problems @ undefined @ unreachable
+
+let pp ppf g =
+  Fmt.pf ppf "start: <%s>@." g.start;
+  List.iter (fun r -> Fmt.pf ppf "%a@." Production.pp r) g.rules

@@ -1,0 +1,52 @@
+(** Context-free grammars in EBNF form.
+
+    A grammar is a start symbol plus an ordered list of production rules, at
+    most one per non-terminal (composition merges alternatives into the
+    existing rule). *)
+
+type t = private {
+  start : string;
+  rules : Production.t list;
+}
+
+val make : start:string -> Production.t list -> t
+(** [make ~start rules] builds a grammar. Rules sharing a left-hand side are
+    merged by appending alternatives (duplicates removed), preserving first
+    occurrence order. *)
+
+val find : t -> string -> Production.t option
+(** [find g nt] is the rule defining [nt], if any. *)
+
+val defined : t -> string list
+(** Non-terminals defined by the grammar, in rule order. *)
+
+val terminals : t -> string list
+(** All terminal names mentioned anywhere in the grammar, in order of first
+    occurrence. *)
+
+val rule_count : t -> int
+
+val alternative_count : t -> int
+(** Total number of alternatives across all rules — a size measure used by
+    the tailoring experiments. *)
+
+val symbol_count : t -> int
+(** Total number of symbol occurrences across all alternatives. *)
+
+type problem =
+  | Undefined_nonterminal of { nonterminal : string; referenced_from : string }
+      (** a rule references a non-terminal no rule defines *)
+  | Unreachable_rule of string
+      (** a rule not reachable from the start symbol *)
+  | Undefined_start
+      (** the start symbol has no defining rule *)
+
+val pp_problem : problem Fmt.t
+
+val check : t -> problem list
+(** [check g] reports well-formedness problems. A composed grammar with a
+    non-empty problem list indicates an incoherent feature selection (e.g. a
+    fragment referencing a non-terminal whose defining feature was not
+    selected). *)
+
+val pp : t Fmt.t

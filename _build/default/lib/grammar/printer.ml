@@ -1,0 +1,82 @@
+let to_ebnf (g : Cfg.t) =
+  Fmt.str "%a" Cfg.pp g
+
+(* Desugar EBNF constructs into plain BNF by inventing helper rules. Helper
+   names are derived from the owning rule and a counter, so output is
+   deterministic. *)
+let to_bnf (g : Cfg.t) =
+  let helpers = ref [] in
+  let fresh_name base kind n = Printf.sprintf "%s_%s%d" base kind n in
+  let counter = ref 0 in
+  let rec desugar_term base = function
+    | Production.Sym s -> Production.Sym s
+    | Production.Opt ts ->
+      incr counter;
+      let name = fresh_name base "opt" !counter in
+      let body = List.map (desugar_term base) ts in
+      helpers := Production.make name [ body; [] ] :: !helpers;
+      Production.Sym (Symbol.Nonterminal name)
+    | Production.Star ts ->
+      incr counter;
+      let name = fresh_name base "list" !counter in
+      let body = List.map (desugar_term base) ts in
+      helpers :=
+        Production.make name
+          [ body @ [ Production.Sym (Symbol.Nonterminal name) ]; [] ]
+        :: !helpers;
+      Production.Sym (Symbol.Nonterminal name)
+    | Production.Plus ts ->
+      incr counter;
+      let name = fresh_name base "list1" !counter in
+      let body = List.map (desugar_term base) ts in
+      helpers :=
+        Production.make name
+          [ body @ [ Production.Sym (Symbol.Nonterminal name) ]; body ]
+        :: !helpers;
+      Production.Sym (Symbol.Nonterminal name)
+    | Production.Group alts ->
+      incr counter;
+      let name = fresh_name base "choice" !counter in
+      let bodies = List.map (List.map (desugar_term base)) alts in
+      helpers := Production.make name bodies :: !helpers;
+      Production.Sym (Symbol.Nonterminal name)
+  in
+  let core =
+    List.map
+      (fun (r : Production.t) ->
+        counter := 0;
+        Production.make r.lhs (List.map (List.map (desugar_term r.lhs)) r.alts))
+      g.rules
+  in
+  let all = core @ List.rev !helpers in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : Production.t) ->
+      let alt_str a =
+        if a = [] then "/* empty */"
+        else
+          String.concat " "
+            (List.map
+               (function
+                 | Production.Sym s -> Fmt.str "%a" Symbol.pp s
+                 | _ -> assert false)
+               a)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<%s> ::= %s\n" r.lhs
+           (String.concat " | " (List.map alt_str r.alts))))
+    all;
+  Buffer.contents buf
+
+let to_antlr (g : Cfg.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "grammar %s;\n\n" g.start);
+  List.iter
+    (fun (r : Production.t) ->
+      Buffer.add_string buf (Fmt.str "%a ;@." Production.pp r))
+    g.rules;
+  Buffer.add_string buf "\n// tokens\n";
+  List.iter
+    (fun t -> Buffer.add_string buf (Printf.sprintf "// %s\n" t))
+    (Cfg.terminals g);
+  Buffer.contents buf

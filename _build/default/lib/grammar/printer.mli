@@ -1,0 +1,17 @@
+(** Rendering composed grammars in external notations.
+
+    The paper hands composed grammars to ANTLR; we render the equivalent
+    artifacts as text so a user can inspect — or export — what was
+    composed. *)
+
+val to_ebnf : Cfg.t -> string
+(** EBNF notation with [\[...\]], [(...)*] and [|], one rule per line. *)
+
+val to_bnf : Cfg.t -> string
+(** Plain BNF: optional groups, repetitions and inline choices are desugared
+    into fresh helper non-terminals ([x_opt], [x_list], ...), mirroring what
+    grammar tools emit. *)
+
+val to_antlr : Cfg.t -> string
+(** ANTLR-style grammar file: lower-cased rule names, [;]-terminated rules,
+    an initial [grammar] header and a token section listing the terminals. *)

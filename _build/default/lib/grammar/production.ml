@@ -1,0 +1,76 @@
+type term =
+  | Sym of Symbol.t
+  | Opt of term list
+  | Star of term list
+  | Plus of term list
+  | Group of term list list
+
+type alt = term list
+
+type t = {
+  lhs : string;
+  alts : alt list;
+}
+
+let make lhs alts = { lhs; alts }
+
+let rec term_equal a b =
+  match a, b with
+  | Sym x, Sym y -> Symbol.equal x y
+  | Opt x, Opt y | Star x, Star y | Plus x, Plus y -> alt_equal x y
+  | Group x, Group y -> List.equal alt_equal x y
+  | (Sym _ | Opt _ | Star _ | Plus _ | Group _), _ -> false
+
+and alt_equal a b = List.equal term_equal a b
+
+let equal a b = String.equal a.lhs b.lhs && List.equal alt_equal a.alts b.alts
+
+let rec flatten_term acc = function
+  | Sym s -> s :: acc
+  | Opt ts | Star ts | Plus ts -> flatten_seq acc ts
+  | Group alts -> List.fold_left flatten_seq acc alts
+
+and flatten_seq acc ts = List.fold_left flatten_term acc ts
+
+let flatten alt = List.rev (flatten_seq [] alt)
+
+let is_optional_term = function
+  | Opt _ | Star _ -> true
+  | Sym _ | Plus _ | Group _ -> false
+
+let required alt = List.filter (fun t -> not (is_optional_term t)) alt
+
+let rec subsequence xs ys =
+  match xs, ys with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' ->
+    if Symbol.equal x y then subsequence xs' ys' else subsequence xs ys'
+
+let mentioned filter rule =
+  let add seen s =
+    let n = Symbol.name s in
+    if filter s && not (List.mem n seen) then n :: seen else seen
+  in
+  let syms = List.concat_map flatten rule.alts in
+  List.rev (List.fold_left add [] syms)
+
+let mentioned_nonterminals rule = mentioned Symbol.is_nonterminal rule
+let mentioned_terminals rule = mentioned Symbol.is_terminal rule
+
+let rec pp_term ppf = function
+  | Sym s -> Symbol.pp ppf s
+  | Opt ts -> Fmt.pf ppf "[ %a ]" pp_alt ts
+  | Star ts -> Fmt.pf ppf "( %a )*" pp_alt ts
+  | Plus ts -> Fmt.pf ppf "( %a )+" pp_alt ts
+  | Group alts ->
+    Fmt.pf ppf "( %a )" Fmt.(list ~sep:(any " | ") pp_alt) alts
+
+and pp_alt ppf alt =
+  if alt = [] then Fmt.string ppf "/* empty */"
+  else Fmt.(list ~sep:sp pp_term) ppf alt
+
+let pp ppf rule =
+  Fmt.pf ppf "@[<hv 2>%s :@ %a@]" rule.lhs
+    Fmt.(list ~sep:(any "@ | ") pp_alt)
+    rule.alts

@@ -1,0 +1,61 @@
+(** EBNF production rules.
+
+    A production rule associates a non-terminal (its left-hand side) with a
+    list of alternatives. Each alternative is a sequence of {!type:term}s:
+    plain symbols, optional groups [\[ ... \]], repetitions [( ... )*] and
+    [( ... )+], and inline choice groups [( a | b )]. This is the grammar
+    class the paper composes (LL(k) grammars "with additional options used by
+    the ANTLR parser generator"). *)
+
+type term =
+  | Sym of Symbol.t            (** a terminal or non-terminal occurrence *)
+  | Opt of term list           (** [\[ ts \]] — optional sequence *)
+  | Star of term list          (** [( ts )*] — zero or more repetitions *)
+  | Plus of term list          (** [( ts )+] — one or more repetitions *)
+  | Group of term list list    (** [( a | b | ... )] — inline choice *)
+
+type alt = term list
+(** One alternative (choice) of a production: a sequence of terms. *)
+
+type t = {
+  lhs : string;      (** the non-terminal this rule defines *)
+  alts : alt list;   (** its alternatives, in priority order *)
+}
+
+val make : string -> alt list -> t
+
+val term_equal : term -> term -> bool
+val alt_equal : alt -> alt -> bool
+val equal : t -> t -> bool
+
+val flatten : alt -> Symbol.t list
+(** [flatten alt] is the sequence of all symbols occurring in [alt], in
+    left-to-right order, looking through optional groups, repetitions and
+    choice groups. This is the basis for the paper's production-containment
+    test: production [p] {e contains} production [q] when [flatten q] is a
+    subsequence of [flatten p]. *)
+
+val required : alt -> term list
+(** [required alt] is the non-optional backbone of [alt]: the terms that must
+    be consumed on every derivation, i.e. everything except [Opt] and [Star]
+    groups. *)
+
+val is_optional_term : term -> bool
+(** [is_optional_term t] is [true] for [Opt] and [Star] terms — the parts of
+    an alternative that may derive the empty string by construction. *)
+
+val subsequence : Symbol.t list -> Symbol.t list -> bool
+(** [subsequence xs ys] is [true] iff [xs] occurs within [ys] in order (not
+    necessarily contiguously). *)
+
+val mentioned_nonterminals : t -> string list
+(** All non-terminal names referenced by the rule's alternatives, without
+    duplicates, in order of first occurrence. *)
+
+val mentioned_terminals : t -> string list
+
+val pp_term : term Fmt.t
+val pp_alt : alt Fmt.t
+val pp : t Fmt.t
+(** [pp] prints the rule in the [lhs : alt1 | alt2] style used throughout the
+    paper. *)

@@ -1,0 +1,23 @@
+type t =
+  | Terminal of string
+  | Nonterminal of string
+
+let name = function Terminal n | Nonterminal n -> n
+
+let is_terminal = function Terminal _ -> true | Nonterminal _ -> false
+let is_nonterminal = function Nonterminal _ -> true | Terminal _ -> false
+
+let equal a b =
+  match a, b with
+  | Terminal x, Terminal y | Nonterminal x, Nonterminal y -> String.equal x y
+  | Terminal _, Nonterminal _ | Nonterminal _, Terminal _ -> false
+
+let compare a b =
+  match a, b with
+  | Terminal x, Terminal y | Nonterminal x, Nonterminal y -> String.compare x y
+  | Terminal _, Nonterminal _ -> -1
+  | Nonterminal _, Terminal _ -> 1
+
+let pp ppf = function
+  | Terminal n -> Fmt.string ppf n
+  | Nonterminal n -> Fmt.pf ppf "<%s>" n

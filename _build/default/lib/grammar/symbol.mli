@@ -1,0 +1,24 @@
+(** Grammar symbols.
+
+    A grammar is built from {e terminal} symbols (token kinds, by convention
+    spelled in upper case, e.g. ["SELECT"], ["IDENT"]) and {e non-terminal}
+    symbols (syntactic variables, by convention spelled in lower case, e.g.
+    ["query_specification"]). *)
+
+type t =
+  | Terminal of string      (** a token kind produced by the scanner *)
+  | Nonterminal of string   (** a syntactic variable defined by a production *)
+
+val name : t -> string
+(** [name s] is the bare name of [s], without its terminal/non-terminal
+    classification. *)
+
+val is_terminal : t -> bool
+val is_nonterminal : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+(** [pp] prints terminals verbatim and non-terminals enclosed in angle
+    brackets, matching the BNF style used by the SQL standard. *)

@@ -1,0 +1,1 @@
+lib/lexing_gen/scanner.ml: Buffer Fmt List Map Printf Spec String Token

@@ -1,0 +1,1 @@
+lib/lexing_gen/scanner.mli: Fmt Spec Token

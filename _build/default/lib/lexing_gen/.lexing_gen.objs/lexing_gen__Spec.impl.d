@@ -1,0 +1,1 @@
+lib/lexing_gen/spec.ml: Fmt Int List String

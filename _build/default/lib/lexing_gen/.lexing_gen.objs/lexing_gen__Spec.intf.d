@@ -1,0 +1,1 @@
+lib/lexing_gen/spec.mli: Fmt

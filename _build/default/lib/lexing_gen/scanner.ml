@@ -1,0 +1,181 @@
+module String_map = Map.Make (String)
+
+type t = {
+  keywords : string String_map.t;  (* lowercase spelling -> terminal name *)
+  puncts : (string * string) list; (* longest first: literal, terminal name *)
+  ident_kind : string option;
+  integer_kind : string option;
+  decimal_kind : string option;
+  string_kind : string option;
+  quoted_ident_kind : string option;
+}
+
+let create set =
+  let class_kind cls =
+    List.assoc_opt cls (Spec.classes set)
+  in
+  {
+    keywords =
+      List.fold_left
+        (fun m (spelling, name) -> String_map.add spelling name m)
+        String_map.empty (Spec.keywords set);
+    puncts = Spec.puncts set;
+    ident_kind = class_kind Spec.Identifier;
+    integer_kind = class_kind Spec.Unsigned_integer;
+    decimal_kind = class_kind Spec.Decimal_number;
+    string_kind = class_kind Spec.String_literal;
+    quoted_ident_kind = class_kind Spec.Quoted_identifier;
+  }
+
+let keyword_count t = String_map.cardinal t.keywords
+let punct_count t = List.length t.puncts
+
+type error = {
+  pos : Token.position;
+  message : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "lexical error at %a: %s" Token.pp_position e.pos e.message
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+exception Lex_error of error
+
+let scan t input =
+  let n = String.length input in
+  let line = ref 1 and bol = ref 0 in
+  let position offset =
+    { Token.line = !line; column = offset - !bol + 1; offset }
+  in
+  let fail offset message = raise (Lex_error { pos = position offset; message }) in
+  let newline offset =
+    incr line;
+    bol := offset + 1
+  in
+  let tokens = ref [] in
+  let emit kind text offset = tokens := { Token.kind; text; pos = position offset } :: !tokens in
+  let rec skip_block_comment i start =
+    if i + 1 >= n then fail start "unterminated block comment"
+    else if input.[i] = '*' && input.[i + 1] = '/' then i + 2
+    else begin
+      if input.[i] = '\n' then newline i;
+      skip_block_comment (i + 1) start
+    end
+  in
+  let scan_ident i =
+    let j = ref i in
+    while !j < n && is_ident_char input.[!j] do incr j done;
+    let text = String.sub input i (!j - i) in
+    (match String_map.find_opt (String.lowercase_ascii text) t.keywords with
+     | Some kind -> emit kind text i
+     | None -> (
+       match t.ident_kind with
+       | Some kind -> emit kind text i
+       | None -> fail i (Printf.sprintf "unexpected word %S (identifiers not enabled)" text)));
+    !j
+  in
+  let scan_number i =
+    let j = ref i in
+    while !j < n && is_digit input.[!j] do incr j done;
+    let decimal = ref false in
+    if !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1] then begin
+      decimal := true;
+      incr j;
+      while !j < n && is_digit input.[!j] do incr j done
+    end;
+    if
+      !j < n
+      && (input.[!j] = 'e' || input.[!j] = 'E')
+      && (!j + 1 < n && (is_digit input.[!j + 1]
+                        || ((input.[!j + 1] = '+' || input.[!j + 1] = '-')
+                           && !j + 2 < n && is_digit input.[!j + 2])))
+    then begin
+      decimal := true;
+      incr j;
+      if input.[!j] = '+' || input.[!j] = '-' then incr j;
+      while !j < n && is_digit input.[!j] do incr j done
+    end;
+    let text = String.sub input i (!j - i) in
+    (match !decimal, t.decimal_kind, t.integer_kind with
+     | true, Some kind, _ -> emit kind text i
+     | true, None, _ -> fail i "decimal literals not enabled"
+     | false, _, Some kind -> emit kind text i
+     | false, Some kind, None -> emit kind text i
+     | false, None, None -> fail i "numeric literals not enabled");
+    !j
+  in
+  let scan_quoted i ~quote ~kind_opt ~what =
+    match kind_opt with
+    | None -> fail i (what ^ " not enabled")
+    | Some kind ->
+      let buf = Buffer.create 16 in
+      let rec go j =
+        if j >= n then fail i ("unterminated " ^ what)
+        else if input.[j] = quote then
+          if j + 1 < n && input.[j + 1] = quote then begin
+            Buffer.add_char buf quote;
+            go (j + 2)
+          end
+          else begin
+            emit kind (Buffer.contents buf) i;
+            j + 1
+          end
+        else begin
+          if input.[j] = '\n' then newline j;
+          Buffer.add_char buf input.[j];
+          go (j + 1)
+        end
+      in
+      go (i + 1)
+  in
+  let scan_punct i =
+    let matching =
+      List.find_opt
+        (fun (literal, _) ->
+          let len = String.length literal in
+          i + len <= n && String.equal (String.sub input i len) literal)
+        t.puncts
+    in
+    match matching with
+    | Some (literal, kind) ->
+      emit kind literal i;
+      i + String.length literal
+    | None -> fail i (Printf.sprintf "unexpected character %C" input.[i])
+  in
+  let rec loop i =
+    if i >= n then ()
+    else
+      let c = input.[i] in
+      if c = '\n' then begin
+        newline i;
+        loop (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then loop (i + 1)
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then begin
+        let j = ref (i + 2) in
+        while !j < n && input.[!j] <> '\n' do incr j done;
+        loop !j
+      end
+      else if c = '/' && i + 1 < n && input.[i + 1] = '*' then
+        loop (skip_block_comment (i + 2) i)
+      else if is_ident_start c then loop (scan_ident i)
+      else if is_digit c then loop (scan_number i)
+      else if c = '.' && i + 1 < n && is_digit input.[i + 1] then
+        (* Leading-dot decimals: [.5]. *)
+        loop (scan_number i)
+      else if c = '\'' then
+        loop (scan_quoted i ~quote:'\'' ~kind_opt:t.string_kind ~what:"string literal")
+      else if c = '"' then
+        loop
+          (scan_quoted i ~quote:'"' ~kind_opt:t.quoted_ident_kind
+             ~what:"quoted identifier")
+      else loop (scan_punct i)
+  in
+  match loop 0 with
+  | () ->
+    let eof = Token.eof (position n) in
+    Ok (List.rev (eof :: !tokens))
+  | exception Lex_error e -> Error e

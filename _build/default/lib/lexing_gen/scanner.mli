@@ -1,0 +1,28 @@
+(** Generated scanners.
+
+    [create] compiles a composed token set into a scanner value; [scan]
+    tokenizes a string. The scanner skips SQL whitespace and comments
+    ([-- ...] to end of line and [/* ... */]). Keywords are matched
+    case-insensitively and only when declared in the set: in a dialect whose
+    selected features never declare [WINDOW], the word [window] scans as a
+    plain identifier. *)
+
+type t
+
+val create : Spec.set -> t
+
+type error = {
+  pos : Token.position;
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+val scan : t -> string -> (Token.t list, error) result
+(** Tokenize the whole input. On success the token list always ends with the
+    [EOF] token. *)
+
+val keyword_count : t -> int
+val punct_count : t -> int
+(** Size measures of the generated scanner, used by the tailoring
+    experiments. *)

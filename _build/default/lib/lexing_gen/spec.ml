@@ -1,0 +1,90 @@
+type def =
+  | Keyword of string
+  | Punct of string
+  | Class of cls
+
+and cls =
+  | Identifier
+  | Unsigned_integer
+  | Decimal_number
+  | String_literal
+  | Quoted_identifier
+
+type set = (string * def) list
+
+let equal_def a b =
+  match a, b with
+  | Keyword x, Keyword y | Punct x, Punct y -> String.equal x y
+  | Class x, Class y -> x = y
+  | (Keyword _ | Punct _ | Class _), _ -> false
+
+type conflict = {
+  name : string;
+  old_def : def;
+  new_def : def;
+}
+
+let merge old_set new_set =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, def) :: rest -> (
+      match List.assoc_opt name old_set with
+      | Some existing when equal_def existing def -> go acc rest
+      | Some existing -> Error { name; old_def = existing; new_def = def }
+      | None ->
+        (* A later fragment may re-declare within [new_set] itself. *)
+        (match List.assoc_opt name acc with
+         | Some existing when equal_def existing def -> go acc rest
+         | Some existing -> Error { name; old_def = existing; new_def = def }
+         | None -> go ((name, def) :: acc) rest))
+  in
+  match go [] new_set with
+  | Ok fresh -> Ok (old_set @ fresh)
+  | Error _ as e -> e
+
+let keywords set =
+  List.filter_map
+    (function
+      | name, Keyword spelling -> Some (String.lowercase_ascii spelling, name)
+      | _, (Punct _ | Class _) -> None)
+    set
+
+let puncts set =
+  let pairs =
+    List.filter_map
+      (function
+        | name, Punct literal -> Some (literal, name)
+        | _, (Keyword _ | Class _) -> None)
+      set
+  in
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare (String.length b) (String.length a))
+    pairs
+
+let classes set =
+  List.filter_map
+    (function
+      | name, Class c -> Some (c, name)
+      | _, (Keyword _ | Punct _) -> None)
+    set
+
+let pp_cls ppf c =
+  Fmt.string ppf
+    (match c with
+     | Identifier -> "identifier"
+     | Unsigned_integer -> "unsigned-integer"
+     | Decimal_number -> "decimal-number"
+     | String_literal -> "string-literal"
+     | Quoted_identifier -> "quoted-identifier")
+
+let pp_def ppf = function
+  | Keyword k -> Fmt.pf ppf "keyword %S" k
+  | Punct p -> Fmt.pf ppf "punct %S" p
+  | Class c -> Fmt.pf ppf "class %a" pp_cls c
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "token %S defined both as %a and as %a" c.name pp_def c.old_def
+    pp_def c.new_def
+
+let pp ppf set =
+  List.iter (fun (name, def) -> Fmt.pf ppf "%s = %a@." name pp_def def) set

@@ -1,0 +1,52 @@
+(** Token specifications — the "token files" of the paper.
+
+    Every grammar fragment carries the token definitions its terminals need.
+    Composing a configuration's fragments also composes their token sets;
+    the scanner is then generated from the composed set, so a word is only a
+    reserved keyword if some selected feature declares it. *)
+
+type def =
+  | Keyword of string
+      (** a reserved word, matched case-insensitively against identifiers *)
+  | Punct of string
+      (** a literal operator or punctuation string, longest-match *)
+  | Class of cls
+      (** a lexeme class with built-in recognition *)
+
+and cls =
+  | Identifier          (** [\[A-Za-z_\]\[A-Za-z0-9_\]*], minus keywords *)
+  | Unsigned_integer    (** digit sequences *)
+  | Decimal_number      (** [12.5], [.5], [1e-3] — exact and approximate *)
+  | String_literal      (** ['...'] with [''] escaping *)
+  | Quoted_identifier   (** ["..."] delimited identifiers *)
+
+type set = (string * def) list
+(** A token set maps terminal names to definitions. Order is first-occurrence
+    order; names are unique. *)
+
+val equal_def : def -> def -> bool
+
+type conflict = {
+  name : string;
+  old_def : def;
+  new_def : def;
+}
+
+val merge : set -> set -> (set, conflict) result
+(** [merge old new_] unions two token sets. Identical redefinitions are
+    ignored; a name bound to two different definitions is a composition
+    conflict (the paper's token files must agree). *)
+
+val keywords : set -> (string * string) list
+(** [(lowercased spelling, terminal name)] pairs for all keywords. *)
+
+val puncts : set -> (string * string) list
+(** [(literal, terminal name)] pairs, sorted longest-literal first so the
+    scanner can do longest-match. *)
+
+val classes : set -> (cls * string) list
+(** Enabled classes with the terminal name that reports them. *)
+
+val pp_def : def Fmt.t
+val pp_conflict : conflict Fmt.t
+val pp : set Fmt.t

@@ -1,0 +1,20 @@
+type position = {
+  line : int;
+  column : int;
+  offset : int;
+}
+
+type t = {
+  kind : string;
+  text : string;
+  pos : position;
+}
+
+let eof_kind = "EOF"
+let eof pos = { kind = eof_kind; text = ""; pos }
+
+let pp_position ppf p = Fmt.pf ppf "%d:%d" p.line p.column
+
+let pp ppf t =
+  if String.equal t.kind t.text || t.text = "" then Fmt.pf ppf "%s" t.kind
+  else Fmt.pf ppf "%s(%s)" t.kind t.text

@@ -1,0 +1,27 @@
+(** Tokens produced by generated scanners.
+
+    A token's [kind] names the terminal it matches in the composed grammar
+    (e.g. ["SELECT"], ["IDENT"], ["COMMA"]); its [text] is the matched
+    lexeme (keywords keep their source spelling, quoted identifiers and
+    string literals are unescaped). *)
+
+type position = {
+  line : int;    (** 1-based *)
+  column : int;  (** 1-based *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+type t = {
+  kind : string;
+  text : string;
+  pos : position;
+}
+
+val eof_kind : string
+(** The pseudo-terminal appended at the end of every token stream
+    (["EOF"]). *)
+
+val eof : position -> t
+
+val pp_position : position Fmt.t
+val pp : t Fmt.t

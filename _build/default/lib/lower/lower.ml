@@ -1,0 +1,1010 @@
+open Sql_ast
+
+module Cst = Parser_gen.Cst
+
+type error = {
+  construct : string;
+  message : string;
+}
+
+let pp_error ppf e = Fmt.pf ppf "cannot lower <%s>: %s" e.construct e.message
+
+exception Lower_error of error
+
+(* Ordinals for dynamic parameter markers, assigned in lexical order within
+   one lowering run (reset per entry point). *)
+let parameter_counter = ref 0
+
+let next_parameter () =
+  incr parameter_counter;
+  !parameter_counter
+
+let fail construct fmt =
+  Printf.ksprintf (fun message -> raise (Lower_error { construct; message })) fmt
+
+(* --- CST navigation helpers -------------------------------------------- *)
+
+let child_exn t label =
+  match Cst.child t label with
+  | Some c -> c
+  | None -> fail (Cst.label t) "missing child <%s>" label
+
+let has t label = Cst.child t label <> None
+let kids = Cst.children_labelled
+
+let text t =
+  match Cst.token_text t with
+  | Some s -> s
+  | None -> fail (Cst.label t) "expected a token"
+
+(* An <identifier> node holds an IDENT or QUOTED_IDENT leaf. *)
+let identifier t =
+  match Cst.children t with
+  | [ leaf ] -> text leaf
+  | _ -> fail (Cst.label t) "malformed identifier"
+
+let column_name t = identifier (child_exn t "identifier")
+
+(* <table_name> : identifier [ PERIOD identifier ] *)
+let table_name t =
+  match kids t "identifier" with
+  | [ single ] -> Ast.simple_name (identifier single)
+  | [ qualifier; name ] ->
+    { Ast.qualifier = Some (identifier qualifier); name = identifier name }
+  | _ -> fail "table_name" "malformed qualified name"
+
+let column_name_list t = List.map column_name (kids t "column_name")
+
+let int_of_leaf t = int_of_string (text t)
+
+(* --- Expressions --------------------------------------------------------- *)
+
+let rec value_expression t : Ast.expr =
+  numeric_value_expression (child_exn t "numeric_value_expression")
+
+(* <numeric_value_expression> : term ( additive_tail )* where each tail is
+   PLUS/MINUS/CONCAT followed by a term. Folds left-associatively. *)
+and numeric_value_expression t =
+  let first = term (child_exn t "term") in
+  List.fold_left
+    (fun acc tail ->
+      let rhs = term (child_exn tail "term") in
+      let op =
+        if has tail "PLUS" then Ast.Add
+        else if has tail "MINUS" then Ast.Sub
+        else if has tail "CONCAT" then Ast.Concat
+        else fail "additive_tail" "unknown operator"
+      in
+      Ast.Binop (op, acc, rhs))
+    first (kids t "additive_tail")
+
+and term t =
+  let first = factor (child_exn t "factor") in
+  List.fold_left
+    (fun acc tail ->
+      let rhs = factor (child_exn tail "factor") in
+      let op =
+        if has tail "ASTERISK" then Ast.Mul
+        else if has tail "SOLIDUS" then Ast.Div
+        else fail "multiplicative_tail" "unknown operator"
+      in
+      Ast.Binop (op, acc, rhs))
+    first (kids t "multiplicative_tail")
+
+and factor t =
+  let prim = primary (child_exn t "value_expression_primary") in
+  match Cst.child t "sign" with
+  | None -> prim
+  | Some sign_node ->
+    let sign = if has sign_node "MINUS" then Ast.S_minus else Ast.S_plus in
+    Ast.Unary (sign, prim)
+
+and primary t =
+  match Cst.children t with
+  | [] -> fail "value_expression_primary" "empty"
+  | first :: _ -> (
+    match Cst.label first with
+    | "column_reference" -> column_reference first
+    | "literal" -> Ast.Lit (literal first)
+    | "LPAREN" -> value_expression (child_exn t "value_expression")
+    | "subquery" -> Ast.Scalar_subquery (subquery first)
+    | "case_expression" -> case_expression first
+    | "cast_specification" ->
+      let c = first in
+      Ast.Cast
+        (value_expression (child_exn c "value_expression"),
+         data_type (child_exn c "data_type"))
+    | "set_function_specification" -> set_function first
+    | "string_function" -> string_function first
+    | "numeric_function" -> numeric_function first
+    | "datetime_value_function" -> Ast.Call (text_of_single first, [])
+    | "user_identity_function" -> Ast.Call (text_of_single first, [])
+    | "function_call" -> function_call first
+    | "window_function" -> window_function first
+    | "next_value_expression" ->
+      Ast.Next_value (identifier (child_exn first "identifier"))
+    | "QUESTION" -> Ast.Parameter (next_parameter ())
+    | other -> fail "value_expression_primary" "unexpected child <%s>" other)
+
+and text_of_single t =
+  match Cst.children t with
+  | [ leaf ] -> String.uppercase_ascii (text leaf)
+  | _ -> fail (Cst.label t) "expected a single keyword"
+
+and column_reference t =
+  match kids t "identifier", Cst.child t "column_name" with
+  | [ qualifier ], Some name ->
+    Ast.Column (Some (identifier qualifier), column_name name)
+  | [], Some name -> Ast.Column (None, column_name name)
+  | _, _ -> fail "column_reference" "malformed"
+
+and literal t =
+  match Cst.children t with
+  | [ leaf ] -> (
+    match Cst.label leaf with
+    | "UNSIGNED_INTEGER" -> Ast.L_integer (int_of_leaf leaf)
+    | "DECIMAL_LITERAL" -> Ast.L_decimal (float_of_string (text leaf))
+    | "STRING_LITERAL" -> Ast.L_string (text leaf)
+    | "TRUE" -> Ast.L_bool true
+    | "FALSE" -> Ast.L_bool false
+    | "NULL" -> Ast.L_null
+    | "datetime_literal" -> datetime_literal leaf
+    | "interval_literal" ->
+      Ast.L_interval
+        ( text (child_exn leaf "STRING_LITERAL"),
+          interval_qualifier (child_exn leaf "interval_qualifier") )
+    | other -> fail "literal" "unexpected token %s" other)
+  | _ -> fail "literal" "malformed"
+
+and interval_qualifier t : Ast.interval_qualifier =
+  match kids t "datetime_field" with
+  | [ only ] -> { Ast.from_field = text_of_single only; to_field = None }
+  | [ from_f; to_f ] ->
+    { Ast.from_field = text_of_single from_f; to_field = Some (text_of_single to_f) }
+  | _ -> fail "interval_qualifier" "malformed"
+
+and datetime_literal t =
+  let s = text (child_exn t "STRING_LITERAL") in
+  if has t "DATE" then Ast.L_date s
+  else if has t "TIME" then Ast.L_time s
+  else if has t "TIMESTAMP" then Ast.L_timestamp s
+  else fail "datetime_literal" "unknown kind"
+
+and case_expression t =
+  if has t "NULLIF" then
+    Ast.Call ("NULLIF", List.map value_expression (kids t "value_expression"))
+  else if has t "COALESCE" then
+    Ast.Call ("COALESCE", List.map value_expression (kids t "value_expression"))
+  else if kids t "searched_when_clause" <> [] then
+    Ast.Case_searched
+      {
+        branches =
+          List.map
+            (fun w ->
+              ( search_condition (child_exn w "search_condition"),
+                value_expression (child_exn w "value_expression") ))
+            (kids t "searched_when_clause");
+        else_ = else_clause t;
+      }
+  else
+    let operand = value_expression (child_exn t "value_expression") in
+    Ast.Case_simple
+      {
+        operand;
+        branches =
+          List.map
+            (fun w ->
+              match kids w "value_expression" with
+              | [ when_e; then_e ] ->
+                (value_expression when_e, value_expression then_e)
+              | _ -> fail "simple_when_clause" "malformed")
+            (kids t "simple_when_clause");
+        else_ = else_clause t;
+      }
+
+and else_clause t =
+  Option.map
+    (fun e -> value_expression (child_exn e "value_expression"))
+    (Cst.child t "else_clause")
+
+and set_function t =
+  if has t "ASTERISK" then
+    Ast.Aggregate { func = Ast.F_count; agg_quantifier = None; arg = Ast.A_star }
+  else
+    let func =
+      match text_of_single (child_exn t "set_function_type") with
+      | "COUNT" -> Ast.F_count
+      | "SUM" -> Ast.F_sum
+      | "AVG" -> Ast.F_avg
+      | "MIN" -> Ast.F_min
+      | "MAX" -> Ast.F_max
+      | "EVERY" -> Ast.F_every
+      | "ANY" -> Ast.F_any
+      | other -> fail "set_function_type" "unknown function %s" other
+    in
+    Ast.Aggregate
+      {
+        func;
+        agg_quantifier = Option.map set_quantifier (Cst.child t "set_quantifier");
+        arg = Ast.A_expr (value_expression (child_exn t "value_expression"));
+      }
+
+and set_quantifier t =
+  if has t "DISTINCT" then Ast.Distinct else Ast.All
+
+and string_function t =
+  let args () = List.map value_expression (kids t "value_expression") in
+  if has t "UPPER" then Ast.Call ("UPPER", args ())
+  else if has t "LOWER" then Ast.Call ("LOWER", args ())
+  else if has t "CHAR_LENGTH" || has t "CHARACTER_LENGTH" then
+    Ast.Call ("CHAR_LENGTH", args ())
+  else if has t "SUBSTRING" then
+    (match args () with
+     | [ arg; from_ ] -> Ast.Substring { arg; from_; for_ = None }
+     | [ arg; from_; for_ ] -> Ast.Substring { arg; from_; for_ = Some for_ }
+     | _ -> fail "string_function" "malformed SUBSTRING")
+  else if has t "POSITION" then
+    (match args () with
+     | [ needle; haystack ] -> Ast.Position { needle; haystack }
+     | _ -> fail "string_function" "malformed POSITION")
+  else if has t "TRIM" then trim (child_exn t "trim_operands")
+  else if has t "OCTET_LENGTH" then Ast.Call ("OCTET_LENGTH", args ())
+  else if has t "OVERLAY" then
+    (match args () with
+     | [ arg; placing; from_ ] -> Ast.Overlay { arg; placing; from_; for_ = None }
+     | [ arg; placing; from_; for_ ] ->
+       Ast.Overlay { arg; placing; from_; for_ = Some for_ }
+     | _ -> fail "string_function" "malformed OVERLAY")
+  else fail "string_function" "unknown function"
+
+and trim t =
+  let side =
+    Option.map
+      (fun s ->
+        if has s "LEADING" then Ast.Trim_leading
+        else if has s "TRAILING" then Ast.Trim_trailing
+        else Ast.Trim_both)
+      (Cst.child t "trim_specification")
+  in
+  match kids t "value_expression" with
+  | [ arg ] -> Ast.Trim { side; removed = None; arg = value_expression arg }
+  | [ removed; arg ] ->
+    Ast.Trim
+      { side; removed = Some (value_expression removed); arg = value_expression arg }
+  | _ -> fail "trim_operands" "malformed"
+
+and numeric_function t =
+  let args () = List.map value_expression (kids t "value_expression") in
+  if has t "ABS" then Ast.Call ("ABS", args ())
+  else if has t "MOD" then Ast.Call ("MOD", args ())
+  else if has t "EXTRACT" then
+    Ast.Extract
+      {
+        field = text_of_single (child_exn t "extract_field");
+        arg = value_expression (child_exn t "value_expression");
+      }
+  else fail "numeric_function" "unknown function"
+
+and window_function t =
+  let spec = child_exn t "window_specification" in
+  let lists = kids spec "window_column_list" in
+  let exprs_of node = List.map value_expression (kids node "value_expression") in
+  let partition_by, win_order_by =
+    (* Zero, one or two lists; disambiguate single lists by which keyword is
+       present. *)
+    match lists with
+    | [] -> ([], [])
+    | [ only ] ->
+      if has spec "PARTITION" then (exprs_of only, []) else ([], exprs_of only)
+    | [ p; o ] -> (exprs_of p, exprs_of o)
+    | _ -> fail "window_specification" "malformed"
+  in
+  Ast.Window_call
+    {
+      wfunc =
+        (let wft = child_exn t "window_function_type" in
+         match Cst.children wft with
+         | kw :: _ -> String.uppercase_ascii (text kw)
+         | [] -> fail "window_function_type" "empty");
+      partition_by;
+      win_order_by;
+    }
+
+and function_call t =
+  let name = identifier (child_exn t "identifier") in
+  let args =
+    match Cst.child t "argument_list" with
+    | None -> []
+    | Some al -> List.map value_expression (kids al "value_expression")
+  in
+  Ast.Call (name, args)
+
+and data_type t : Ast.data_type =
+  let length () =
+    Option.map int_of_leaf (Cst.child t "UNSIGNED_INTEGER")
+  in
+  if has t "INTEGER" || has t "INT" then Ast.T_integer
+  else if has t "SMALLINT" then Ast.T_smallint
+  else if has t "BIGINT" then Ast.T_bigint
+  else if has t "DECIMAL" || has t "DEC" || has t "NUMERIC" then
+    (match kids t "UNSIGNED_INTEGER" with
+     | [] -> Ast.T_decimal None
+     | [ p ] -> Ast.T_decimal (Some (int_of_leaf p, None))
+     | [ p; s ] -> Ast.T_decimal (Some (int_of_leaf p, Some (int_of_leaf s)))
+     | _ -> fail "data_type" "malformed DECIMAL")
+  else if has t "FLOAT" then Ast.T_float
+  else if has t "REAL" then Ast.T_real
+  else if has t "DOUBLE" then Ast.T_double
+  else if has t "INTERVAL" then
+    Ast.T_interval (interval_qualifier (child_exn t "interval_qualifier"))
+  else if has t "VARCHAR" || has t "VARYING" then Ast.T_varchar (length ())
+  else if has t "CHARACTER" || has t "CHAR" then Ast.T_char (length ())
+  else if has t "BOOLEAN" then Ast.T_boolean
+  else if has t "DATE" then Ast.T_date
+  else if has t "TIME" then Ast.T_time
+  else if has t "TIMESTAMP" then Ast.T_timestamp
+  else fail "data_type" "unknown type"
+
+(* --- Conditions ------------------------------------------------------------ *)
+
+and search_condition t : Ast.cond =
+  let terms = List.map boolean_term (kids t "boolean_term") in
+  match terms with
+  | [] -> fail "search_condition" "no boolean term"
+  | first :: rest -> List.fold_left (fun acc c -> Ast.Or (acc, c)) first rest
+
+and boolean_term t =
+  let factors = List.map boolean_factor (kids t "boolean_factor") in
+  match factors with
+  | [] -> fail "boolean_term" "no boolean factor"
+  | first :: rest -> List.fold_left (fun acc c -> Ast.And (acc, c)) first rest
+
+and boolean_factor t =
+  let test = boolean_test (child_exn t "boolean_test") in
+  if has t "NOT" then Ast.Not test else test
+
+and boolean_test t =
+  let inner = boolean_primary (child_exn t "boolean_primary") in
+  match Cst.child t "truth_value" with
+  | None -> inner
+  | Some tv ->
+    let truth =
+      if has tv "TRUE" then Ast.True
+      else if has tv "FALSE" then Ast.False
+      else Ast.Unknown
+    in
+    Ast.Is_truth { negated = has t "NOT"; arg = inner; truth }
+
+and boolean_primary t =
+  match Cst.children t with
+  | [ only ] when Cst.label only = "predicate" -> predicate only
+  | [ only ] when Cst.label only = "value_expression" ->
+    Ast.Bool_expr (value_expression only)
+  | _ ->
+    if has t "LPAREN" then search_condition (child_exn t "search_condition")
+    else fail "boolean_primary" "malformed"
+
+and predicate t : Ast.cond =
+  if has t "EXISTS" then Ast.Exists (subquery (child_exn t "subquery"))
+  else if has t "UNIQUE" then Ast.Unique (subquery (child_exn t "subquery"))
+  else
+    let lhs = value_expression (child_exn t "value_expression") in
+    match Cst.children t with
+    | [ _; tail ] -> predicate_tail lhs tail
+    | _ -> fail "predicate" "malformed"
+
+and predicate_tail lhs tail =
+  let negated = has tail "NOT" in
+  match Cst.label tail with
+  | "comparison_predicate_tail" ->
+    let op = comp_op (child_exn tail "comp_op") in
+    (match Cst.child tail "comparison_quantifier" with
+     | Some q ->
+       Ast.Quantified_comparison
+         {
+           op;
+           lhs;
+           quantifier = (if has q "ALL" then Ast.Q_all else Ast.Q_some);
+           subquery = subquery (child_exn tail "subquery");
+         }
+     | None ->
+       Ast.Comparison (op, lhs, value_expression (child_exn tail "value_expression")))
+  | "between_tail" ->
+    (match kids tail "value_expression" with
+     | [ low; high ] ->
+       let symmetric =
+         match Cst.child tail "between_symmetry" with
+         | Some s -> has s "SYMMETRIC"
+         | None -> false
+       in
+       Ast.Between
+         {
+           negated; symmetric; arg = lhs;
+           low = value_expression low; high = value_expression high;
+         }
+     | _ -> fail "between_tail" "malformed")
+  | "in_tail" ->
+    let ipv = child_exn tail "in_predicate_value" in
+    if has ipv "subquery" then
+      Ast.In_subquery { negated; arg = lhs; subquery = subquery (child_exn ipv "subquery") }
+    else
+      Ast.In_list
+        { negated; arg = lhs; values = List.map value_expression (kids ipv "value_expression") }
+  | "like_tail" ->
+    (match kids tail "value_expression" with
+     | [ pattern ] ->
+       Ast.Like { negated; arg = lhs; pattern = value_expression pattern; escape = None }
+     | [ pattern; escape ] ->
+       Ast.Like
+         {
+           negated;
+           arg = lhs;
+           pattern = value_expression pattern;
+           escape = Some (value_expression escape);
+         }
+     | _ -> fail "like_tail" "malformed")
+  | "null_tail" -> Ast.Is_null { negated; arg = lhs }
+  | "distinct_tail" ->
+    Ast.Is_distinct_from
+      { negated; lhs; rhs = value_expression (child_exn tail "value_expression") }
+  | "overlaps_tail" ->
+    Ast.Overlaps (lhs, value_expression (child_exn tail "value_expression"))
+  | "similar_tail" ->
+    Ast.Similar
+      { negated; arg = lhs; pattern = value_expression (child_exn tail "value_expression") }
+  | other -> fail "predicate" "unknown tail <%s>" other
+
+and comp_op t =
+  if has t "EQUALS" then Ast.Eq
+  else if has t "NOT_EQUALS" then Ast.Neq
+  else if has t "LESS_EQ" then Ast.Le
+  else if has t "GREATER_EQ" then Ast.Ge
+  else if has t "LESS" then Ast.Lt
+  else if has t "GREATER" then Ast.Gt
+  else fail "comp_op" "unknown operator"
+
+(* --- Queries --------------------------------------------------------------- *)
+
+and subquery t : Ast.query =
+  Ast.query_of_body (query_expression_body (child_exn t "query_expression"))
+
+and query_expression_body t : Ast.query_body =
+  let first = query_term_body (child_exn t "query_term") in
+  List.fold_left
+    (fun acc tail ->
+      let rhs = query_term_body (child_exn tail "query_term") in
+      let op = if has tail "UNION" then Ast.Union else Ast.Except in
+      let quantifier =
+        Option.map set_quantifier (Cst.child tail "set_quantifier")
+      in
+      Ast.Set_operation
+        { op; quantifier; corresponding = has tail "CORRESPONDING"; lhs = acc; rhs })
+    first (kids t "set_op_tail")
+
+and query_term_body t =
+  let first = query_primary_body (child_exn t "query_primary") in
+  List.fold_left
+    (fun acc tail ->
+      let rhs = query_primary_body (child_exn tail "query_primary") in
+      let quantifier =
+        Option.map set_quantifier (Cst.child tail "set_quantifier")
+      in
+      Ast.Set_operation
+        {
+          op = Ast.Intersect; quantifier;
+          corresponding = has tail "CORRESPONDING"; lhs = acc; rhs;
+        })
+    first (kids t "intersect_tail")
+
+and query_primary_body t =
+  if has t "query_specification" then
+    Ast.Select (query_specification (child_exn t "query_specification"))
+  else if has t "LPAREN" then
+    Ast.Paren_query
+      (Ast.query_of_body (query_expression_body (child_exn t "query_expression")))
+  else if has t "table_value_constructor" then
+    let tvc = child_exn t "table_value_constructor" in
+    Ast.Values (List.map row_value (kids tvc "row_value"))
+  else fail "query_primary" "malformed"
+
+and row_value t = List.map value_expression (kids t "value_expression")
+
+and query_specification t : Ast.select =
+  let te = child_exn t "table_expression" in
+  {
+    Ast.select_quantifier =
+      Option.map set_quantifier (Cst.child t "set_quantifier");
+    projection = select_list (child_exn t "select_list");
+    from = from_clause (child_exn te "from_clause");
+    where =
+      Option.map
+        (fun w -> search_condition (child_exn w "search_condition"))
+        (Cst.child te "where_clause");
+    group_by =
+      (match Cst.child te "group_by_clause" with
+       | None -> []
+       | Some g -> List.map grouping_element (kids g "grouping_element"));
+    having =
+      Option.map
+        (fun h -> search_condition (child_exn h "search_condition"))
+        (Cst.child te "having_clause");
+  }
+
+and select_list t : Ast.select_item list =
+  if has t "ASTERISK" then [ Ast.Star ]
+  else List.map select_sublist (kids t "select_sublist")
+
+and select_sublist t =
+  if has t "ASTERISK" then
+    Ast.Qualified_star (identifier (child_exn t "identifier"))
+  else
+    let dc = child_exn t "derived_column" in
+    let alias =
+      Option.map (fun a -> column_name (child_exn a "column_name")) (Cst.child dc "as_clause")
+    in
+    Ast.Expr_item (value_expression (child_exn dc "value_expression"), alias)
+
+and grouping_element t : Ast.group_element =
+  let column_list node =
+    List.map value_expression (kids node "value_expression")
+  in
+  if has t "ROLLUP" then Ast.Rollup (column_list (child_exn t "grouping_column_list"))
+  else if has t "CUBE" then Ast.Cube (column_list (child_exn t "grouping_column_list"))
+  else if has t "GROUPING" then
+    Ast.Grouping_sets
+      (List.map
+         (fun gs -> column_list (child_exn gs "grouping_column_list"))
+         (kids t "grouping_set"))
+  else Ast.Group_expr (value_expression (child_exn t "value_expression"))
+
+and from_clause t = List.map table_reference (kids t "table_reference")
+
+and table_reference t : Ast.table_ref =
+  let first = table_primary (child_exn t "table_primary") in
+  List.fold_left
+    (fun acc tail ->
+      let rhs = table_primary (child_exn tail "table_primary") in
+      let kind =
+        if has tail "CROSS" then Ast.Cross
+        else if has tail "NATURAL" then Ast.Natural
+        else
+          match Cst.child tail "outer_join_type" with
+          | Some ojt ->
+            if has ojt "LEFT" then Ast.Left_outer
+            else if has ojt "RIGHT" then Ast.Right_outer
+            else Ast.Full_outer
+          | None -> Ast.Inner
+      in
+      let condition =
+        Option.map
+          (fun js ->
+            if has js "ON" then Ast.On (search_condition (child_exn js "search_condition"))
+            else Ast.Using (column_name_list (child_exn js "column_name_list")))
+          (Cst.child tail "join_specification")
+      in
+      Ast.Joined { lhs = acc; kind; rhs; condition })
+    first (kids t "join_tail")
+
+and correlation t : Ast.correlation =
+  {
+    Ast.alias = identifier (child_exn t "identifier");
+    columns =
+      (match Cst.child t "column_name_list" with
+       | None -> []
+       | Some l -> column_name_list l);
+  }
+
+and table_primary t : Ast.table_ref =
+  if has t "subquery" then
+    Ast.Derived_table
+      ( subquery (child_exn t "subquery"),
+        correlation (child_exn t "correlation_specification") )
+  else
+    Ast.Table
+      ( table_name (child_exn t "table_name"),
+        Option.map correlation (Cst.child t "correlation_specification") )
+
+(* --- Statements ------------------------------------------------------------- *)
+
+let sort_specification t : Ast.sort_spec =
+  {
+    Ast.sort_expr = value_expression (child_exn t "value_expression");
+    descending =
+      (match Cst.child t "ordering_specification" with
+       | Some o -> has o "DESC"
+       | None -> false);
+    nulls_last =
+      Option.map (fun n -> has n "LAST") (Cst.child t "nulls_ordering");
+  }
+
+let with_clause t : Ast.with_clause =
+  {
+    Ast.recursive = has t "RECURSIVE";
+    ctes =
+      List.map
+        (fun el ->
+          {
+            Ast.cte_name = identifier (child_exn el "identifier");
+            cte_columns =
+              (match Cst.child el "column_name_list" with
+               | None -> []
+               | Some l -> column_name_list l);
+            cte_query = subquery (child_exn el "subquery");
+          })
+        (kids t "with_list_element");
+  }
+
+let query_statement t : Ast.query =
+  {
+    Ast.with_ = Option.map with_clause (Cst.child t "with_clause");
+    body = query_expression_body (child_exn t "query_expression");
+    order_by =
+      (match Cst.child t "order_by_clause" with
+       | None -> []
+       | Some ob -> List.map sort_specification (kids ob "sort_specification"));
+    fetch =
+      Option.map
+        (fun f ->
+          let n = int_of_leaf (child_exn f "UNSIGNED_INTEGER") in
+          if has f "LIMIT" then Ast.Limit n else Ast.Fetch_first n)
+        (Cst.child t "fetch_clause");
+    updatability =
+      Option.map
+        (fun u ->
+          if has u "READ" then Ast.For_read_only
+          else
+            Ast.For_update
+              (match Cst.child u "column_name_list" with
+               | None -> []
+               | Some l -> column_name_list l))
+        (Cst.child t "updatability_clause");
+    epoch =
+      (let duration =
+         Option.map
+           (fun e -> int_of_leaf (child_exn e "UNSIGNED_INTEGER"))
+           (Cst.child t "epoch_clause")
+       and sample_period =
+         Option.map
+           (fun e -> int_of_leaf (child_exn e "UNSIGNED_INTEGER"))
+           (Cst.child t "sample_clause")
+       in
+       match duration, sample_period with
+       | None, None -> None
+       | _ -> Some { Ast.duration; sample_period });
+  }
+
+let set_clause t : Ast.set_clause =
+  let source = child_exn t "update_source" in
+  {
+    Ast.target = column_name (child_exn t "column_name");
+    value =
+      (if has source "DEFAULT" then None
+       else Some (value_expression (child_exn source "value_expression")));
+  }
+
+let insert_statement t : Ast.insert =
+  let source = child_exn t "insert_source" in
+  {
+    Ast.table = table_name (child_exn t "table_name");
+    columns =
+      (match Cst.child t "insert_column_list" with
+       | None -> []
+       | Some icl -> column_name_list (child_exn icl "column_name_list"));
+    source =
+      (if has source "DEFAULT" then Ast.Insert_defaults
+       else
+         match Cst.child source "values_clause" with
+         | Some vc -> Ast.Insert_values (List.map row_value (kids vc "row_value"))
+         | None ->
+           Ast.Insert_query
+             (Ast.query_of_body
+                (query_expression_body (child_exn source "query_expression"))));
+  }
+
+let update_statement t : Ast.update =
+  {
+    Ast.table = table_name (child_exn t "table_name");
+    assignments = List.map set_clause (kids t "set_clause");
+    update_where =
+      Option.map
+        (fun w -> search_condition (child_exn w "search_condition"))
+        (Cst.child t "where_clause");
+  }
+
+let delete_statement t : Ast.delete =
+  {
+    Ast.table = table_name (child_exn t "table_name");
+    delete_where =
+      Option.map
+        (fun w -> search_condition (child_exn w "search_condition"))
+        (Cst.child t "where_clause");
+  }
+
+let merge_statement t : Ast.merge =
+  {
+    Ast.target = table_name (child_exn t "table_name");
+    target_alias =
+      Option.map
+        (fun c -> identifier (child_exn c "identifier"))
+        (Cst.child t "merge_correlation");
+    source = table_primary (child_exn t "table_primary");
+    on = search_condition (child_exn t "search_condition");
+    actions =
+      List.map
+        (fun w ->
+          if has w "MATCHED" && has w "NOT" then
+            Ast.When_not_matched_insert
+              ( (match Cst.child w "insert_column_list" with
+                 | None -> []
+                 | Some icl -> column_name_list (child_exn icl "column_name_list")),
+                row_value (child_exn w "row_value") )
+          else Ast.When_matched_update (List.map set_clause (kids w "set_clause")))
+        (kids t "merge_when_clause");
+  }
+
+let references_specification t : Ast.references_spec =
+  (* The referential actions are inlined in the rule as
+     [ ON DELETE <referential_action> ] [ ON UPDATE <referential_action> ];
+     with both present the CST has two <referential_action> children in
+     DELETE-then-UPDATE order, with one present the neighbouring DELETE /
+     UPDATE keyword disambiguates. *)
+  let ras = kids t "referential_action" in
+  let lower_ra node =
+    if has node "CASCADE" then Ast.Ra_cascade
+    else if has node "RESTRICT" then Ast.Ra_restrict
+    else if has node "NULL" then Ast.Ra_set_null
+    else if has node "DEFAULT" then Ast.Ra_set_default
+    else Ast.Ra_no_action
+  in
+  let on_delete, on_update =
+    match ras, has t "DELETE", has t "UPDATE" with
+    | [ d; u ], _, _ -> (Some (lower_ra d), Some (lower_ra u))
+    | [ one ], true, false -> (Some (lower_ra one), None)
+    | [ one ], false, true -> (None, Some (lower_ra one))
+    | _, _, _ -> (None, None)
+  in
+  {
+    Ast.ref_table = table_name (child_exn t "table_name");
+    ref_columns =
+      (match Cst.child t "column_name_list" with
+       | None -> []
+       | Some l -> column_name_list l);
+    on_delete;
+    on_update;
+  }
+
+let column_constraint t : Ast.column_constraint =
+  if has t "NULL" && has t "NOT" then Ast.C_not_null
+  else if has t "UNIQUE" then Ast.C_unique
+  else if has t "PRIMARY" then Ast.C_primary_key
+  else if has t "CHECK" then
+    Ast.C_check (search_condition (child_exn t "search_condition"))
+  else if has t "references_specification" then
+    Ast.C_references (references_specification (child_exn t "references_specification"))
+  else fail "column_constraint" "unknown constraint"
+
+let column_definition t : Ast.column_def =
+  {
+    Ast.column = column_name (child_exn t "column_name");
+    ty = data_type (child_exn t "data_type");
+    default =
+      Option.map
+        (fun d -> value_expression (child_exn d "value_expression"))
+        (Cst.child t "default_clause");
+    constraints = List.map column_constraint (kids t "column_constraint");
+  }
+
+let table_constraint t : Ast.table_constraint_body =
+  if has t "CHECK" then
+    Ast.T_check (search_condition (child_exn t "search_condition"))
+  else if has t "UNIQUE" then
+    Ast.T_unique (column_name_list (child_exn t "column_name_list"))
+  else if has t "PRIMARY" then
+    Ast.T_primary_key (column_name_list (child_exn t "column_name_list"))
+  else if has t "FOREIGN" then
+    Ast.T_foreign_key
+      ( column_name_list (child_exn t "column_name_list"),
+        references_specification (child_exn t "references_specification") )
+  else fail "table_constraint" "unknown constraint"
+
+let table_element t : Ast.table_element =
+  match Cst.children t with
+  | [ only ] when Cst.label only = "column_definition" ->
+    Ast.Column_element (column_definition only)
+  | [ only ] when Cst.label only = "table_constraint_definition" ->
+    Ast.Constraint_element
+      {
+        Ast.constraint_name =
+          Option.map identifier (Cst.child only "identifier");
+        body = table_constraint (child_exn only "table_constraint");
+      }
+  | _ -> fail "table_element" "malformed"
+
+let create_table_statement t : Ast.create_table =
+  {
+    Ast.table_name = table_name (child_exn t "table_name");
+    elements = List.map table_element (kids t "table_element");
+  }
+
+let create_view_statement t : Ast.create_view =
+  {
+    Ast.view_name = table_name (child_exn t "table_name");
+    view_columns =
+      (match Cst.child t "column_name_list" with
+       | None -> []
+       | Some l -> column_name_list l);
+    view_query =
+      Ast.query_of_body (query_expression_body (child_exn t "query_expression"));
+    check_option = has t "WITH";
+  }
+
+let drop_behavior t : Ast.drop_behavior =
+  if has t "CASCADE" then Ast.Cascade else Ast.Restrict
+
+let drop_statement t : Ast.drop =
+  let obj = child_exn t "drop_object" in
+  {
+    Ast.drop_kind = (if has obj "VIEW" then Ast.Drop_view else Ast.Drop_table);
+    drop_name = table_name (child_exn obj "table_name");
+    behavior = Option.map drop_behavior (Cst.child t "drop_behavior");
+  }
+
+let alter_table_statement t : Ast.alter_table =
+  let action = child_exn t "alter_action" in
+  let act =
+    if has action "column_definition" then
+      Ast.Add_column (column_definition (child_exn action "column_definition"))
+    else if has action "table_constraint_definition" then
+      let tcd = child_exn action "table_constraint_definition" in
+      Ast.Add_constraint
+        {
+          Ast.constraint_name = Option.map identifier (Cst.child tcd "identifier");
+          body = table_constraint (child_exn tcd "table_constraint");
+        }
+    else if has action "alter_column_action" then
+      let aca = child_exn action "alter_column_action" in
+      let col = column_name (child_exn action "column_name") in
+      if has aca "default_clause" then
+        Ast.Set_column_default
+          ( col,
+            value_expression
+              (child_exn (child_exn aca "default_clause") "value_expression") )
+      else Ast.Drop_column_default col
+    else
+      Ast.Drop_column
+        ( column_name (child_exn action "column_name"),
+          Option.map drop_behavior (Cst.child action "drop_behavior") )
+  in
+  { Ast.altered = table_name (child_exn t "table_name"); action = act }
+
+let privilege t : Ast.privilege =
+  let columns () =
+    match Cst.child t "column_name_list" with
+    | None -> []
+    | Some l -> column_name_list l
+  in
+  if has t "SELECT" then Ast.P_select
+  else if has t "INSERT" then Ast.P_insert
+  else if has t "UPDATE" then Ast.P_update (columns ())
+  else if has t "DELETE" then Ast.P_delete
+  else if has t "REFERENCES" then Ast.P_references (columns ())
+  else fail "privilege" "unknown privilege"
+
+let privileges t : Ast.privilege list =
+  if has t "ALL" then [ Ast.P_all ]
+  else List.map privilege (kids t "privilege")
+
+let grantee t : Ast.grantee =
+  if has t "PUBLIC" then Ast.Public
+  else Ast.User (identifier (child_exn t "identifier"))
+
+let grant_statement t : Ast.grant =
+  {
+    Ast.privileges = privileges (child_exn t "privileges");
+    grant_on = table_name (child_exn t "table_name");
+    grantees = List.map grantee (kids t "grantee");
+    with_grant_option = has t "WITH";
+  }
+
+let revoke_statement t : Ast.revoke =
+  {
+    Ast.revoked = privileges (child_exn t "privileges");
+    revoke_on = table_name (child_exn t "table_name");
+    revokees = List.map grantee (kids t "grantee");
+    grant_option_for = has t "GRANT";
+    revoke_behavior = Option.map drop_behavior (Cst.child t "drop_behavior");
+  }
+
+let isolation_level t : Ast.isolation_level =
+  if has t "SERIALIZABLE" then Ast.Serializable
+  else if has t "REPEATABLE" then Ast.Repeatable_read
+  else if has t "UNCOMMITTED" then Ast.Read_uncommitted
+  else Ast.Read_committed
+
+let transaction_statement t : Ast.transaction_statement =
+  if has t "COMMIT" then Ast.Commit
+  else if has t "ROLLBACK" then
+    Ast.Rollback (Option.map identifier (Cst.child t "identifier"))
+  else if has t "RELEASE" then
+    Ast.Release_savepoint (identifier (child_exn t "identifier"))
+  else if has t "SAVEPOINT" then
+    Ast.Savepoint (identifier (child_exn t "identifier"))
+  else if has t "START" then
+    Ast.Start_transaction
+      (Option.map
+         (fun s -> isolation_level (child_exn s "isolation_level"))
+         (Cst.child t "isolation_spec"))
+  else if has t "SET" then
+    Ast.Set_transaction
+      (isolation_level (child_exn (child_exn t "isolation_spec") "isolation_level"))
+  else fail "transaction_statement" "unknown statement"
+
+let sequence_statement t : Ast.sequence_statement =
+  let name = identifier (child_exn t "identifier") in
+  if has t "DROP" then Ast.Drop_sequence name
+  else
+    let numbers = List.map int_of_leaf (kids t "UNSIGNED_INTEGER") in
+    let seq_start, seq_increment =
+      match numbers, has t "START", has t "INCREMENT" with
+      | [ s; i ], _, _ -> (Some s, Some i)
+      | [ one ], true, false -> (Some one, None)
+      | [ one ], false, true -> (None, Some one)
+      | _, _, _ -> (None, None)
+    in
+    Ast.Create_sequence { seq_name = name; seq_start; seq_increment }
+
+let session_statement t : Ast.session_statement =
+  if has t "RESET" then Ast.Reset_session_authorization
+  else Ast.Set_session_authorization (identifier (child_exn t "identifier"))
+
+let schema_statement t : Ast.schema_statement =
+  let name = identifier (child_exn t "identifier") in
+  if has t "CREATE" then Ast.Create_schema name
+  else if has t "DROP" then
+    Ast.Drop_schema (name, Option.map drop_behavior (Cst.child t "drop_behavior"))
+  else Ast.Set_schema name
+
+let statement_exn t : Ast.statement =
+  match Cst.children t with
+  | [ only ] -> (
+    match Cst.label only with
+    | "query_statement" -> Ast.Query_stmt (query_statement only)
+    | "insert_statement" -> Ast.Insert_stmt (insert_statement only)
+    | "update_statement" -> Ast.Update_stmt (update_statement only)
+    | "delete_statement" -> Ast.Delete_stmt (delete_statement only)
+    | "merge_statement" -> Ast.Merge_stmt (merge_statement only)
+    | "create_table_statement" -> Ast.Create_table_stmt (create_table_statement only)
+    | "create_view_statement" -> Ast.Create_view_stmt (create_view_statement only)
+    | "drop_statement" -> Ast.Drop_stmt (drop_statement only)
+    | "alter_table_statement" -> Ast.Alter_table_stmt (alter_table_statement only)
+    | "grant_statement" -> Ast.Grant_stmt (grant_statement only)
+    | "revoke_statement" -> Ast.Revoke_stmt (revoke_statement only)
+    | "transaction_statement" -> Ast.Transaction_stmt (transaction_statement only)
+    | "schema_statement" -> Ast.Schema_stmt (schema_statement only)
+    | "sequence_statement" -> Ast.Sequence_stmt (sequence_statement only)
+    | "session_statement" -> Ast.Session_stmt (session_statement only)
+    | "explain_statement" ->
+      Ast.Explain_stmt (query_statement (child_exn only "query_statement"))
+    | other -> fail "sql_statement" "unknown statement <%s>" other)
+  | _ -> fail "sql_statement" "malformed"
+
+let wrap construct f t =
+  parameter_counter := 0;
+  match f t with
+  | v -> Ok v
+  | exception Lower_error e -> Error e
+  | exception Failure msg -> Error { construct; message = msg }
+
+let statement t = wrap "sql_statement" statement_exn t
+
+let query t =
+  let lower t =
+    match Cst.label t with
+    | "query_statement" -> query_statement t
+    | "query_expression" -> Ast.query_of_body (query_expression_body t)
+    | other -> fail "query" "expected a query node, got <%s>" other
+  in
+  wrap "query" lower t
+
+let expression t = wrap "value_expression" value_expression t
+let condition t = wrap "search_condition" search_condition t

@@ -1,0 +1,28 @@
+(** Lowering concrete syntax trees to the SQL AST.
+
+    The lowering navigates the CST by node label and token kind, which makes
+    it independent of the exact alternative shapes a feature composition
+    produced: a dialect that omits features simply produces CSTs without the
+    corresponding nodes. The [WINDOW] clause is recognized by the grammar but
+    has no AST counterpart; it is ignored here (parse-only feature). *)
+
+open Sql_ast
+
+type error = {
+  construct : string;  (** the CST label being lowered when lowering failed *)
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+val statement : Parser_gen.Cst.t -> (Ast.statement, error) result
+(** Lower a [sql_statement] CST. *)
+
+val query : Parser_gen.Cst.t -> (Ast.query, error) result
+(** Lower a [query_statement] or [query_expression] CST. *)
+
+val expression : Parser_gen.Cst.t -> (Ast.expr, error) result
+(** Lower a [value_expression] CST. *)
+
+val condition : Parser_gen.Cst.t -> (Ast.cond, error) result
+(** Lower a [search_condition] CST. *)

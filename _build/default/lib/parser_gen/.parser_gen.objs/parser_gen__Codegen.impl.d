@@ -1,0 +1,1 @@
+lib/parser_gen/codegen.ml: Buffer Grammar List Option Printf String

@@ -1,0 +1,1 @@
+lib/parser_gen/codegen.mli: Grammar

@@ -1,0 +1,1 @@
+lib/parser_gen/cst.ml: Fmt Lexing_gen List Option String

@@ -1,0 +1,1 @@
+lib/parser_gen/cst.mli: Fmt Lexing_gen

@@ -1,0 +1,1 @@
+lib/parser_gen/engine.ml: Array Cst Fmt Grammar Hashtbl Lexing_gen List Option String

@@ -1,0 +1,1 @@
+lib/parser_gen/engine.mli: Cst Fmt Grammar Lexing_gen

@@ -1,0 +1,124 @@
+let rule_function_name nt = "p_" ^ nt
+
+let emit ?module_doc (g : Grammar.Cfg.t) =
+  let buf = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let fresh =
+    let counter = ref 0 in
+    fun base ->
+      incr counter;
+      Printf.sprintf "%s_%d" base !counter
+  in
+  (* Emit statements that parse [seq] appending CSTs to the list ref named
+     [dst], at indentation [ind]. *)
+  let rec emit_seq ind dst seq =
+    List.iter (emit_term ind dst) seq
+  and emit_term ind dst term =
+    let pad = String.make ind ' ' in
+    match term with
+    | Grammar.Production.Sym (Grammar.Symbol.Terminal k) ->
+      line "%s%s := eat st %S :: !%s;" pad dst k dst
+    | Grammar.Production.Sym (Grammar.Symbol.Nonterminal n) ->
+      line "%s%s := %s st :: !%s;" pad dst (rule_function_name n) dst
+    | Grammar.Production.Opt ts ->
+      let local = fresh "opt" in
+      line "%s(let %s_saved = st.pos in" pad local;
+      line "%s let %s = ref [] in" pad local;
+      line "%s match" pad;
+      line "%s   (try" pad;
+      emit_seq (ind + 6) local ts;
+      line "%s      Some !%s" pad local;
+      line "%s    with Parse_failure -> st.pos <- %s_saved; None)" pad local;
+      line "%s with" pad;
+      line "%s | Some made -> %s := made @ !%s" pad dst dst;
+      line "%s | None -> ());" pad
+    | Grammar.Production.Star ts ->
+      let local = fresh "star" in
+      line "%s(let %s_continue = ref true in" pad local;
+      line "%s while !%s_continue do" pad local;
+      line "%s   let %s_saved = st.pos in" pad local;
+      line "%s   let %s = ref [] in" pad local;
+      line "%s   (try" pad;
+      emit_seq (ind + 6) local ts;
+      line "%s      if st.pos = %s_saved then %s_continue := false" pad local local;
+      line "%s      else %s := !%s @ !%s" pad dst local dst;
+      line "%s    with Parse_failure -> st.pos <- %s_saved; %s_continue := false)"
+        pad local local;
+      line "%s done);" pad
+    | Grammar.Production.Plus ts ->
+      emit_seq ind dst ts;
+      emit_term ind dst (Grammar.Production.Star ts)
+    | Grammar.Production.Group alts ->
+      let local = fresh "grp" in
+      line "%s(let %s_saved = st.pos in" pad local;
+      line "%s let %s = ref [] in" pad local;
+      line "%s (try" pad;
+      emit_alt_chain (ind + 3) local (local ^ "_saved") alts;
+      line "%s  with Parse_failure as e -> st.pos <- %s_saved; raise e);" pad local;
+      line "%s %s := !%s @ !%s);" pad dst local dst
+  (* Emits a unit-typed expression trying the alternatives in order,
+     restoring position and partial children between attempts. *)
+  and emit_alt_chain ind dst saved alts =
+    let pad = String.make ind ' ' in
+    match alts with
+    | [] -> line "%sraise Parse_failure" pad
+    | [ only ] ->
+      line "%sbegin" pad;
+      emit_seq (ind + 2) dst only;
+      line "%s  ()" pad;
+      line "%send" pad
+    | first :: rest ->
+      line "%s(try" pad;
+      emit_seq (ind + 3) dst first;
+      line "%s   ()" pad;
+      line "%s with Parse_failure ->" pad;
+      line "%s   st.pos <- %s;" pad saved;
+      line "%s   %s := [];" pad dst;
+      emit_alt_chain (ind + 3) dst saved rest;
+      line "%s)" pad
+  in
+  let doc =
+    Option.value
+      ~default:
+        "Generated recursive-descent parser. Ordered alternatives with \
+         save/restore backtracking; optional and repeated groups are greedy."
+      module_doc
+  in
+  line "(* %s *)" doc;
+  line "(* Start symbol: %s. Generated from a composed feature grammar; do not edit. *)" g.start;
+  line "";
+  line "type token = { kind : string; text : string }";
+  line "type tree = Node of string * tree list | Leaf of token";
+  line "";
+  line "exception Parse_failure";
+  line "";
+  line "type state = { toks : token array; mutable pos : int }";
+  line "";
+  line "let look st =";
+  line "  if st.pos < Array.length st.toks then st.toks.(st.pos).kind else \"EOF\"";
+  line "";
+  line "let eat st kind =";
+  line "  if String.equal (look st) kind then begin";
+  line "    let tok = st.toks.(st.pos) in";
+  line "    st.pos <- st.pos + 1;";
+  line "    Leaf tok";
+  line "  end";
+  line "  else raise Parse_failure";
+  line "";
+  List.iteri
+    (fun idx (r : Grammar.Production.t) ->
+      let intro = if idx = 0 then "let rec" else "and" in
+      line "%s %s st =" intro (rule_function_name r.lhs);
+      line "  let children = ref [] in";
+      line "  let saved = st.pos in";
+      line "  ignore saved;";
+      emit_alt_chain 2 "children" "saved" r.alts;
+      line "  ;";
+      line "  Node (%S, List.rev !children)" r.lhs;
+      line "")
+    g.rules;
+  line "let parse tokens =";
+  line "  let st = { toks = Array.of_list tokens; pos = 0 } in";
+  line "  let tree = %s st in" (rule_function_name g.start);
+  line "  if String.equal (look st) \"EOF\" then tree else raise Parse_failure";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Emission of standalone OCaml parser source code.
+
+    The paper's toolchain emits parser {e source code} (ANTLR generating
+    Java). [emit] mirrors that: it renders a composed grammar as a
+    self-contained, dependency-free OCaml module implementing a
+    recursive-descent parser for it, suitable for vendoring into an embedded
+    product that should not carry the composition machinery at run time.
+
+    The emitted parser uses ordered alternatives with save/restore
+    backtracking between alternatives and greedy optional/repeated groups
+    (PEG-style commitment, slightly stricter than {!Engine.parse}'s full
+    backtracking — the difference is documented in the emitted header). *)
+
+val emit : ?module_doc:string -> Grammar.Cfg.t -> string
+(** [emit g] is the OCaml source text of the generated parser. The module
+    exposes [parse : token list -> tree] and one [parse_<nt>] entry point per
+    non-terminal. *)
+
+val rule_function_name : string -> string
+(** The generated function name for a non-terminal. *)

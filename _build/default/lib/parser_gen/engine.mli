@@ -1,0 +1,55 @@
+(** Parser generation and execution.
+
+    This module stands in for the paper's use of the ANTLR parser generator:
+    {!generate} turns a composed grammar into a parser value (rejecting
+    grammars an LL(k) generator would reject — undefined non-terminals, left
+    recursion); {!parse} runs it over a token stream, producing a CST.
+
+    The execution strategy is recursive descent with ordered alternatives,
+    FIRST-set prediction (the LL(k) fast path) and full backtracking as
+    fallback (standing in for ANTLR's syntactic predicates). Optional and
+    repeated groups match greedily but are backtracked into when the
+    continuation fails. *)
+
+type t
+
+type gen_error =
+  | Grammar_problems of Grammar.Cfg.problem list
+      (** the grammar is not well-formed (typically an incoherent feature
+          selection) *)
+  | Left_recursion of string list
+      (** non-terminals involved in left recursion *)
+
+val pp_gen_error : gen_error Fmt.t
+
+val generate :
+  ?memoize:bool -> ?prune:bool -> Grammar.Cfg.t -> (t, gen_error) result
+(** Compile a grammar to a parser. Prediction sets are precomputed here so
+    that parsing does no grammar analysis.
+
+    The two flags exist for the ablation benchmarks and default to [true]:
+    [memoize] caches each non-terminal's complete derivation set per input
+    position (without it, nested constructs re-parse exponentially); [prune]
+    skips alternatives whose FIRST set excludes the lookahead token (the
+    LL(k) fast path). Disabling either only affects performance, never the
+    accepted language. *)
+
+val grammar : t -> Grammar.Cfg.t
+val start_symbol : t -> string
+
+type parse_error = {
+  pos : Lexing_gen.Token.position;  (** position of the furthest failure *)
+  found : string;                   (** token kind found there *)
+  expected : string list;           (** token kinds that would have allowed
+                                        progress, sorted *)
+}
+
+val pp_parse_error : parse_error Fmt.t
+
+val parse :
+  ?start:string -> t -> Lexing_gen.Token.t list -> (Cst.t, parse_error) result
+(** [parse p tokens] parses a complete token stream (ending in [EOF]) from
+    the grammar's start symbol (or [start]). The whole input must be
+    consumed. *)
+
+val accepts : ?start:string -> t -> Lexing_gen.Token.t list -> bool

@@ -1,0 +1,1 @@
+lib/sql/def.ml: Compose Feature Lexing_gen

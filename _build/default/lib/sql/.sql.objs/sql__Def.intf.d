@@ -1,0 +1,1 @@
+lib/sql/def.mli: Compose Feature Grammar Lexing_gen

@@ -1,0 +1,1 @@
+lib/sql/features_dcl.ml: Def Feature Grammar

@@ -1,0 +1,1 @@
+lib/sql/features_ddl.ml: Def Feature Grammar

@@ -1,0 +1,1 @@
+lib/sql/features_dml.ml: Def Feature Grammar

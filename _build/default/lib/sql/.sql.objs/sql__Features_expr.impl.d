@@ -1,0 +1,1 @@
+lib/sql/features_expr.ml: Def Feature Grammar

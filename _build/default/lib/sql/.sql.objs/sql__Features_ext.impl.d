@@ -1,0 +1,1 @@
+lib/sql/features_ext.ml: Def Feature Grammar Lexing_gen

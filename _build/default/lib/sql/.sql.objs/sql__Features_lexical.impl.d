@@ -1,0 +1,1 @@
+lib/sql/features_lexical.ml: Def Feature Grammar

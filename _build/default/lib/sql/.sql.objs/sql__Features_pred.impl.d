@@ -1,0 +1,1 @@
+lib/sql/features_pred.ml: Def Feature Grammar

@@ -1,0 +1,1 @@
+lib/sql/features_query.ml: Def Feature Grammar

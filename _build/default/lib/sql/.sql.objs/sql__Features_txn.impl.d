@@ -1,0 +1,1 @@
+lib/sql/features_txn.ml: Def Feature Grammar

@@ -1,0 +1,1 @@
+lib/sql/features_types.ml: Def Feature Grammar

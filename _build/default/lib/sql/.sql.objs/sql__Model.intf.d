@@ -1,0 +1,1 @@
+lib/sql/model.mli: Compose Feature

@@ -1,0 +1,29 @@
+type region = {
+  subtree : Feature.Tree.group;
+  fragments : Compose.Fragment.t list;
+  constraints : Feature.Model.constraint_ list;
+  diagram_names : string list;
+}
+
+let kw k = (k, Lexing_gen.Spec.Keyword k)
+let punct name lit = (name, Lexing_gen.Spec.Punct lit)
+
+let ident_tok = ("IDENT", Lexing_gen.Spec.Class Lexing_gen.Spec.Identifier)
+
+let quoted_ident_tok =
+  ("QUOTED_IDENT", Lexing_gen.Spec.Class Lexing_gen.Spec.Quoted_identifier)
+
+let integer_tok =
+  ("UNSIGNED_INTEGER", Lexing_gen.Spec.Class Lexing_gen.Spec.Unsigned_integer)
+
+let decimal_tok =
+  ("DECIMAL_LITERAL", Lexing_gen.Spec.Class Lexing_gen.Spec.Decimal_number)
+
+let string_tok =
+  ("STRING_LITERAL", Lexing_gen.Spec.Class Lexing_gen.Spec.String_literal)
+
+let lparen = punct "LPAREN" "("
+let rparen = punct "RPAREN" ")"
+let comma = punct "COMMA" ","
+
+let frag feature ?tokens rules = Compose.Fragment.make ~feature ?tokens rules

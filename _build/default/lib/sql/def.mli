@@ -1,0 +1,40 @@
+(** Shared helpers for writing the SQL:2003 decomposition.
+
+    Every [Features_*] module describes one region of the feature model: a
+    subtree of the diagram, the grammar fragment of each feature, cross-tree
+    constraints, and the names of the construct diagrams it publishes. *)
+
+type region = {
+  subtree : Feature.Tree.group;
+      (** the region's subtree, with its attachment relation to the root *)
+  fragments : Compose.Fragment.t list;
+  constraints : Feature.Model.constraint_ list;
+  diagram_names : string list;
+      (** features whose subtrees are published as stand-alone diagrams *)
+}
+
+(** Token definition shorthands. *)
+
+val kw : string -> string * Lexing_gen.Spec.def
+(** [kw "SELECT"] declares the reserved word [SELECT] under the terminal of
+    the same name. *)
+
+val punct : string -> string -> string * Lexing_gen.Spec.def
+(** [punct "COMMA" ","]. *)
+
+val ident_tok : string * Lexing_gen.Spec.def
+val quoted_ident_tok : string * Lexing_gen.Spec.def
+val integer_tok : string * Lexing_gen.Spec.def
+val decimal_tok : string * Lexing_gen.Spec.def
+val string_tok : string * Lexing_gen.Spec.def
+
+val lparen : string * Lexing_gen.Spec.def
+val rparen : string * Lexing_gen.Spec.def
+val comma : string * Lexing_gen.Spec.def
+
+val frag :
+  string ->
+  ?tokens:Lexing_gen.Spec.set ->
+  Grammar.Production.t list ->
+  Compose.Fragment.t
+(** [frag feature ?tokens rules] — fragment owned by [feature]. *)

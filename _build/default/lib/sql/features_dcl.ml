@@ -1,0 +1,104 @@
+(** Access Control region: GRANT and REVOKE. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let grant_tree =
+  feature "Grant Statement"
+    [
+      Or_group
+        [
+          leaf "Select Privilege";
+          leaf "Insert Privilege";
+          leaf "Update Privilege";
+          leaf "Delete Privilege";
+          leaf "References Privilege";
+          leaf "All Privileges";
+        ];
+      optional (leaf "Public Grantee");
+      optional (leaf "Grant Option");
+    ]
+
+let tree =
+  feature "Access Control"
+    [ mandatory grant_tree; optional (leaf "Revoke Statement") ]
+
+let fragments =
+  [
+    frag "Access Control" [];
+    frag "Grant Statement"
+      ~tokens:[ kw "GRANT"; kw "ON"; kw "TABLE"; kw "TO"; comma ]
+      [
+        r1 "sql_statement" [ nt "grant_statement" ];
+        r1 "grant_statement"
+          (t "GRANT" :: nt "privileges" :: t "ON" :: opt [ t "TABLE" ]
+           :: nt "table_name" :: t "TO" :: comma_list (nt "grantee"));
+        r1 "privileges" (comma_list (nt "privilege"));
+        r1 "grantee" [ nt "identifier" ];
+      ];
+    frag "Select Privilege"
+      ~tokens:[ kw "SELECT" ]
+      [ rule "privilege" [ [ t "SELECT" ] ] ];
+    frag "Insert Privilege"
+      ~tokens:[ kw "INSERT" ]
+      [ rule "privilege" [ [ t "INSERT" ] ] ];
+    frag "Update Privilege"
+      ~tokens:[ kw "UPDATE"; lparen; rparen; comma ]
+      [
+        rule "privilege"
+          [ [ t "UPDATE"; opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ] ] ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Delete Privilege"
+      ~tokens:[ kw "DELETE" ]
+      [ rule "privilege" [ [ t "DELETE" ] ] ];
+    frag "References Privilege"
+      ~tokens:[ kw "REFERENCES"; lparen; rparen; comma ]
+      [
+        rule "privilege"
+          [
+            [ t "REFERENCES"; opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ] ];
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "All Privileges"
+      ~tokens:[ kw "ALL"; kw "PRIVILEGES" ]
+      [ rule "privileges" [ [ t "ALL"; t "PRIVILEGES" ] ] ];
+    frag "Public Grantee"
+      ~tokens:[ kw "PUBLIC" ]
+      [ rule "grantee" [ [ t "PUBLIC" ] ] ];
+    frag "Grant Option"
+      ~tokens:[ kw "WITH"; kw "GRANT"; kw "OPTION" ]
+      [
+        r1 "grant_statement"
+          (t "GRANT" :: nt "privileges" :: t "ON" :: opt [ t "TABLE" ]
+           :: nt "table_name" :: t "TO"
+           :: (comma_list (nt "grantee")
+               @ [ opt [ t "WITH"; t "GRANT"; t "OPTION" ] ]));
+      ];
+    frag "Revoke Statement"
+      ~tokens:
+        [
+          kw "REVOKE"; kw "GRANT"; kw "OPTION"; kw "FOR"; kw "ON"; kw "TABLE";
+          kw "FROM"; kw "CASCADE"; kw "RESTRICT"; comma;
+        ]
+      [
+        r1 "sql_statement" [ nt "revoke_statement" ];
+        r1 "revoke_statement"
+          (t "REVOKE"
+           :: opt [ t "GRANT"; t "OPTION"; t "FOR" ]
+           :: nt "privileges" :: t "ON" :: opt [ t "TABLE" ]
+           :: nt "table_name" :: t "FROM"
+           :: (comma_list (nt "grantee") @ [ opt [ nt "drop_behavior" ] ]));
+        rule "drop_behavior" [ [ t "CASCADE" ]; [ t "RESTRICT" ] ];
+      ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints = [ Feature.Model.Requires ("Revoke Statement", "Grant Statement") ];
+    diagram_names = [ "Access Control"; "Grant Statement" ];
+  }

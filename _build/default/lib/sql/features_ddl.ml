@@ -1,0 +1,399 @@
+(** Data Definition region: CREATE TABLE (column and table constraints),
+    CREATE VIEW, DROP, ALTER TABLE, and schema statements. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let column_constraints_tree =
+  feature "Column Constraints"
+    [
+      Or_group
+        [
+          leaf "Not Null";
+          leaf "Unique Column";
+          leaf "Primary Key Column";
+          feature "Column References" [ optional (leaf "Referential Actions") ];
+          leaf "Column Check";
+        ];
+    ]
+
+let table_constraints_tree =
+  feature "Table Constraints"
+    [
+      optional (leaf "Constraint Naming");
+      Or_group
+        [
+          leaf "Unique Constraint";
+          leaf "Primary Key Constraint";
+          leaf "Foreign Key Constraint";
+          leaf "Check Constraint";
+        ];
+    ]
+
+let table_definition_tree =
+  feature "Table Definition"
+    [
+      mandatory
+        (feature "Column Definition" [ optional (leaf "Default Clause") ]);
+      optional column_constraints_tree;
+      optional table_constraints_tree;
+    ]
+
+let view_definition_tree =
+  feature "View Definition"
+    [ optional (leaf "View Column List"); optional (leaf "Check Option") ]
+
+let drop_tree =
+  feature "Drop Statement"
+    [
+      Or_group [ leaf "Drop Table"; leaf "Drop View" ];
+      optional (leaf "Drop Behavior");
+    ]
+
+let alter_tree =
+  feature "Alter Table"
+    [
+      Or_group
+        [
+          leaf "Add Column";
+          leaf "Drop Column";
+          leaf "Alter Column Default";
+          leaf "Add Table Constraint";
+        ];
+    ]
+
+let schema_tree =
+  feature "Schema Statements"
+    [ Or_group [ leaf "Create Schema"; leaf "Drop Schema"; leaf "Set Schema" ] ]
+
+let sequence_tree =
+  feature "Sequence Generators"
+    [
+      Or_group [ leaf "Create Sequence"; leaf "Drop Sequence" ];
+      optional (leaf "Sequence Start");
+      optional (leaf "Sequence Increment");
+      optional (leaf "Next Value");
+    ]
+
+let tree =
+  feature "Data Definition"
+    [
+      Or_group
+        [
+          table_definition_tree;
+          view_definition_tree;
+          drop_tree;
+          alter_tree;
+          schema_tree;
+          sequence_tree;
+        ];
+    ]
+
+let fragments =
+  [
+    frag "Data Definition" [];
+    frag "Table Definition"
+      ~tokens:[ kw "CREATE"; kw "TABLE"; lparen; rparen; comma ]
+      [
+        r1 "sql_statement" [ nt "create_table_statement" ];
+        r1 "create_table_statement"
+          (t "CREATE" :: t "TABLE" :: nt "table_name" :: t "LPAREN"
+           :: (comma_list (nt "table_element") @ [ t "RPAREN" ]));
+        r1 "table_element" [ nt "column_definition" ];
+      ];
+    frag "Column Definition"
+      [ r1 "column_definition" [ nt "column_name"; nt "data_type" ] ];
+    frag "Default Clause"
+      ~tokens:[ kw "DEFAULT" ]
+      [
+        r1 "column_definition"
+          [ nt "column_name"; nt "data_type"; opt [ nt "default_clause" ] ];
+        r1 "default_clause" [ t "DEFAULT"; nt "value_expression" ];
+      ];
+    frag "Column Constraints"
+      [
+        r1 "column_definition"
+          [ nt "column_name"; nt "data_type"; star [ nt "column_constraint" ] ];
+      ];
+    frag "Not Null"
+      ~tokens:[ kw "NOT"; kw "NULL" ]
+      [ rule "column_constraint" [ [ t "NOT"; t "NULL" ] ] ];
+    frag "Unique Column"
+      ~tokens:[ kw "UNIQUE" ]
+      [ rule "column_constraint" [ [ t "UNIQUE" ] ] ];
+    frag "Primary Key Column"
+      ~tokens:[ kw "PRIMARY"; kw "KEY" ]
+      [ rule "column_constraint" [ [ t "PRIMARY"; t "KEY" ] ] ];
+    frag "Column References"
+      ~tokens:[ kw "REFERENCES"; lparen; rparen; comma ]
+      [
+        rule "column_constraint" [ [ nt "references_specification" ] ];
+        r1 "references_specification"
+          [
+            t "REFERENCES"; nt "table_name";
+            opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Referential Actions"
+      ~tokens:
+        [
+          kw "ON"; kw "DELETE"; kw "UPDATE"; kw "CASCADE"; kw "SET"; kw "NULL";
+          kw "DEFAULT"; kw "RESTRICT"; kw "NO"; kw "ACTION";
+        ]
+      [
+        r1 "references_specification"
+          [
+            t "REFERENCES"; nt "table_name";
+            opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+            opt [ t "ON"; t "DELETE"; nt "referential_action" ];
+            opt [ t "ON"; t "UPDATE"; nt "referential_action" ];
+          ];
+        rule "referential_action"
+          [
+            [ t "CASCADE" ]; [ t "SET"; t "NULL" ]; [ t "SET"; t "DEFAULT" ];
+            [ t "RESTRICT" ]; [ t "NO"; t "ACTION" ];
+          ];
+      ];
+    frag "Column Check"
+      ~tokens:[ kw "CHECK"; lparen; rparen ]
+      [
+        rule "column_constraint"
+          [ [ t "CHECK"; t "LPAREN"; nt "search_condition"; t "RPAREN" ] ];
+      ];
+    frag "Table Constraints"
+      [
+        rule "table_element" [ [ nt "table_constraint_definition" ] ];
+        r1 "table_constraint_definition" [ nt "table_constraint" ];
+      ];
+    frag "Constraint Naming"
+      ~tokens:[ kw "CONSTRAINT" ]
+      [
+        r1 "table_constraint_definition"
+          [ opt [ t "CONSTRAINT"; nt "identifier" ]; nt "table_constraint" ];
+      ];
+    frag "Unique Constraint"
+      ~tokens:[ kw "UNIQUE"; lparen; rparen; comma ]
+      [
+        rule "table_constraint"
+          [ [ t "UNIQUE"; t "LPAREN"; nt "column_name_list"; t "RPAREN" ] ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Primary Key Constraint"
+      ~tokens:[ kw "PRIMARY"; kw "KEY"; lparen; rparen; comma ]
+      [
+        rule "table_constraint"
+          [
+            [
+              t "PRIMARY"; t "KEY"; t "LPAREN"; nt "column_name_list"; t "RPAREN";
+            ];
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Foreign Key Constraint"
+      ~tokens:[ kw "FOREIGN"; kw "KEY"; kw "REFERENCES"; lparen; rparen; comma ]
+      [
+        rule "table_constraint"
+          [
+            [
+              t "FOREIGN"; t "KEY"; t "LPAREN"; nt "column_name_list";
+              t "RPAREN"; nt "references_specification";
+            ];
+          ];
+        r1 "references_specification"
+          [
+            t "REFERENCES"; nt "table_name";
+            opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Check Constraint"
+      ~tokens:[ kw "CHECK"; lparen; rparen ]
+      [
+        rule "table_constraint"
+          [ [ t "CHECK"; t "LPAREN"; nt "search_condition"; t "RPAREN" ] ];
+      ];
+    frag "View Definition"
+      ~tokens:[ kw "CREATE"; kw "VIEW"; kw "AS" ]
+      [
+        r1 "sql_statement" [ nt "create_view_statement" ];
+        r1 "create_view_statement"
+          [
+            t "CREATE"; t "VIEW"; nt "table_name"; t "AS"; nt "query_expression";
+          ];
+      ];
+    frag "View Column List"
+      ~tokens:[ lparen; rparen; comma ]
+      [
+        r1 "create_view_statement"
+          [
+            t "CREATE"; t "VIEW"; nt "table_name";
+            opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ]; t "AS";
+            nt "query_expression";
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Check Option"
+      ~tokens:[ kw "WITH"; kw "CHECK"; kw "OPTION" ]
+      [
+        r1 "create_view_statement"
+          [
+            t "CREATE"; t "VIEW"; nt "table_name"; t "AS"; nt "query_expression";
+            opt [ t "WITH"; t "CHECK"; t "OPTION" ];
+          ];
+      ];
+    frag "Drop Statement"
+      ~tokens:[ kw "DROP" ]
+      [
+        r1 "sql_statement" [ nt "drop_statement" ];
+        r1 "drop_statement" [ t "DROP"; nt "drop_object" ];
+      ];
+    frag "Drop Table"
+      ~tokens:[ kw "TABLE" ]
+      [ rule "drop_object" [ [ t "TABLE"; nt "table_name" ] ] ];
+    frag "Drop View"
+      ~tokens:[ kw "VIEW" ]
+      [ rule "drop_object" [ [ t "VIEW"; nt "table_name" ] ] ];
+    frag "Drop Behavior"
+      ~tokens:[ kw "CASCADE"; kw "RESTRICT" ]
+      [
+        r1 "drop_statement"
+          [ t "DROP"; nt "drop_object"; opt [ nt "drop_behavior" ] ];
+        rule "drop_behavior" [ [ t "CASCADE" ]; [ t "RESTRICT" ] ];
+      ];
+    frag "Alter Table"
+      ~tokens:[ kw "ALTER"; kw "TABLE" ]
+      [
+        r1 "sql_statement" [ nt "alter_table_statement" ];
+        r1 "alter_table_statement"
+          [ t "ALTER"; t "TABLE"; nt "table_name"; nt "alter_action" ];
+      ];
+    frag "Add Column"
+      ~tokens:[ kw "ADD"; kw "COLUMN" ]
+      [
+        rule "alter_action" [ [ t "ADD"; opt [ t "COLUMN" ]; nt "column_definition" ] ];
+      ];
+    frag "Drop Column"
+      ~tokens:[ kw "DROP"; kw "COLUMN"; kw "CASCADE"; kw "RESTRICT" ]
+      [
+        rule "alter_action"
+          [
+            [
+              t "DROP"; opt [ t "COLUMN" ]; nt "column_name";
+              opt [ nt "drop_behavior" ];
+            ];
+          ];
+        rule "drop_behavior" [ [ t "CASCADE" ]; [ t "RESTRICT" ] ];
+      ];
+    frag "Alter Column Default"
+      ~tokens:[ kw "ALTER"; kw "COLUMN"; kw "SET"; kw "DROP"; kw "DEFAULT" ]
+      [
+        rule "alter_action"
+          [
+            [
+              t "ALTER"; opt [ t "COLUMN" ]; nt "column_name";
+              nt "alter_column_action";
+            ];
+          ];
+        rule "alter_column_action"
+          [ [ t "SET"; nt "default_clause" ]; [ t "DROP"; t "DEFAULT" ] ];
+      ];
+    frag "Add Table Constraint"
+      ~tokens:[ kw "ADD" ]
+      [ rule "alter_action" [ [ t "ADD"; nt "table_constraint_definition" ] ] ];
+    frag "Schema Statements" [];
+    frag "Sequence Generators" [];
+    frag "Create Sequence"
+      ~tokens:[ kw "CREATE"; kw "SEQUENCE" ]
+      [
+        r1 "sql_statement" [ nt "sequence_statement" ];
+        rule "sequence_statement"
+          [ [ t "CREATE"; t "SEQUENCE"; nt "identifier" ] ];
+      ];
+    frag "Sequence Start"
+      ~tokens:[ kw "START"; kw "WITH"; integer_tok ]
+      [
+        rule "sequence_statement"
+          [
+            [
+              t "CREATE"; t "SEQUENCE"; nt "identifier";
+              opt [ t "START"; t "WITH"; t "UNSIGNED_INTEGER" ];
+            ];
+          ];
+      ];
+    frag "Sequence Increment"
+      ~tokens:[ kw "INCREMENT"; kw "BY"; integer_tok ]
+      [
+        rule "sequence_statement"
+          [
+            [
+              t "CREATE"; t "SEQUENCE"; nt "identifier";
+              opt [ t "INCREMENT"; t "BY"; t "UNSIGNED_INTEGER" ];
+            ];
+          ];
+      ];
+    frag "Drop Sequence"
+      ~tokens:[ kw "DROP"; kw "SEQUENCE" ]
+      [
+        r1 "sql_statement" [ nt "sequence_statement" ];
+        rule "sequence_statement" [ [ t "DROP"; t "SEQUENCE"; nt "identifier" ] ];
+      ];
+    frag "Next Value"
+      ~tokens:[ kw "NEXT"; kw "VALUE"; kw "FOR" ]
+      [
+        r1 "value_expression_primary" [ nt "next_value_expression" ];
+        r1 "next_value_expression" [ t "NEXT"; t "VALUE"; t "FOR"; nt "identifier" ];
+      ];
+    frag "Create Schema"
+      ~tokens:[ kw "CREATE"; kw "SCHEMA" ]
+      [
+        r1 "sql_statement" [ nt "schema_statement" ];
+        rule "schema_statement" [ [ t "CREATE"; t "SCHEMA"; nt "identifier" ] ];
+      ];
+    frag "Drop Schema"
+      ~tokens:[ kw "DROP"; kw "SCHEMA"; kw "CASCADE"; kw "RESTRICT" ]
+      [
+        r1 "sql_statement" [ nt "schema_statement" ];
+        rule "schema_statement"
+          [ [ t "DROP"; t "SCHEMA"; nt "identifier"; opt [ nt "drop_behavior" ] ] ];
+        rule "drop_behavior" [ [ t "CASCADE" ]; [ t "RESTRICT" ] ];
+      ];
+    frag "Set Schema"
+      ~tokens:[ kw "SET"; kw "SCHEMA" ]
+      [
+        r1 "sql_statement" [ nt "schema_statement" ];
+        rule "schema_statement" [ [ t "SET"; t "SCHEMA"; nt "identifier" ] ];
+      ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints =
+      [
+        Feature.Model.Requires ("Table Definition", "Data Types");
+        Feature.Model.Requires ("Column Check", "Search Condition");
+        Feature.Model.Requires ("Check Constraint", "Search Condition");
+        Feature.Model.Requires ("Default Clause", "Literals");
+        Feature.Model.Requires ("Alter Table", "Table Definition");
+        Feature.Model.Requires ("Alter Column Default", "Default Clause");
+        Feature.Model.Requires ("Add Table Constraint", "Table Constraints");
+        Feature.Model.Requires ("Sequence Start", "Create Sequence");
+        Feature.Model.Requires ("Sequence Increment", "Create Sequence");
+        Feature.Model.Requires ("Next Value", "Create Sequence");
+      ];
+    diagram_names =
+      [
+        "Data Definition";
+        "Table Definition";
+        "Column Constraints";
+        "Table Constraints";
+        "View Definition";
+        "Drop Statement";
+        "Alter Table";
+        "Schema Statements";
+        "Sequence Generators";
+      ];
+  }

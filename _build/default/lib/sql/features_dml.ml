@@ -1,0 +1,158 @@
+(** Data Manipulation region: INSERT, UPDATE, DELETE and MERGE. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let insert_tree =
+  feature "Insert Statement"
+    [
+      optional (leaf "Insert Column List");
+      optional (leaf "Multi-row Insert");
+      optional (leaf "Insert From Query");
+      optional (leaf "Default Values");
+    ]
+
+let update_tree =
+  feature "Update Statement"
+    [ optional (leaf "Update Where"); optional (leaf "Update To Default") ]
+
+let delete_tree = feature "Delete Statement" [ optional (leaf "Delete Where") ]
+
+let merge_tree =
+  feature "Merge Statement"
+    [ Or_group [ leaf "Merge Update"; leaf "Merge Insert" ] ]
+
+let tree =
+  feature "Data Manipulation"
+    [
+      Or_group [ insert_tree; update_tree; delete_tree; merge_tree ];
+    ]
+
+(* The [where_clause] rule is declared by every feature that uses it (the
+   composition keeps a single copy); each such feature requires "Search
+   Condition" for the rules below it. *)
+let where_clause_rule = r1 "where_clause" [ t "WHERE"; nt "search_condition" ]
+
+let fragments =
+  [
+    frag "Data Manipulation" [];
+    frag "Insert Statement"
+      ~tokens:[ kw "INSERT"; kw "INTO"; kw "VALUES"; lparen; rparen; comma ]
+      [
+        r1 "sql_statement" [ nt "insert_statement" ];
+        r1 "insert_statement"
+          [ t "INSERT"; t "INTO"; nt "table_name"; nt "insert_source" ];
+        r1 "insert_source" [ nt "values_clause" ];
+        r1 "values_clause" [ t "VALUES"; nt "row_value" ];
+        r1 "row_value"
+          (t "LPAREN" :: (comma_list (nt "value_expression") @ [ t "RPAREN" ]));
+      ];
+    frag "Insert Column List"
+      ~tokens:[ lparen; rparen; comma ]
+      [
+        r1 "insert_statement"
+          [
+            t "INSERT"; t "INTO"; nt "table_name";
+            opt [ nt "insert_column_list" ]; nt "insert_source";
+          ];
+        r1 "insert_column_list"
+          [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Multi-row Insert"
+      ~tokens:[ comma ]
+      [ r1 "values_clause" (t "VALUES" :: comma_list (nt "row_value")) ];
+    frag "Insert From Query" [ rule "insert_source" [ [ nt "query_expression" ] ] ];
+    frag "Default Values"
+      ~tokens:[ kw "DEFAULT"; kw "VALUES" ]
+      [ rule "insert_source" [ [ t "DEFAULT"; t "VALUES" ] ] ];
+    frag "Update Statement"
+      ~tokens:[ kw "UPDATE"; kw "SET"; punct "EQUALS" "="; comma ]
+      [
+        r1 "sql_statement" [ nt "update_statement" ];
+        r1 "update_statement"
+          (t "UPDATE" :: nt "table_name" :: t "SET" :: comma_list (nt "set_clause"));
+        r1 "set_clause" [ nt "column_name"; t "EQUALS"; nt "update_source" ];
+        r1 "update_source" [ nt "value_expression" ];
+      ];
+    frag "Update Where"
+      ~tokens:[ kw "WHERE" ]
+      [
+        r1 "update_statement"
+          (t "UPDATE" :: nt "table_name" :: t "SET"
+           :: (comma_list (nt "set_clause") @ [ opt [ nt "where_clause" ] ]));
+        where_clause_rule;
+      ];
+    frag "Update To Default"
+      ~tokens:[ kw "DEFAULT" ]
+      [ rule "update_source" [ [ t "DEFAULT" ] ] ];
+    frag "Delete Statement"
+      ~tokens:[ kw "DELETE"; kw "FROM" ]
+      [
+        r1 "sql_statement" [ nt "delete_statement" ];
+        r1 "delete_statement" [ t "DELETE"; t "FROM"; nt "table_name" ];
+      ];
+    frag "Delete Where"
+      ~tokens:[ kw "WHERE" ]
+      [
+        r1 "delete_statement"
+          [ t "DELETE"; t "FROM"; nt "table_name"; opt [ nt "where_clause" ] ];
+        where_clause_rule;
+      ];
+    frag "Merge Statement"
+      ~tokens:[ kw "MERGE"; kw "INTO"; kw "USING"; kw "ON"; kw "AS"; kw "WHEN"; kw "THEN" ]
+      [
+        r1 "sql_statement" [ nt "merge_statement" ];
+        r1 "merge_statement"
+          [
+            t "MERGE"; t "INTO"; nt "table_name";
+            opt [ nt "merge_correlation" ]; t "USING"; nt "table_primary";
+            t "ON"; nt "search_condition"; plus [ nt "merge_when_clause" ];
+          ];
+        r1 "merge_correlation" [ opt [ t "AS" ]; nt "identifier" ];
+      ];
+    frag "Merge Update"
+      ~tokens:[ kw "MATCHED"; kw "UPDATE"; kw "SET"; punct "EQUALS" "="; comma ]
+      [
+        r1 "merge_when_clause"
+          (t "WHEN" :: t "MATCHED" :: t "THEN" :: t "UPDATE" :: t "SET"
+           :: comma_list (nt "set_clause"));
+        r1 "set_clause" [ nt "column_name"; t "EQUALS"; nt "update_source" ];
+        r1 "update_source" [ nt "value_expression" ];
+      ];
+    frag "Merge Insert"
+      ~tokens:[ kw "NOT"; kw "MATCHED"; kw "INSERT"; kw "VALUES"; lparen; rparen; comma ]
+      [
+        r1 "merge_when_clause"
+          [
+            t "WHEN"; t "NOT"; t "MATCHED"; t "THEN"; t "INSERT";
+            opt [ nt "insert_column_list" ]; t "VALUES"; nt "row_value";
+          ];
+        r1 "insert_column_list"
+          [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+        r1 "row_value"
+          (t "LPAREN" :: (comma_list (nt "value_expression") @ [ t "RPAREN" ]));
+      ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints =
+      [
+        Feature.Model.Requires ("Update Where", "Search Condition");
+        Feature.Model.Requires ("Delete Where", "Search Condition");
+        Feature.Model.Requires ("Merge Statement", "Search Condition");
+      ];
+    diagram_names =
+      [
+        "Data Manipulation";
+        "Insert Statement";
+        "Update Statement";
+        "Delete Statement";
+        "Merge Statement";
+      ];
+  }

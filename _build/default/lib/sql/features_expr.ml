@@ -1,0 +1,524 @@
+(** Value Expressions region: column references, literals, arithmetic,
+    string operations, CASE abbreviations, CAST, aggregate (set) functions,
+    scalar functions and subqueries. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let literals_tree =
+  feature "Literals"
+    [
+      Or_group
+        [
+          leaf "Integer Literal";
+          leaf "Decimal Literal";
+          leaf "String Literal";
+          leaf "Boolean Literal";
+          leaf "Null Literal";
+          leaf "Datetime Literal";
+          leaf "Interval Literal";
+        ];
+    ]
+
+let arithmetic_tree =
+  feature "Arithmetic"
+    [
+      Or_group
+        [
+          leaf "Addition";
+          leaf "Subtraction";
+          leaf "Multiplication";
+          leaf "Division";
+        ];
+      optional (leaf "Unary Sign");
+    ]
+
+let case_tree =
+  feature "Case Expression"
+    [
+      Or_group
+        [ leaf "Searched Case"; leaf "Simple Case"; leaf "Nullif"; leaf "Coalesce" ];
+    ]
+
+let aggregate_tree =
+  feature "Aggregate Functions"
+    [
+      Or_group
+        [
+          leaf "Count";
+          leaf "Sum";
+          leaf "Avg";
+          leaf "Min";
+          leaf "Max";
+          leaf "Every";
+          leaf "Any Aggregate";
+        ];
+      optional (leaf "Count Star");
+      optional (leaf "Aggregate Quantifier");
+    ]
+
+let string_functions_tree =
+  feature "String Functions"
+    [
+      Or_group
+        [
+          leaf "Upper";
+          leaf "Lower";
+          leaf "Char Length";
+          leaf "Octet Length";
+          leaf "Substring";
+          leaf "Overlay";
+          leaf "Trim";
+          leaf "Position";
+        ];
+    ]
+
+let numeric_functions_tree =
+  feature "Numeric Functions"
+    [ Or_group [ leaf "Absolute Value"; leaf "Modulus"; leaf "Extract" ] ]
+
+let datetime_functions_tree =
+  feature "Datetime Value Functions"
+    [
+      Or_group
+        [
+          leaf "Current Date";
+          leaf "Current Time";
+          leaf "Current Timestamp";
+          leaf "Localtime";
+          leaf "Localtimestamp";
+        ];
+    ]
+
+let identity_functions_tree =
+  feature "User Identity Functions"
+    [ Or_group [ leaf "Current User"; leaf "Session User"; leaf "System User" ] ]
+
+let value_expression_tree =
+  feature "Value Expression"
+    [
+      mandatory
+        (feature "Column Reference"
+           [ optional (leaf "Qualified Column Reference") ]);
+      optional literals_tree;
+      optional arithmetic_tree;
+      optional (leaf "String Concatenation");
+      optional (leaf "Parenthesized Expression");
+      optional (leaf "Scalar Subquery");
+      optional case_tree;
+      optional (leaf "Cast");
+      optional aggregate_tree;
+      optional string_functions_tree;
+      optional numeric_functions_tree;
+      optional datetime_functions_tree;
+      optional identity_functions_tree;
+      optional
+        (feature "Window Functions"
+           [ Or_group [ leaf "Rank"; leaf "Dense Rank"; leaf "Row Number" ] ]);
+      optional (leaf "Function Call");
+      optional (leaf "Dynamic Parameters");
+    ]
+
+let tree = feature "Value Expressions" [ mandatory value_expression_tree ]
+
+let fragments =
+  [
+    frag "Value Expressions" [];
+    frag "Value Expression"
+      [
+        r1 "value_expression" [ nt "numeric_value_expression" ];
+        r1 "numeric_value_expression" [ nt "term" ];
+        r1 "term" [ nt "factor" ];
+        r1 "factor" [ nt "value_expression_primary" ];
+      ];
+    frag "Column Reference"
+      [
+        r1 "value_expression_primary" [ nt "column_reference" ];
+        r1 "column_reference" [ nt "column_name" ];
+      ];
+    frag "Qualified Column Reference"
+      ~tokens:[ punct "PERIOD" "." ]
+      [
+        r1 "column_reference"
+          [ opt [ nt "identifier"; t "PERIOD" ]; nt "column_name" ];
+      ];
+    (* --- Literals ------------------------------------------------------ *)
+    frag "Literals" [ r1 "value_expression_primary" [ nt "literal" ] ];
+    frag "Integer Literal"
+      ~tokens:[ integer_tok ]
+      [ r1 "literal" [ t "UNSIGNED_INTEGER" ] ];
+    frag "Decimal Literal"
+      ~tokens:[ decimal_tok ]
+      [ r1 "literal" [ t "DECIMAL_LITERAL" ] ];
+    frag "String Literal"
+      ~tokens:[ string_tok ]
+      [ r1 "literal" [ t "STRING_LITERAL" ] ];
+    frag "Boolean Literal"
+      ~tokens:[ kw "TRUE"; kw "FALSE" ]
+      [ rule "literal" [ [ t "TRUE" ]; [ t "FALSE" ] ] ];
+    frag "Null Literal" ~tokens:[ kw "NULL" ] [ r1 "literal" [ t "NULL" ] ];
+    frag "Datetime Literal"
+      ~tokens:[ kw "DATE"; kw "TIME"; kw "TIMESTAMP"; string_tok ]
+      [
+        r1 "literal" [ nt "datetime_literal" ];
+        rule "datetime_literal"
+          [
+            [ t "DATE"; t "STRING_LITERAL" ];
+            [ t "TIME"; t "STRING_LITERAL" ];
+            [ t "TIMESTAMP"; t "STRING_LITERAL" ];
+          ];
+      ];
+    frag "Interval Literal"
+      ~tokens:
+        [
+          kw "INTERVAL"; kw "TO"; kw "YEAR"; kw "MONTH"; kw "DAY"; kw "HOUR";
+          kw "MINUTE"; kw "SECOND"; string_tok;
+        ]
+      [
+        rule "literal" [ [ nt "interval_literal" ] ];
+        r1 "interval_literal"
+          [ t "INTERVAL"; t "STRING_LITERAL"; nt "interval_qualifier" ];
+        r1 "interval_qualifier"
+          [ nt "datetime_field"; opt [ t "TO"; nt "datetime_field" ] ];
+        rule "datetime_field"
+          [
+            [ t "YEAR" ]; [ t "MONTH" ]; [ t "DAY" ]; [ t "HOUR" ];
+            [ t "MINUTE" ]; [ t "SECOND" ];
+          ];
+      ];
+    (* --- Arithmetic ----------------------------------------------------- *)
+    frag "Arithmetic" [];
+    frag "Addition"
+      ~tokens:[ punct "PLUS" "+" ]
+      [
+        r1 "numeric_value_expression" [ nt "term"; star [ nt "additive_tail" ] ];
+        r1 "additive_tail" [ t "PLUS"; nt "term" ];
+      ];
+    frag "Subtraction"
+      ~tokens:[ punct "MINUS" "-" ]
+      [
+        r1 "numeric_value_expression" [ nt "term"; star [ nt "additive_tail" ] ];
+        r1 "additive_tail" [ t "MINUS"; nt "term" ];
+      ];
+    frag "Multiplication"
+      ~tokens:[ punct "ASTERISK" "*" ]
+      [
+        r1 "term" [ nt "factor"; star [ nt "multiplicative_tail" ] ];
+        r1 "multiplicative_tail" [ t "ASTERISK"; nt "factor" ];
+      ];
+    frag "Division"
+      ~tokens:[ punct "SOLIDUS" "/" ]
+      [
+        r1 "term" [ nt "factor"; star [ nt "multiplicative_tail" ] ];
+        r1 "multiplicative_tail" [ t "SOLIDUS"; nt "factor" ];
+      ];
+    frag "Unary Sign"
+      ~tokens:[ punct "PLUS" "+"; punct "MINUS" "-" ]
+      [
+        r1 "factor" [ opt [ nt "sign" ]; nt "value_expression_primary" ];
+        rule "sign" [ [ t "PLUS" ]; [ t "MINUS" ] ];
+      ];
+    frag "String Concatenation"
+      ~tokens:[ punct "CONCAT" "||" ]
+      [
+        r1 "numeric_value_expression" [ nt "term"; star [ nt "additive_tail" ] ];
+        r1 "additive_tail" [ t "CONCAT"; nt "term" ];
+      ];
+    frag "Parenthesized Expression"
+      ~tokens:[ lparen; rparen ]
+      [
+        r1 "value_expression_primary"
+          [ t "LPAREN"; nt "value_expression"; t "RPAREN" ];
+      ];
+    frag "Scalar Subquery" [ r1 "value_expression_primary" [ nt "subquery" ] ];
+    (* --- CASE and its abbreviations -------------------------------------- *)
+    frag "Case Expression" [ r1 "value_expression_primary" [ nt "case_expression" ] ];
+    frag "Searched Case"
+      ~tokens:[ kw "CASE"; kw "WHEN"; kw "THEN"; kw "ELSE"; kw "END" ]
+      [
+        r1 "case_expression"
+          [
+            t "CASE"; plus [ nt "searched_when_clause" ];
+            opt [ nt "else_clause" ]; t "END";
+          ];
+        r1 "searched_when_clause"
+          [ t "WHEN"; nt "search_condition"; t "THEN"; nt "value_expression" ];
+        r1 "else_clause" [ t "ELSE"; nt "value_expression" ];
+      ];
+    frag "Simple Case"
+      ~tokens:[ kw "CASE"; kw "WHEN"; kw "THEN"; kw "ELSE"; kw "END" ]
+      [
+        r1 "case_expression"
+          [
+            t "CASE"; nt "value_expression"; plus [ nt "simple_when_clause" ];
+            opt [ nt "else_clause" ]; t "END";
+          ];
+        r1 "simple_when_clause"
+          [ t "WHEN"; nt "value_expression"; t "THEN"; nt "value_expression" ];
+        r1 "else_clause" [ t "ELSE"; nt "value_expression" ];
+      ];
+    frag "Nullif"
+      ~tokens:[ kw "NULLIF"; lparen; rparen; comma ]
+      [
+        r1 "case_expression"
+          [
+            t "NULLIF"; t "LPAREN"; nt "value_expression"; t "COMMA";
+            nt "value_expression"; t "RPAREN";
+          ];
+      ];
+    frag "Coalesce"
+      ~tokens:[ kw "COALESCE"; lparen; rparen; comma ]
+      [
+        r1 "case_expression"
+          (t "COALESCE" :: t "LPAREN"
+           :: (comma_list (nt "value_expression") @ [ t "RPAREN" ]));
+      ];
+    frag "Cast"
+      ~tokens:[ kw "CAST"; kw "AS"; lparen; rparen ]
+      [
+        r1 "value_expression_primary" [ nt "cast_specification" ];
+        r1 "cast_specification"
+          [
+            t "CAST"; t "LPAREN"; nt "value_expression"; t "AS"; nt "data_type";
+            t "RPAREN";
+          ];
+      ];
+    (* --- Aggregate (set) functions ---------------------------------------- *)
+    frag "Aggregate Functions"
+      ~tokens:[ lparen; rparen ]
+      [
+        r1 "value_expression_primary" [ nt "set_function_specification" ];
+        r1 "set_function_specification"
+          [
+            nt "set_function_type"; t "LPAREN"; nt "value_expression"; t "RPAREN";
+          ];
+      ];
+    frag "Count" ~tokens:[ kw "COUNT" ] [ r1 "set_function_type" [ t "COUNT" ] ];
+    frag "Sum" ~tokens:[ kw "SUM" ] [ r1 "set_function_type" [ t "SUM" ] ];
+    frag "Avg" ~tokens:[ kw "AVG" ] [ r1 "set_function_type" [ t "AVG" ] ];
+    frag "Min" ~tokens:[ kw "MIN" ] [ r1 "set_function_type" [ t "MIN" ] ];
+    frag "Max" ~tokens:[ kw "MAX" ] [ r1 "set_function_type" [ t "MAX" ] ];
+    frag "Every" ~tokens:[ kw "EVERY" ] [ r1 "set_function_type" [ t "EVERY" ] ];
+    frag "Any Aggregate" ~tokens:[ kw "ANY" ] [ r1 "set_function_type" [ t "ANY" ] ];
+    frag "Count Star"
+      ~tokens:[ kw "COUNT"; punct "ASTERISK" "*"; lparen; rparen ]
+      [
+        rule "set_function_specification"
+          [ [ t "COUNT"; t "LPAREN"; t "ASTERISK"; t "RPAREN" ] ];
+      ];
+    frag "Aggregate Quantifier"
+      [
+        r1 "set_function_specification"
+          [
+            nt "set_function_type"; t "LPAREN"; opt [ nt "set_quantifier" ];
+            nt "value_expression"; t "RPAREN";
+          ];
+      ];
+    (* --- Scalar functions --------------------------------------------------- *)
+    frag "String Functions" [ r1 "value_expression_primary" [ nt "string_function" ] ];
+    frag "Upper"
+      ~tokens:[ kw "UPPER"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [ t "UPPER"; t "LPAREN"; nt "value_expression"; t "RPAREN" ];
+      ];
+    frag "Lower"
+      ~tokens:[ kw "LOWER"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [ t "LOWER"; t "LPAREN"; nt "value_expression"; t "RPAREN" ];
+      ];
+    frag "Char Length"
+      ~tokens:[ kw "CHAR_LENGTH"; kw "CHARACTER_LENGTH"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [
+            grp [ [ t "CHAR_LENGTH" ]; [ t "CHARACTER_LENGTH" ] ]; t "LPAREN";
+            nt "value_expression"; t "RPAREN";
+          ];
+      ];
+    frag "Octet Length"
+      ~tokens:[ kw "OCTET_LENGTH"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [ t "OCTET_LENGTH"; t "LPAREN"; nt "value_expression"; t "RPAREN" ];
+      ];
+    frag "Overlay"
+      ~tokens:[ kw "OVERLAY"; kw "PLACING"; kw "FROM"; kw "FOR"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [
+            t "OVERLAY"; t "LPAREN"; nt "value_expression"; t "PLACING";
+            nt "value_expression"; t "FROM"; nt "value_expression";
+            opt [ t "FOR"; nt "value_expression" ]; t "RPAREN";
+          ];
+      ];
+    frag "Substring"
+      ~tokens:[ kw "SUBSTRING"; kw "FROM"; kw "FOR"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [
+            t "SUBSTRING"; t "LPAREN"; nt "value_expression"; t "FROM";
+            nt "value_expression"; opt [ t "FOR"; nt "value_expression" ];
+            t "RPAREN";
+          ];
+      ];
+    frag "Trim"
+      ~tokens:
+        [ kw "TRIM"; kw "LEADING"; kw "TRAILING"; kw "BOTH"; kw "FROM"; lparen; rparen ]
+      [
+        r1 "string_function" [ t "TRIM"; t "LPAREN"; nt "trim_operands"; t "RPAREN" ];
+        rule "trim_operands"
+          [
+            [
+              opt [ nt "trim_specification" ]; opt [ nt "value_expression" ];
+              t "FROM"; nt "value_expression";
+            ];
+            [ nt "value_expression" ];
+          ];
+        rule "trim_specification"
+          [ [ t "LEADING" ]; [ t "TRAILING" ]; [ t "BOTH" ] ];
+      ];
+    frag "Position"
+      ~tokens:[ kw "POSITION"; kw "IN"; lparen; rparen ]
+      [
+        r1 "string_function"
+          [
+            t "POSITION"; t "LPAREN"; nt "value_expression"; t "IN";
+            nt "value_expression"; t "RPAREN";
+          ];
+      ];
+    frag "Numeric Functions"
+      [ r1 "value_expression_primary" [ nt "numeric_function" ] ];
+    frag "Absolute Value"
+      ~tokens:[ kw "ABS"; lparen; rparen ]
+      [
+        r1 "numeric_function"
+          [ t "ABS"; t "LPAREN"; nt "value_expression"; t "RPAREN" ];
+      ];
+    frag "Modulus"
+      ~tokens:[ kw "MOD"; lparen; rparen; comma ]
+      [
+        r1 "numeric_function"
+          [
+            t "MOD"; t "LPAREN"; nt "value_expression"; t "COMMA";
+            nt "value_expression"; t "RPAREN";
+          ];
+      ];
+    frag "Extract"
+      ~tokens:
+        [
+          kw "EXTRACT"; kw "FROM"; kw "YEAR"; kw "MONTH"; kw "DAY"; kw "HOUR";
+          kw "MINUTE"; kw "SECOND"; lparen; rparen;
+        ]
+      [
+        r1 "numeric_function"
+          [
+            t "EXTRACT"; t "LPAREN"; nt "extract_field"; t "FROM";
+            nt "value_expression"; t "RPAREN";
+          ];
+        rule "extract_field"
+          [
+            [ t "YEAR" ]; [ t "MONTH" ]; [ t "DAY" ]; [ t "HOUR" ];
+            [ t "MINUTE" ]; [ t "SECOND" ];
+          ];
+      ];
+    frag "Datetime Value Functions"
+      [ r1 "value_expression_primary" [ nt "datetime_value_function" ] ];
+    frag "Current Date"
+      ~tokens:[ kw "CURRENT_DATE" ]
+      [ r1 "datetime_value_function" [ t "CURRENT_DATE" ] ];
+    frag "Current Time"
+      ~tokens:[ kw "CURRENT_TIME" ]
+      [ r1 "datetime_value_function" [ t "CURRENT_TIME" ] ];
+    frag "Current Timestamp"
+      ~tokens:[ kw "CURRENT_TIMESTAMP" ]
+      [ r1 "datetime_value_function" [ t "CURRENT_TIMESTAMP" ] ];
+    frag "Localtime"
+      ~tokens:[ kw "LOCALTIME" ]
+      [ r1 "datetime_value_function" [ t "LOCALTIME" ] ];
+    frag "Localtimestamp"
+      ~tokens:[ kw "LOCALTIMESTAMP" ]
+      [ r1 "datetime_value_function" [ t "LOCALTIMESTAMP" ] ];
+    frag "User Identity Functions"
+      [ r1 "value_expression_primary" [ nt "user_identity_function" ] ];
+    frag "Current User"
+      ~tokens:[ kw "CURRENT_USER" ]
+      [ r1 "user_identity_function" [ t "CURRENT_USER" ] ];
+    frag "Session User"
+      ~tokens:[ kw "SESSION_USER" ]
+      [ r1 "user_identity_function" [ t "SESSION_USER" ] ];
+    frag "System User"
+      ~tokens:[ kw "SYSTEM_USER" ]
+      [ r1 "user_identity_function" [ t "SYSTEM_USER" ] ];
+    frag "Window Functions"
+      ~tokens:[ kw "OVER"; kw "PARTITION"; kw "ORDER"; kw "BY"; lparen; rparen; comma ]
+      [
+        r1 "value_expression_primary" [ nt "window_function" ];
+        r1 "window_function"
+          [
+            nt "window_function_type"; t "OVER"; t "LPAREN";
+            nt "window_specification"; t "RPAREN";
+          ];
+        (* The same specification rule the WINDOW clause uses; identical
+           redefinition composes to a single copy. *)
+        r1 "window_specification"
+          [
+            opt [ t "PARTITION"; t "BY"; nt "window_column_list" ];
+            opt [ t "ORDER"; t "BY"; nt "window_column_list" ];
+          ];
+        r1 "window_column_list" (comma_list (nt "value_expression"));
+      ];
+    frag "Rank"
+      ~tokens:[ kw "RANK"; lparen; rparen ]
+      [ rule "window_function_type" [ [ t "RANK"; t "LPAREN"; t "RPAREN" ] ] ];
+    frag "Dense Rank"
+      ~tokens:[ kw "DENSE_RANK"; lparen; rparen ]
+      [ rule "window_function_type" [ [ t "DENSE_RANK"; t "LPAREN"; t "RPAREN" ] ] ];
+    frag "Row Number"
+      ~tokens:[ kw "ROW_NUMBER"; lparen; rparen ]
+      [ rule "window_function_type" [ [ t "ROW_NUMBER"; t "LPAREN"; t "RPAREN" ] ] ];
+    frag "Dynamic Parameters"
+      ~tokens:[ punct "QUESTION" "?" ]
+      [ rule "value_expression_primary" [ [ t "QUESTION" ] ] ];
+    frag "Function Call"
+      ~tokens:[ lparen; rparen; comma ]
+      [
+        r1 "value_expression_primary" [ nt "function_call" ];
+        r1 "function_call"
+          [
+            nt "identifier"; t "LPAREN"; opt [ nt "argument_list" ]; t "RPAREN";
+          ];
+        r1 "argument_list" (comma_list (nt "value_expression"));
+      ];
+  ]
+
+let region =
+  {
+    subtree = mandatory tree;
+    fragments;
+    constraints =
+      [
+        Feature.Model.Requires ("Datetime Literal", "String Literal");
+        Feature.Model.Requires ("Scalar Subquery", "Subquery");
+        Feature.Model.Requires ("Searched Case", "Search Condition");
+        Feature.Model.Requires ("Cast", "Data Types");
+        Feature.Model.Requires ("Count Star", "Count");
+        Feature.Model.Requires ("Aggregate Quantifier", "Set Quantifier");
+      ];
+    diagram_names =
+      [
+        "Value Expressions";
+        "Window Functions";
+        "Value Expression";
+        "Literals";
+        "Arithmetic";
+        "Case Expression";
+        "Aggregate Functions";
+        "String Functions";
+        "Numeric Functions";
+        "Datetime Value Functions";
+        "User Identity Functions";
+      ];
+  }

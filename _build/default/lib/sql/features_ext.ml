@@ -1,0 +1,53 @@
+(** Extension Packages region: non-Foundation features used by the embedded
+    dialects — TinySQL's acquisitional query clauses (TinyDB, sensor
+    networks). Other SQL:2003 packages would be decomposed the same way. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let tree =
+  feature "Extension Packages"
+    [
+      optional
+        (feature "Acquisitional Queries"
+           [ Or_group [ leaf "Epoch Duration"; leaf "Sample Period" ] ]);
+      optional (leaf "Explain Statement");
+    ]
+
+let fragments =
+  [
+    frag "Extension Packages" [];
+    frag "Acquisitional Queries" [];
+    frag "Epoch Duration"
+      ~tokens:[ kw "EPOCH"; kw "DURATION"; integer_tok ]
+      [
+        r1 "query_statement"
+          [ nt "query_expression"; opt [ nt "epoch_clause" ] ];
+        r1 "epoch_clause" [ t "EPOCH"; t "DURATION"; t "UNSIGNED_INTEGER" ];
+      ];
+    frag "Explain Statement"
+      ~tokens:[ kw "EXPLAIN" ]
+      [
+        rule "sql_statement" [ [ nt "explain_statement" ] ];
+        r1 "explain_statement" [ t "EXPLAIN"; nt "query_statement" ];
+      ];
+    frag "Sample Period"
+      (* The terminal is named PERIOD_KW because PERIOD already names the
+         "." punctuation token. *)
+      ~tokens:
+        [ kw "SAMPLE"; ("PERIOD_KW", Lexing_gen.Spec.Keyword "PERIOD"); integer_tok ]
+      [
+        r1 "query_statement"
+          [ nt "query_expression"; opt [ nt "sample_clause" ] ];
+        r1 "sample_clause" [ t "SAMPLE"; t "PERIOD_KW"; t "UNSIGNED_INTEGER" ];
+      ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints = [];
+    diagram_names = [ "Extension Packages"; "Acquisitional Queries" ];
+  }

@@ -1,0 +1,39 @@
+(** Lexical Elements region: identifiers and object names.
+
+    Mandatory in every dialect — all statements name tables and columns.
+    Delimited (double-quoted) identifiers and schema-qualified names are
+    optional features. *)
+
+open Grammar.Builder
+open Def
+
+let region =
+  let tree =
+    Feature.Tree.feature "Lexical Elements"
+      [
+        Feature.Tree.mandatory (Feature.Tree.leaf "Identifier");
+        Feature.Tree.optional (Feature.Tree.leaf "Delimited Identifier");
+        Feature.Tree.optional (Feature.Tree.leaf "Qualified Names");
+      ]
+  in
+  {
+    subtree = Feature.Tree.mandatory tree;
+    fragments =
+      [
+        frag "Identifier"
+          ~tokens:[ ident_tok ]
+          [
+            r1 "identifier" [ t "IDENT" ];
+            r1 "column_name" [ nt "identifier" ];
+            r1 "table_name" [ nt "identifier" ];
+          ];
+        frag "Delimited Identifier"
+          ~tokens:[ quoted_ident_tok ]
+          [ r1 "identifier" [ t "QUOTED_IDENT" ] ];
+        frag "Qualified Names"
+          ~tokens:[ punct "PERIOD" "." ]
+          [ r1 "table_name" [ nt "identifier"; opt [ t "PERIOD"; nt "identifier" ] ] ];
+      ];
+    constraints = [];
+    diagram_names = [ "Lexical Elements" ];
+  }

@@ -1,0 +1,208 @@
+(** Predicates region: search conditions (boolean structure) and the
+    predicate kinds of SQL Foundation. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let search_condition_tree =
+  feature "Search Condition"
+    [
+      optional (leaf "Or");
+      optional (leaf "And");
+      optional (leaf "Not");
+      optional (leaf "Is Truth Test");
+      optional (leaf "Parenthesized Boolean");
+    ]
+
+let comparison_tree =
+  feature "Comparison Predicate"
+    [
+      Or_group
+        [
+          leaf "Equals";
+          leaf "Not Equals";
+          leaf "Less Than";
+          leaf "Greater Than";
+          leaf "Less Or Equal";
+          leaf "Greater Or Equal";
+        ];
+      optional (leaf "Quantified Comparison");
+    ]
+
+let predicate_tree =
+  feature "Predicate"
+    [
+      Or_group
+        [
+          comparison_tree;
+          feature "Between Predicate" [ optional (leaf "Between Symmetry") ];
+          feature "In Predicate" [ optional (leaf "In Subquery") ];
+          feature "Like Predicate" [ optional (leaf "Escape Clause") ];
+          leaf "Null Predicate";
+          leaf "Exists Predicate";
+          leaf "Unique Predicate";
+          leaf "Distinct Predicate";
+          leaf "Overlaps Predicate";
+          leaf "Similar Predicate";
+          leaf "Boolean Value Expression";
+        ];
+    ]
+
+let tree =
+  feature "Predicates"
+    [ mandatory search_condition_tree; mandatory predicate_tree ]
+
+let fragments =
+  [
+    frag "Predicates" [];
+    frag "Search Condition"
+      [
+        r1 "search_condition" [ nt "boolean_term" ];
+        r1 "boolean_term" [ nt "boolean_factor" ];
+        r1 "boolean_factor" [ nt "boolean_test" ];
+        r1 "boolean_test" [ nt "boolean_primary" ];
+        r1 "boolean_primary" [ nt "predicate" ];
+      ];
+    frag "Or"
+      ~tokens:[ kw "OR" ]
+      [ r1 "search_condition" [ nt "boolean_term"; star [ t "OR"; nt "boolean_term" ] ] ];
+    frag "And"
+      ~tokens:[ kw "AND" ]
+      [ r1 "boolean_term" [ nt "boolean_factor"; star [ t "AND"; nt "boolean_factor" ] ] ];
+    frag "Not"
+      ~tokens:[ kw "NOT" ]
+      [ r1 "boolean_factor" [ opt [ t "NOT" ]; nt "boolean_test" ] ];
+    frag "Is Truth Test"
+      ~tokens:[ kw "IS"; kw "NOT"; kw "TRUE"; kw "FALSE"; kw "UNKNOWN" ]
+      [
+        r1 "boolean_test"
+          [ nt "boolean_primary"; opt [ t "IS"; opt [ t "NOT" ]; nt "truth_value" ] ];
+        rule "truth_value" [ [ t "TRUE" ]; [ t "FALSE" ]; [ t "UNKNOWN" ] ];
+      ];
+    frag "Parenthesized Boolean"
+      ~tokens:[ lparen; rparen ]
+      [ rule "boolean_primary" [ [ t "LPAREN"; nt "search_condition"; t "RPAREN" ] ] ];
+    frag "Predicate" [];
+    (* --- Comparison ----------------------------------------------------- *)
+    frag "Comparison Predicate"
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "comparison_predicate_tail" ] ];
+        r1 "comparison_predicate_tail" [ nt "comp_op"; nt "value_expression" ];
+      ];
+    frag "Equals" ~tokens:[ punct "EQUALS" "=" ] [ r1 "comp_op" [ t "EQUALS" ] ];
+    frag "Not Equals"
+      ~tokens:[ punct "NOT_EQUALS" "<>" ]
+      [ r1 "comp_op" [ t "NOT_EQUALS" ] ];
+    frag "Less Than" ~tokens:[ punct "LESS" "<" ] [ r1 "comp_op" [ t "LESS" ] ];
+    frag "Greater Than"
+      ~tokens:[ punct "GREATER" ">" ]
+      [ r1 "comp_op" [ t "GREATER" ] ];
+    frag "Less Or Equal"
+      ~tokens:[ punct "LESS_EQ" "<=" ]
+      [ r1 "comp_op" [ t "LESS_EQ" ] ];
+    frag "Greater Or Equal"
+      ~tokens:[ punct "GREATER_EQ" ">=" ]
+      [ r1 "comp_op" [ t "GREATER_EQ" ] ];
+    frag "Quantified Comparison"
+      ~tokens:[ kw "ALL"; kw "SOME"; kw "ANY" ]
+      [
+        rule "comparison_predicate_tail"
+          [ [ nt "comp_op"; nt "comparison_quantifier"; nt "subquery" ] ];
+        rule "comparison_quantifier" [ [ t "ALL" ]; [ t "SOME" ]; [ t "ANY" ] ];
+      ];
+    (* --- Other predicate kinds ------------------------------------------- *)
+    frag "Between Predicate"
+      ~tokens:[ kw "NOT"; kw "BETWEEN"; kw "AND" ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "between_tail" ] ];
+        r1 "between_tail"
+          [
+            opt [ t "NOT" ]; t "BETWEEN"; nt "value_expression"; t "AND";
+            nt "value_expression";
+          ];
+      ];
+    frag "Between Symmetry"
+      ~tokens:[ kw "SYMMETRIC"; kw "ASYMMETRIC" ]
+      [
+        r1 "between_tail"
+          [
+            opt [ t "NOT" ]; t "BETWEEN"; opt [ nt "between_symmetry" ];
+            nt "value_expression"; t "AND"; nt "value_expression";
+          ];
+        rule "between_symmetry" [ [ t "SYMMETRIC" ]; [ t "ASYMMETRIC" ] ];
+      ];
+    frag "In Predicate"
+      ~tokens:[ kw "NOT"; kw "IN"; lparen; rparen; comma ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "in_tail" ] ];
+        r1 "in_tail" [ opt [ t "NOT" ]; t "IN"; nt "in_predicate_value" ];
+        r1 "in_predicate_value"
+          (t "LPAREN" :: (comma_list (nt "value_expression") @ [ t "RPAREN" ]));
+      ];
+    frag "In Subquery" [ rule "in_predicate_value" [ [ nt "subquery" ] ] ];
+    frag "Like Predicate"
+      ~tokens:[ kw "NOT"; kw "LIKE" ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "like_tail" ] ];
+        r1 "like_tail" [ opt [ t "NOT" ]; t "LIKE"; nt "value_expression" ];
+      ];
+    frag "Escape Clause"
+      ~tokens:[ kw "ESCAPE" ]
+      [
+        r1 "like_tail"
+          [
+            opt [ t "NOT" ]; t "LIKE"; nt "value_expression";
+            opt [ t "ESCAPE"; nt "value_expression" ];
+          ];
+      ];
+    frag "Null Predicate"
+      ~tokens:[ kw "IS"; kw "NOT"; kw "NULL" ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "null_tail" ] ];
+        r1 "null_tail" [ t "IS"; opt [ t "NOT" ]; t "NULL" ];
+      ];
+    frag "Exists Predicate"
+      ~tokens:[ kw "EXISTS" ]
+      [ rule "predicate" [ [ t "EXISTS"; nt "subquery" ] ] ];
+    frag "Unique Predicate"
+      ~tokens:[ kw "UNIQUE" ]
+      [ rule "predicate" [ [ t "UNIQUE"; nt "subquery" ] ] ];
+    frag "Distinct Predicate"
+      ~tokens:[ kw "IS"; kw "NOT"; kw "DISTINCT"; kw "FROM" ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "distinct_tail" ] ];
+        r1 "distinct_tail"
+          [ t "IS"; opt [ t "NOT" ]; t "DISTINCT"; t "FROM"; nt "value_expression" ];
+      ];
+    frag "Overlaps Predicate"
+      ~tokens:[ kw "OVERLAPS" ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "overlaps_tail" ] ];
+        r1 "overlaps_tail" [ t "OVERLAPS"; nt "value_expression" ];
+      ];
+    frag "Similar Predicate"
+      ~tokens:[ kw "NOT"; kw "SIMILAR"; kw "TO" ]
+      [
+        rule "predicate" [ [ nt "value_expression"; nt "similar_tail" ] ];
+        r1 "similar_tail"
+          [ opt [ t "NOT" ]; t "SIMILAR"; t "TO"; nt "value_expression" ];
+      ];
+    frag "Boolean Value Expression"
+      [ rule "boolean_primary" [ [ nt "value_expression" ] ] ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints =
+      [
+        Feature.Model.Requires ("Quantified Comparison", "Subquery");
+        Feature.Model.Requires ("In Subquery", "Subquery");
+        Feature.Model.Requires ("Exists Predicate", "Subquery");
+        Feature.Model.Requires ("Unique Predicate", "Subquery");
+      ];
+    diagram_names =
+      [ "Predicates"; "Search Condition"; "Predicate"; "Comparison Predicate" ];
+  }

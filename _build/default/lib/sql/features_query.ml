@@ -1,0 +1,501 @@
+(** Queries region: query expressions, the [Query Specification] diagram
+    (paper Figure 1), the [Table Expression] diagram (paper Figure 2), table
+    references and joins, set operations, ordering and fetch clauses.
+
+    Feature and diagram names follow the paper where it names them. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+(* ------------------------------------------------------------------ *)
+(* Diagram subtrees                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let set_quantifier_tree =
+  feature "Set Quantifier" [ Or_group [ leaf "All"; leaf "Distinct" ] ]
+
+let select_list_tree =
+  feature "Select List"
+    [
+      optional (leaf "Asterisk");
+      optional (leaf "Qualified Asterisk");
+      mandatory
+        (feature ~card:one_or_more "Select Sublist"
+           [
+             mandatory
+               (feature "Derived Column" [ optional (leaf "As Clause") ]);
+             optional (leaf "Multiple Select Sublists");
+           ]);
+    ]
+
+let table_reference_tree =
+  feature ~card:one_or_more "Table Reference"
+    [
+      optional
+        (feature "Correlation Name" [ optional (leaf "Derived Column List") ]);
+      optional (leaf "Derived Table");
+      optional (leaf "Multiple Table References");
+      optional
+        (feature "Joined Table"
+           [
+             Or_group
+               [
+                 leaf "Inner Join";
+                 feature "Outer Join"
+                   [
+                     Or_group
+                       [ leaf "Left Join"; leaf "Right Join"; leaf "Full Join" ];
+                   ];
+                 leaf "Cross Join";
+                 leaf "Natural Join";
+               ];
+             optional
+               (feature "Join Specification"
+                  [ Or_group [ leaf "On Clause"; leaf "Using Clause" ] ]);
+           ]);
+    ]
+
+let group_by_tree =
+  feature "Group By"
+    [
+      optional (leaf "Rollup");
+      optional (leaf "Cube");
+      optional (leaf "Grouping Sets");
+    ]
+
+let window_tree = feature "Window" [ optional (leaf "Window Partition") ]
+
+let table_expression_tree =
+  feature "Table Expression"
+    [
+      mandatory (feature "From" [ mandatory table_reference_tree ]);
+      optional (leaf "Where");
+      optional group_by_tree;
+      optional (leaf "Having");
+      optional window_tree;
+    ]
+
+let query_specification_tree =
+  feature "Query Specification"
+    [
+      optional set_quantifier_tree;
+      mandatory select_list_tree;
+      mandatory table_expression_tree;
+    ]
+
+let order_by_tree =
+  feature "Order By"
+    [
+      optional
+        (feature "Ordering Direction" [ Or_group [ leaf "Ascending"; leaf "Descending" ] ]);
+      optional (leaf "Nulls Ordering");
+    ]
+
+let set_operations_tree =
+  feature "Set Operations"
+    [
+      Or_group
+        [
+          feature "Union"
+            [ optional (leaf "Union Quantifier"); optional (leaf "Union Corresponding") ];
+          feature "Except"
+            [ optional (leaf "Except Quantifier"); optional (leaf "Except Corresponding") ];
+          feature "Intersect"
+            [
+              optional (leaf "Intersect Quantifier");
+              optional (leaf "Intersect Corresponding");
+            ];
+        ];
+    ]
+
+let query_expression_tree =
+  feature "Query Expression"
+    [
+      mandatory query_specification_tree;
+      optional set_operations_tree;
+      optional (leaf "Parenthesized Query");
+      optional (leaf "Table Value Constructor");
+      optional (leaf "Subquery");
+      optional (feature "With Clause" [ optional (leaf "Recursive With") ]);
+      optional order_by_tree;
+      optional (feature "Fetch First" []);
+      optional (feature "Limit" []);
+      optional (feature "Updatability Clause" [ optional (leaf "Update Of Columns") ]);
+    ]
+
+let tree = feature "Queries" [ mandatory query_expression_tree ]
+
+(* ------------------------------------------------------------------ *)
+(* Fragments                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fragments =
+  [
+    frag "Queries" [ r1 "sql_statement" [ nt "query_statement" ] ];
+    frag "Query Expression"
+      [
+        r1 "query_statement" [ nt "query_expression" ];
+        r1 "query_expression" [ nt "query_term" ];
+        r1 "query_term" [ nt "query_primary" ];
+        r1 "query_primary" [ nt "query_specification" ];
+      ];
+    (* --- Figure 1: Query Specification ------------------------------ *)
+    frag "Query Specification"
+      ~tokens:[ kw "SELECT" ]
+      [
+        r1 "query_specification"
+          [ t "SELECT"; nt "select_list"; nt "table_expression" ];
+      ];
+    frag "Set Quantifier"
+      [
+        r1 "query_specification"
+          [
+            t "SELECT";
+            opt [ nt "set_quantifier" ];
+            nt "select_list";
+            nt "table_expression";
+          ];
+      ];
+    frag "All" ~tokens:[ kw "ALL" ] [ r1 "set_quantifier" [ t "ALL" ] ];
+    frag "Distinct" ~tokens:[ kw "DISTINCT" ] [ r1 "set_quantifier" [ t "DISTINCT" ] ];
+    frag "Select List" [ r1 "select_list" [ nt "select_sublist" ] ];
+    frag "Asterisk"
+      ~tokens:[ punct "ASTERISK" "*" ]
+      [ r1 "select_list" [ t "ASTERISK" ] ];
+    frag "Qualified Asterisk"
+      ~tokens:[ punct "ASTERISK" "*"; punct "PERIOD" "." ]
+      [ r1 "select_sublist" [ nt "identifier"; t "PERIOD"; t "ASTERISK" ] ];
+    frag "Select Sublist" [ r1 "select_sublist" [ nt "derived_column" ] ];
+    frag "Multiple Select Sublists"
+      ~tokens:[ comma ]
+      [ r1 "select_list" (comma_list (nt "select_sublist")) ];
+    frag "Derived Column" [ r1 "derived_column" [ nt "value_expression" ] ];
+    frag "As Clause"
+      ~tokens:[ kw "AS" ]
+      [
+        r1 "derived_column" [ nt "value_expression"; opt [ nt "as_clause" ] ];
+        r1 "as_clause" [ opt [ t "AS" ]; nt "column_name" ];
+      ];
+    (* --- Figure 2: Table Expression --------------------------------- *)
+    frag "Table Expression" [ r1 "table_expression" [ nt "from_clause" ] ];
+    frag "From"
+      ~tokens:[ kw "FROM" ]
+      [ r1 "from_clause" [ t "FROM"; nt "table_reference" ] ];
+    frag "Where"
+      ~tokens:[ kw "WHERE" ]
+      [
+        r1 "table_expression"
+          [ nt "from_clause"; opt [ nt "where_clause" ] ];
+        r1 "where_clause" [ t "WHERE"; nt "search_condition" ];
+      ];
+    frag "Group By"
+      ~tokens:[ kw "GROUP"; kw "BY"; comma ]
+      [
+        r1 "table_expression"
+          [ nt "from_clause"; opt [ nt "group_by_clause" ] ];
+        r1 "group_by_clause"
+          (t "GROUP" :: t "BY" :: comma_list (nt "grouping_element"));
+        r1 "grouping_element" [ nt "value_expression" ];
+      ];
+    frag "Rollup"
+      ~tokens:[ kw "ROLLUP"; lparen; rparen; comma ]
+      [
+        r1 "grouping_element"
+          [ t "ROLLUP"; t "LPAREN"; nt "grouping_column_list"; t "RPAREN" ];
+        r1 "grouping_column_list" (comma_list (nt "value_expression"));
+      ];
+    frag "Cube"
+      ~tokens:[ kw "CUBE"; lparen; rparen; comma ]
+      [
+        r1 "grouping_element"
+          [ t "CUBE"; t "LPAREN"; nt "grouping_column_list"; t "RPAREN" ];
+        r1 "grouping_column_list" (comma_list (nt "value_expression"));
+      ];
+    frag "Grouping Sets"
+      ~tokens:[ kw "GROUPING"; kw "SETS"; lparen; rparen; comma ]
+      [
+        r1 "grouping_element"
+          (t "GROUPING" :: t "SETS" :: t "LPAREN"
+           :: (comma_list (nt "grouping_set") @ [ t "RPAREN" ]));
+        r1 "grouping_set"
+          [ t "LPAREN"; nt "grouping_column_list"; t "RPAREN" ];
+        r1 "grouping_column_list" (comma_list (nt "value_expression"));
+      ];
+    frag "Having"
+      ~tokens:[ kw "HAVING" ]
+      [
+        r1 "table_expression"
+          [ nt "from_clause"; opt [ nt "having_clause" ] ];
+        r1 "having_clause" [ t "HAVING"; nt "search_condition" ];
+      ];
+    frag "Window"
+      ~tokens:
+        [ kw "WINDOW"; kw "AS"; kw "PARTITION"; kw "ORDER"; kw "BY"; lparen; rparen; comma ]
+      [
+        r1 "table_expression"
+          [ nt "from_clause"; opt [ nt "window_clause" ] ];
+        r1 "window_clause"
+          (t "WINDOW" :: comma_list (nt "window_definition"));
+        r1 "window_definition"
+          [
+            nt "identifier"; t "AS"; t "LPAREN"; nt "window_specification";
+            t "RPAREN";
+          ];
+        r1 "window_specification"
+          [
+            opt [ t "PARTITION"; t "BY"; nt "window_column_list" ];
+            opt [ t "ORDER"; t "BY"; nt "window_column_list" ];
+          ];
+        r1 "window_column_list" (comma_list (nt "value_expression"));
+      ];
+    frag "Window Partition"
+      ~tokens:[ kw "PARTITION"; kw "BY" ]
+      [
+        r1 "window_specification"
+          [
+            opt [ t "PARTITION"; t "BY"; nt "window_column_list" ];
+            opt [ t "ORDER"; t "BY"; nt "window_column_list" ];
+          ];
+      ];
+    (* Window Partition is kept as a diagram feature; its syntax now lives in
+       the shared window_specification rule above. *)
+    (* --- Table references and joins ---------------------------------- *)
+    frag "Table Reference"
+      [
+        r1 "table_reference" [ nt "table_primary" ];
+        r1 "table_primary" [ nt "table_name" ];
+      ];
+    frag "Correlation Name"
+      ~tokens:[ kw "AS" ]
+      [
+        r1 "table_primary"
+          [ nt "table_name"; opt [ nt "correlation_specification" ] ];
+        r1 "correlation_specification" [ opt [ t "AS" ]; nt "identifier" ];
+      ];
+    frag "Derived Column List"
+      ~tokens:[ lparen; rparen; comma ]
+      [
+        r1 "correlation_specification"
+          [
+            opt [ t "AS" ];
+            nt "identifier";
+            opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Derived Table"
+      [
+        rule "table_primary"
+          [ [ nt "subquery"; nt "correlation_specification" ] ];
+      ];
+    frag "Multiple Table References"
+      ~tokens:[ comma ]
+      [ r1 "from_clause" (t "FROM" :: comma_list (nt "table_reference")) ];
+    frag "Joined Table"
+      [ r1 "table_reference" [ nt "table_primary"; star [ nt "join_tail" ] ] ];
+    frag "Inner Join"
+      ~tokens:[ kw "INNER"; kw "JOIN" ]
+      [
+        r1 "join_tail"
+          [
+            opt [ t "INNER" ]; t "JOIN"; nt "table_primary";
+            nt "join_specification";
+          ];
+      ];
+    frag "Outer Join"
+      ~tokens:[ kw "OUTER"; kw "JOIN" ]
+      [
+        r1 "join_tail"
+          [
+            nt "outer_join_type"; opt [ t "OUTER" ]; t "JOIN";
+            nt "table_primary"; nt "join_specification";
+          ];
+      ];
+    frag "Left Join" ~tokens:[ kw "LEFT" ] [ r1 "outer_join_type" [ t "LEFT" ] ];
+    frag "Right Join" ~tokens:[ kw "RIGHT" ] [ r1 "outer_join_type" [ t "RIGHT" ] ];
+    frag "Full Join" ~tokens:[ kw "FULL" ] [ r1 "outer_join_type" [ t "FULL" ] ];
+    frag "Cross Join"
+      ~tokens:[ kw "CROSS"; kw "JOIN" ]
+      [ r1 "join_tail" [ t "CROSS"; t "JOIN"; nt "table_primary" ] ];
+    frag "Natural Join"
+      ~tokens:[ kw "NATURAL"; kw "JOIN" ]
+      [ r1 "join_tail" [ t "NATURAL"; t "JOIN"; nt "table_primary" ] ];
+    frag "Join Specification" [];
+    frag "On Clause"
+      ~tokens:[ kw "ON" ]
+      [ r1 "join_specification" [ t "ON"; nt "search_condition" ] ];
+    frag "Using Clause"
+      ~tokens:[ kw "USING"; lparen; rparen; comma ]
+      [
+        r1 "join_specification"
+          [ t "USING"; t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    (* --- Set operations ----------------------------------------------- *)
+    frag "Set Operations" [];
+    frag "Union"
+      ~tokens:[ kw "UNION" ]
+      [
+        r1 "query_expression" [ nt "query_term"; star [ nt "set_op_tail" ] ];
+        r1 "set_op_tail" [ t "UNION"; nt "query_term" ];
+      ];
+    frag "Union Quantifier"
+      [ r1 "set_op_tail" [ t "UNION"; opt [ nt "set_quantifier" ]; nt "query_term" ] ];
+    frag "Union Corresponding"
+      ~tokens:[ kw "CORRESPONDING" ]
+      [ r1 "set_op_tail" [ t "UNION"; opt [ t "CORRESPONDING" ]; nt "query_term" ] ];
+    frag "Except"
+      ~tokens:[ kw "EXCEPT" ]
+      [
+        r1 "query_expression" [ nt "query_term"; star [ nt "set_op_tail" ] ];
+        r1 "set_op_tail" [ t "EXCEPT"; nt "query_term" ];
+      ];
+    frag "Except Quantifier"
+      [ r1 "set_op_tail" [ t "EXCEPT"; opt [ nt "set_quantifier" ]; nt "query_term" ] ];
+    frag "Except Corresponding"
+      ~tokens:[ kw "CORRESPONDING" ]
+      [ r1 "set_op_tail" [ t "EXCEPT"; opt [ t "CORRESPONDING" ]; nt "query_term" ] ];
+    frag "Intersect"
+      ~tokens:[ kw "INTERSECT" ]
+      [
+        r1 "query_term" [ nt "query_primary"; star [ nt "intersect_tail" ] ];
+        r1 "intersect_tail" [ t "INTERSECT"; nt "query_primary" ];
+      ];
+    frag "Intersect Quantifier"
+      [
+        r1 "intersect_tail"
+          [ t "INTERSECT"; opt [ nt "set_quantifier" ]; nt "query_primary" ];
+      ];
+    frag "Intersect Corresponding"
+      ~tokens:[ kw "CORRESPONDING" ]
+      [
+        r1 "intersect_tail"
+          [ t "INTERSECT"; opt [ t "CORRESPONDING" ]; nt "query_primary" ];
+      ];
+    frag "Parenthesized Query"
+      ~tokens:[ lparen; rparen ]
+      [ r1 "query_primary" [ t "LPAREN"; nt "query_expression"; t "RPAREN" ] ];
+    frag "Table Value Constructor"
+      ~tokens:[ kw "VALUES"; lparen; rparen; comma ]
+      [
+        r1 "query_primary" [ nt "table_value_constructor" ];
+        r1 "table_value_constructor" (t "VALUES" :: comma_list (nt "row_value"));
+        r1 "row_value"
+          (t "LPAREN" :: (comma_list (nt "value_expression") @ [ t "RPAREN" ]));
+      ];
+    frag "Subquery"
+      ~tokens:[ lparen; rparen ]
+      [ r1 "subquery" [ t "LPAREN"; nt "query_expression"; t "RPAREN" ] ];
+    (* --- Common table expressions -------------------------------------- *)
+    frag "With Clause"
+      ~tokens:[ kw "WITH"; kw "AS"; lparen; rparen; comma ]
+      [
+        r1 "query_statement"
+          [ opt [ nt "with_clause" ]; nt "query_expression" ];
+        r1 "with_clause" (t "WITH" :: comma_list (nt "with_list_element"));
+        r1 "with_list_element"
+          [
+            nt "identifier";
+            opt [ t "LPAREN"; nt "column_name_list"; t "RPAREN" ];
+            t "AS"; nt "subquery";
+          ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+    frag "Recursive With"
+      ~tokens:[ kw "RECURSIVE" ]
+      [
+        r1 "with_clause"
+          (t "WITH" :: opt [ t "RECURSIVE" ] :: comma_list (nt "with_list_element"));
+      ];
+    (* --- Ordering and fetch -------------------------------------------- *)
+    frag "Order By"
+      ~tokens:[ kw "ORDER"; kw "BY"; comma ]
+      [
+        r1 "query_statement"
+          [ nt "query_expression"; opt [ nt "order_by_clause" ] ];
+        r1 "order_by_clause"
+          (t "ORDER" :: t "BY" :: comma_list (nt "sort_specification"));
+        r1 "sort_specification" [ nt "value_expression" ];
+      ];
+    frag "Ordering Direction"
+      [
+        r1 "sort_specification"
+          [ nt "value_expression"; opt [ nt "ordering_specification" ] ];
+      ];
+    frag "Ascending" ~tokens:[ kw "ASC" ] [ r1 "ordering_specification" [ t "ASC" ] ];
+    frag "Descending" ~tokens:[ kw "DESC" ] [ r1 "ordering_specification" [ t "DESC" ] ];
+    frag "Nulls Ordering"
+      ~tokens:[ kw "NULLS"; kw "FIRST"; kw "LAST" ]
+      [
+        r1 "sort_specification"
+          [ nt "value_expression"; opt [ nt "nulls_ordering" ] ];
+        r1 "nulls_ordering" [ t "NULLS"; grp [ [ t "FIRST" ]; [ t "LAST" ] ] ];
+      ];
+    frag "Fetch First"
+      ~tokens:[ kw "FETCH"; kw "FIRST"; kw "ROWS"; kw "ONLY"; integer_tok ]
+      [
+        r1 "query_statement"
+          [ nt "query_expression"; opt [ nt "fetch_clause" ] ];
+        r1 "fetch_clause"
+          [ t "FETCH"; t "FIRST"; t "UNSIGNED_INTEGER"; t "ROWS"; t "ONLY" ];
+      ];
+    frag "Limit"
+      ~tokens:[ kw "LIMIT"; integer_tok ]
+      [
+        r1 "query_statement"
+          [ nt "query_expression"; opt [ nt "fetch_clause" ] ];
+        r1 "fetch_clause" [ t "LIMIT"; t "UNSIGNED_INTEGER" ];
+      ];
+    frag "Updatability Clause"
+      ~tokens:[ kw "FOR"; kw "READ"; kw "ONLY"; kw "UPDATE" ]
+      [
+        r1 "query_statement"
+          [ nt "query_expression"; opt [ nt "updatability_clause" ] ];
+        rule "updatability_clause"
+          [ [ t "FOR"; t "READ"; t "ONLY" ]; [ t "FOR"; t "UPDATE" ] ];
+      ];
+    frag "Update Of Columns"
+      ~tokens:[ kw "OF"; comma ]
+      [
+        rule "updatability_clause"
+          [ [ t "FOR"; t "UPDATE"; opt [ t "OF"; nt "column_name_list" ] ] ];
+        r1 "column_name_list" (comma_list (nt "column_name"));
+      ];
+  ]
+
+let region =
+  {
+    subtree = mandatory tree;
+    fragments;
+    constraints =
+      [
+        Feature.Model.Requires ("Where", "Search Condition");
+        Feature.Model.Requires ("Having", "Search Condition");
+        Feature.Model.Requires ("On Clause", "Search Condition");
+        Feature.Model.Requires ("Derived Table", "Subquery");
+        Feature.Model.Requires ("Derived Table", "Correlation Name");
+        Feature.Model.Requires ("Inner Join", "Join Specification");
+        Feature.Model.Requires ("Outer Join", "Join Specification");
+        Feature.Model.Requires ("Union Quantifier", "Set Quantifier");
+        Feature.Model.Requires ("Except Quantifier", "Set Quantifier");
+        Feature.Model.Requires ("Intersect Quantifier", "Set Quantifier");
+        Feature.Model.Requires ("Qualified Asterisk", "Asterisk");
+        Feature.Model.Requires ("With Clause", "Subquery");
+      ];
+    diagram_names =
+      [
+        "Queries";
+        "Query Expression";
+        "Query Specification";
+        "Set Quantifier";
+        "Select List";
+        "Table Expression";
+        "Table Reference";
+        "Joined Table";
+        "Group By";
+        "Window";
+        "Set Operations";
+        "Order By";
+      ];
+  }

@@ -1,0 +1,109 @@
+(** Transaction Management region. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let session_tree =
+  feature "Session Management"
+    [ Or_group [ leaf "Set Session Authorization"; leaf "Session Reset" ] ]
+
+let tree =
+  feature "Transaction Management"
+    [
+      Or_group
+        [
+          leaf "Commit";
+          feature "Rollback" [ optional (leaf "Rollback To Savepoint") ];
+          leaf "Savepoint";
+          feature "Start Transaction" [ optional (leaf "Isolation Levels") ];
+          leaf "Set Transaction";
+        ];
+      optional session_tree;
+    ]
+
+let fragments =
+  [
+    frag "Transaction Management"
+      [ r1 "sql_statement" [ nt "transaction_statement" ] ];
+    frag "Commit"
+      ~tokens:[ kw "COMMIT"; kw "WORK" ]
+      [ rule "transaction_statement" [ [ t "COMMIT"; opt [ t "WORK" ] ] ] ];
+    frag "Rollback"
+      ~tokens:[ kw "ROLLBACK"; kw "WORK" ]
+      [ rule "transaction_statement" [ [ t "ROLLBACK"; opt [ t "WORK" ] ] ] ];
+    frag "Rollback To Savepoint"
+      ~tokens:[ kw "TO"; kw "SAVEPOINT" ]
+      [
+        rule "transaction_statement"
+          [
+            [
+              t "ROLLBACK"; opt [ t "WORK" ];
+              opt [ t "TO"; t "SAVEPOINT"; nt "identifier" ];
+            ];
+          ];
+      ];
+    frag "Savepoint"
+      ~tokens:[ kw "SAVEPOINT"; kw "RELEASE" ]
+      [
+        rule "transaction_statement"
+          [
+            [ t "SAVEPOINT"; nt "identifier" ];
+            [ t "RELEASE"; t "SAVEPOINT"; nt "identifier" ];
+          ];
+      ];
+    frag "Start Transaction"
+      ~tokens:[ kw "START"; kw "TRANSACTION" ]
+      [
+        rule "transaction_statement" [ [ t "START"; t "TRANSACTION" ] ];
+      ];
+    frag "Isolation Levels"
+      ~tokens:
+        [
+          kw "ISOLATION"; kw "LEVEL"; kw "READ"; kw "UNCOMMITTED"; kw "COMMITTED";
+          kw "REPEATABLE"; kw "SERIALIZABLE";
+        ]
+      [
+        rule "transaction_statement"
+          [ [ t "START"; t "TRANSACTION"; opt [ nt "isolation_spec" ] ] ];
+        r1 "isolation_spec" [ t "ISOLATION"; t "LEVEL"; nt "isolation_level" ];
+        rule "isolation_level"
+          [
+            [ t "READ"; t "UNCOMMITTED" ];
+            [ t "READ"; t "COMMITTED" ];
+            [ t "REPEATABLE"; t "READ" ];
+            [ t "SERIALIZABLE" ];
+          ];
+      ];
+    frag "Session Management" [ r1 "sql_statement" [ nt "session_statement" ] ];
+    frag "Set Session Authorization"
+      ~tokens:[ kw "SET"; kw "SESSION"; kw "AUTHORIZATION" ]
+      [
+        rule "session_statement"
+          [ [ t "SET"; t "SESSION"; t "AUTHORIZATION"; nt "identifier" ] ];
+      ];
+    frag "Session Reset"
+      ~tokens:[ kw "RESET"; kw "SESSION"; kw "AUTHORIZATION" ]
+      [
+        rule "session_statement"
+          [ [ t "RESET"; t "SESSION"; t "AUTHORIZATION" ] ];
+      ];
+    frag "Set Transaction"
+      ~tokens:[ kw "SET"; kw "TRANSACTION" ]
+      [
+        rule "transaction_statement"
+          [ [ t "SET"; t "TRANSACTION"; nt "isolation_spec" ] ];
+      ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints =
+      [
+        Feature.Model.Requires ("Rollback To Savepoint", "Savepoint");
+        Feature.Model.Requires ("Set Transaction", "Isolation Levels");
+      ];
+    diagram_names = [ "Transaction Management"; "Session Management" ];
+  }

@@ -1,0 +1,141 @@
+(** Data Types region: the type grammar used by CAST and DDL. *)
+
+open Feature.Tree
+open Grammar.Builder
+open Def
+
+let tree =
+  feature "Data Types"
+    [
+      Or_group
+        [
+          feature "Exact Numeric Types"
+            [
+              Or_group
+                [
+                  leaf "Integer Type";
+                  leaf "Smallint Type";
+                  leaf "Bigint Type";
+                  leaf "Decimal Type";
+                ];
+            ];
+          feature "Approximate Numeric Types"
+            [ Or_group [ leaf "Float Type"; leaf "Real Type"; leaf "Double Type" ] ];
+          feature "Character Types"
+            [ Or_group [ leaf "Char Type"; leaf "Varchar Type" ] ];
+          leaf "Boolean Type";
+          feature "Datetime Types"
+            [ Or_group [ leaf "Date Type"; leaf "Time Type"; leaf "Timestamp Type" ] ];
+          leaf "Interval Type";
+        ];
+    ]
+
+let fragments =
+  [
+    frag "Data Types" [];
+    frag "Exact Numeric Types" [];
+    frag "Integer Type"
+      ~tokens:[ kw "INTEGER"; kw "INT" ]
+      [ rule "data_type" [ [ t "INTEGER" ]; [ t "INT" ] ] ];
+    frag "Smallint Type"
+      ~tokens:[ kw "SMALLINT" ]
+      [ rule "data_type" [ [ t "SMALLINT" ] ] ];
+    frag "Bigint Type"
+      ~tokens:[ kw "BIGINT" ]
+      [ rule "data_type" [ [ t "BIGINT" ] ] ];
+    frag "Decimal Type"
+      ~tokens:[ kw "DECIMAL"; kw "DEC"; kw "NUMERIC"; lparen; rparen; comma; integer_tok ]
+      [
+        rule "data_type"
+          [
+            [
+              grp [ [ t "DECIMAL" ]; [ t "DEC" ]; [ t "NUMERIC" ] ];
+              opt
+                [
+                  t "LPAREN"; t "UNSIGNED_INTEGER";
+                  opt [ t "COMMA"; t "UNSIGNED_INTEGER" ]; t "RPAREN";
+                ];
+            ];
+          ];
+      ];
+    frag "Approximate Numeric Types" [];
+    frag "Float Type"
+      ~tokens:[ kw "FLOAT"; lparen; rparen; integer_tok ]
+      [
+        rule "data_type"
+          [ [ t "FLOAT"; opt [ t "LPAREN"; t "UNSIGNED_INTEGER"; t "RPAREN" ] ] ];
+      ];
+    frag "Real Type" ~tokens:[ kw "REAL" ] [ rule "data_type" [ [ t "REAL" ] ] ];
+    frag "Double Type"
+      ~tokens:[ kw "DOUBLE"; kw "PRECISION" ]
+      [ rule "data_type" [ [ t "DOUBLE"; t "PRECISION" ] ] ];
+    frag "Character Types" [];
+    frag "Char Type"
+      ~tokens:[ kw "CHARACTER"; kw "CHAR"; lparen; rparen; integer_tok ]
+      [
+        rule "data_type"
+          [
+            [
+              grp [ [ t "CHARACTER" ]; [ t "CHAR" ] ];
+              opt [ t "LPAREN"; t "UNSIGNED_INTEGER"; t "RPAREN" ];
+            ];
+          ];
+      ];
+    frag "Varchar Type"
+      ~tokens:
+        [ kw "VARCHAR"; kw "CHARACTER"; kw "CHAR"; kw "VARYING"; lparen; rparen; integer_tok ]
+      [
+        rule "data_type"
+          [
+            [
+              grp
+                [
+                  [ t "VARCHAR" ];
+                  [ t "CHARACTER"; t "VARYING" ];
+                  [ t "CHAR"; t "VARYING" ];
+                ];
+              opt [ t "LPAREN"; t "UNSIGNED_INTEGER"; t "RPAREN" ];
+            ];
+          ];
+      ];
+    frag "Boolean Type"
+      ~tokens:[ kw "BOOLEAN" ]
+      [ rule "data_type" [ [ t "BOOLEAN" ] ] ];
+    frag "Datetime Types" [];
+    frag "Date Type" ~tokens:[ kw "DATE" ] [ rule "data_type" [ [ t "DATE" ] ] ];
+    frag "Time Type" ~tokens:[ kw "TIME" ] [ rule "data_type" [ [ t "TIME" ] ] ];
+    frag "Timestamp Type"
+      ~tokens:[ kw "TIMESTAMP" ]
+      [ rule "data_type" [ [ t "TIMESTAMP" ] ] ];
+    frag "Interval Type"
+      ~tokens:
+        [
+          kw "INTERVAL"; kw "TO"; kw "YEAR"; kw "MONTH"; kw "DAY"; kw "HOUR";
+          kw "MINUTE"; kw "SECOND";
+        ]
+      [
+        rule "data_type" [ [ t "INTERVAL"; nt "interval_qualifier" ] ];
+        r1 "interval_qualifier"
+          [ nt "datetime_field"; opt [ t "TO"; nt "datetime_field" ] ];
+        rule "datetime_field"
+          [
+            [ t "YEAR" ]; [ t "MONTH" ]; [ t "DAY" ]; [ t "HOUR" ];
+            [ t "MINUTE" ]; [ t "SECOND" ];
+          ];
+      ];
+  ]
+
+let region =
+  {
+    subtree = optional tree;
+    fragments;
+    constraints = [];
+    diagram_names =
+      [
+        "Data Types";
+        "Exact Numeric Types";
+        "Approximate Numeric Types";
+        "Character Types";
+        "Datetime Types";
+      ];
+  }

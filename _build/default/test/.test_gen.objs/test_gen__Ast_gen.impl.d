@@ -1,0 +1,1 @@
+test/ast_gen.ml: Array Ast List Option QCheck Sql_ast String

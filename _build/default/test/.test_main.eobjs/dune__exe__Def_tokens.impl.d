@@ -1,0 +1,1 @@
+test/def_tokens.ml: Alcotest Lexing_gen Scanner Spec

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Compose Feature Grammar List Sql String

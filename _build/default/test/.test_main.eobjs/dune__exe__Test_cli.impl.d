@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Astring_contains Filename In_channel List Option Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_contains Core Dialects Filename Grammar In_channel Lazy List Parser_gen Printf Sys

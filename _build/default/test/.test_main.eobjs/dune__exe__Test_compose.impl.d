@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Dialects Feature Grammar Lexing_gen List Parser_gen Sql String

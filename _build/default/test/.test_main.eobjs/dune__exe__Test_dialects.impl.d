@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Core Corpus Dialects Feature Fmt Grammar Lazy List Printf Sql

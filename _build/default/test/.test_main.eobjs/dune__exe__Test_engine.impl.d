@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Core Dialects Engine Lazy List Result Sql_ast

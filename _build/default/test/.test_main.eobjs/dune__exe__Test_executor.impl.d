@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Astring_contains Core Dialects Engine Fmt Lazy List String

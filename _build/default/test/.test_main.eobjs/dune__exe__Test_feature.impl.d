@@ -1,0 +1,1 @@
+test/test_feature.ml: Alcotest Astring_contains Bignum Config Count Diagram Feature Fmt List Model Printf Sql String Tree

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Astring_contains Cfg Fmt Grammar List Printer Production Symbol

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Ast Core Dialects Lazy List Printf Sql_ast

@@ -1,0 +1,1 @@
+test/test_parser_engine.ml: Alcotest Def_tokens Grammar Lexing_gen List Parser_gen Result String

@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Ast Sql_ast Sql_printer

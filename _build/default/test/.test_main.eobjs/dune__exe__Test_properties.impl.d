@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Compose Core Corpus Dialects Engine Feature Fmt Fun Grammar Lazy Lexing_gen List Parser_gen Printf QCheck QCheck_alcotest Seq Sql String

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Ast Core Dialects Lazy QCheck QCheck_alcotest Sql_ast Sql_printer String Test_gen

@@ -1,0 +1,1 @@
+test/test_scanner.ml: Alcotest Astring_contains Def_tokens Lexing_gen List Result Scanner Spec Token

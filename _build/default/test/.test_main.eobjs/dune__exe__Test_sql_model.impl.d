@@ -1,0 +1,1 @@
+test/test_sql_model.ml: Alcotest Astring_contains Compose Feature Fmt List Option Printf Sql String

@@ -1,0 +1,626 @@
+(* Random AST generators shared by the round-trip property tests and the
+   probe executable. *)
+
+(* Property-based round-trip tests: generate random ASTs, print them to SQL,
+   re-parse with the full-dialect generated parser, lower, and compare.
+
+   This exercises printer, scanner, composed grammar, parser engine and
+   lowering together; any disagreement between them fails with the SQL text
+   as counterexample. *)
+
+open Sql_ast
+module Gen = QCheck.Gen
+
+(* Identifier pools avoid the full dialect's reserved words. *)
+let idents = [| "a"; "b"; "c"; "x1"; "col_a"; "col_b"; "amount"; "label" |]
+let table_names = [| "t"; "u"; "v"; "items"; "sales"; "t_2" |]
+let gen_ident = Gen.oneofa idents
+let gen_table_ident = Gen.oneofa table_names
+
+let gen_object_name =
+  Gen.map
+    (fun (q, n) -> { Ast.qualifier = q; name = n })
+    (Gen.pair (Gen.opt (Gen.return "s1")) gen_table_ident)
+
+let gen_string_lit =
+  Gen.map
+    (fun chars -> String.concat "" chars)
+    (Gen.list_size (Gen.int_bound 6)
+       (Gen.oneofa [| "a"; "z"; " "; "'"; "%"; "_"; "9" |]))
+
+let gen_interval_qualifier =
+  Gen.map2
+    (fun from_field to_field ->
+      (* A field never ranges TO itself in the standard; keep them distinct. *)
+      let to_field = if to_field = Some from_field then None else to_field in
+      { Ast.from_field; to_field })
+    (Gen.oneofl [ "YEAR"; "DAY"; "HOUR" ])
+    (Gen.opt (Gen.oneofl [ "MONTH"; "MINUTE"; "SECOND" ]))
+
+let gen_literal =
+  Gen.oneof
+    [
+      Gen.map (fun n -> Ast.L_integer n) (Gen.int_bound 9999);
+      Gen.map (fun n -> Ast.L_decimal (float_of_int n /. 100.)) (Gen.int_bound 99999);
+      Gen.map (fun s -> Ast.L_string s) gen_string_lit;
+      Gen.oneofl [ Ast.L_bool true; Ast.L_bool false; Ast.L_null ];
+      Gen.return (Ast.L_date "2008-03-29");
+      Gen.return (Ast.L_time "12:30:00");
+      Gen.return (Ast.L_timestamp "2008-03-29 12:30:00");
+      Gen.map
+        (fun q -> Ast.L_interval ("5", q))
+        gen_interval_qualifier;
+    ]
+
+let gen_data_type =
+  Gen.oneofl
+    [
+      Ast.T_integer; Ast.T_smallint; Ast.T_bigint; Ast.T_decimal None;
+      Ast.T_decimal (Some (8, None)); Ast.T_decimal (Some (8, Some 2));
+      Ast.T_float; Ast.T_real; Ast.T_double; Ast.T_char None;
+      Ast.T_char (Some 3); Ast.T_varchar None; Ast.T_varchar (Some 20);
+      Ast.T_boolean; Ast.T_date; Ast.T_time; Ast.T_timestamp;
+      Ast.T_interval { Ast.from_field = "DAY"; to_field = None };
+      Ast.T_interval { Ast.from_field = "YEAR"; to_field = Some "MONTH" };
+    ]
+
+let gen_cmpop = Gen.oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Gt; Ast.Le; Ast.Ge ]
+let gen_binop = Gen.oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Concat ]
+let gen_agg_func =
+  Gen.oneofl [ Ast.F_count; Ast.F_sum; Ast.F_avg; Ast.F_min; Ast.F_max; Ast.F_every; Ast.F_any ]
+
+let gen_column = Gen.map2 (fun q n -> Ast.Column (q, n)) (Gen.opt gen_table_ident) gen_ident
+
+(* Expressions, conditions and queries are mutually recursive; [size] bounds
+   the recursion. Subqueries are generated without ORDER BY/FETCH/EPOCH
+   because the <subquery> non-terminal wraps only <query_expression>. *)
+let rec gen_expr size : Ast.expr Gen.t =
+  if size <= 0 then Gen.oneof [ Gen.map (fun l -> Ast.Lit l) gen_literal; gen_column ]
+  else
+    let sub = gen_expr (size / 2) in
+    Gen.oneof
+      [
+        Gen.map (fun l -> Ast.Lit l) gen_literal;
+        gen_column;
+        Gen.map (fun e -> Ast.Unary (Ast.S_minus, e)) sub;
+        Gen.map (fun e -> Ast.Unary (Ast.S_plus, e)) sub;
+        Gen.map3 (fun op a b -> Ast.Binop (op, a, b)) gen_binop sub sub;
+        Gen.map (fun e -> Ast.Call ("UPPER", [ e ])) sub;
+        Gen.map (fun e -> Ast.Call ("LOWER", [ e ])) sub;
+        Gen.map (fun e -> Ast.Call ("CHAR_LENGTH", [ e ])) sub;
+        Gen.map (fun e -> Ast.Call ("ABS", [ e ])) sub;
+        Gen.map2 (fun a b -> Ast.Call ("MOD", [ a; b ])) sub sub;
+        Gen.map2 (fun a b -> Ast.Call ("NULLIF", [ a; b ])) sub sub;
+        Gen.map2 (fun a b -> Ast.Call ("COALESCE", [ a; b ])) sub sub;
+        Gen.map (fun n -> Ast.Call (n, [])) (Gen.oneofl [ "CURRENT_DATE"; "CURRENT_USER"; "LOCALTIME" ]);
+        Gen.map2 (fun n args -> Ast.Call (n, args))
+          (Gen.oneofl [ "myfun"; "f2" ])
+          (Gen.list_size (Gen.int_range 1 3) sub);
+        Gen.map3
+          (fun arg from_ for_ -> Ast.Substring { arg; from_; for_ })
+          sub sub (Gen.opt sub);
+        Gen.map2 (fun needle haystack -> Ast.Position { needle; haystack }) sub sub;
+        Gen.map (fun e -> Ast.Call ("OCTET_LENGTH", [ e ])) sub;
+        Gen.map3
+          (fun arg (placing, from_) for_ -> Ast.Overlay { arg; placing; from_; for_ })
+          sub (Gen.pair sub sub) (Gen.opt sub);
+        Gen.map (fun s -> Ast.Next_value s) (Gen.oneofl [ "seq1"; "seq2" ]);
+        Gen.map3
+          (fun side removed arg -> Ast.Trim { side; removed; arg })
+          (Gen.opt (Gen.oneofl [ Ast.Trim_leading; Ast.Trim_trailing; Ast.Trim_both ]))
+          (Gen.opt sub) sub;
+        Gen.map2
+          (fun field arg -> Ast.Extract { field; arg })
+          (Gen.oneofl [ "YEAR"; "MONTH"; "DAY"; "HOUR"; "MINUTE"; "SECOND" ])
+          sub;
+        Gen.map2 (fun e ty -> Ast.Cast (e, ty)) sub gen_data_type;
+        gen_aggregate size;
+        gen_case size;
+        Gen.map3
+          (fun wfunc partition_by win_order_by ->
+            Ast.Window_call { wfunc; partition_by; win_order_by })
+          (Gen.oneofl [ "RANK"; "DENSE_RANK"; "ROW_NUMBER" ])
+          (Gen.list_size (Gen.int_bound 2) sub)
+          (Gen.list_size (Gen.int_bound 2) sub);
+        Gen.map (fun q -> Ast.Scalar_subquery q) (gen_subquery (size / 2));
+      ]
+
+and gen_aggregate size =
+  let sub = gen_expr (size / 2) in
+  Gen.oneof
+    [
+      Gen.return
+        (Ast.Aggregate { func = Ast.F_count; agg_quantifier = None; arg = Ast.A_star });
+      Gen.map3
+        (fun func quantifier e ->
+          Ast.Aggregate { func; agg_quantifier = quantifier; arg = Ast.A_expr e })
+        gen_agg_func
+        (Gen.opt (Gen.oneofl [ Ast.All; Ast.Distinct ]))
+        sub;
+    ]
+
+and gen_case size =
+  let sub = gen_expr (size / 2) in
+  Gen.oneof
+    [
+      Gen.map3
+        (fun operand branches else_ -> Ast.Case_simple { operand; branches; else_ })
+        sub
+        (Gen.list_size (Gen.int_range 1 2) (Gen.pair sub sub))
+        (Gen.opt sub);
+      Gen.map2
+        (fun branches else_ -> Ast.Case_searched { branches; else_ })
+        (Gen.list_size (Gen.int_range 1 2) (Gen.pair (gen_cond (size / 2)) sub))
+        (Gen.opt sub);
+    ]
+
+and gen_cond size : Ast.cond Gen.t =
+  let expr = gen_expr (size / 2) in
+  if size <= 0 then Gen.map3 (fun op a b -> Ast.Comparison (op, a, b)) gen_cmpop expr expr
+  else
+    let sub = gen_cond (size / 2) in
+    Gen.oneof
+      [
+        Gen.map3 (fun op a b -> Ast.Comparison (op, a, b)) gen_cmpop expr expr;
+        Gen.map3
+          (fun (negated, symmetric) arg (low, high) ->
+            Ast.Between { negated; symmetric; arg; low; high })
+          (Gen.pair Gen.bool Gen.bool)
+          expr (Gen.pair expr expr);
+        Gen.map3
+          (fun negated arg values -> Ast.In_list { negated; arg; values })
+          Gen.bool expr
+          (Gen.list_size (Gen.int_range 1 3) expr);
+        Gen.map3
+          (fun negated arg pattern ->
+            Ast.Like { negated; arg; pattern = Ast.Lit (Ast.L_string pattern); escape = None })
+          Gen.bool expr gen_string_lit;
+        Gen.map2
+          (fun arg pattern ->
+            Ast.Like
+              {
+                negated = false;
+                arg;
+                pattern = Ast.Lit (Ast.L_string pattern);
+                escape = Some (Ast.Lit (Ast.L_string "!"));
+              })
+          expr gen_string_lit;
+        Gen.map2 (fun negated arg -> Ast.Is_null { negated; arg }) Gen.bool expr;
+        Gen.map3
+          (fun negated lhs rhs -> Ast.Is_distinct_from { negated; lhs; rhs })
+          Gen.bool expr expr;
+        Gen.map (fun c -> Ast.Not c) sub;
+        Gen.map2 (fun a b -> Ast.And (a, b)) sub sub;
+        Gen.map2 (fun a b -> Ast.Or (a, b)) sub sub;
+        Gen.map3
+          (fun negated arg truth -> Ast.Is_truth { negated; arg; truth })
+          Gen.bool sub
+          (Gen.oneofl [ Ast.True; Ast.False; Ast.Unknown ]);
+        Gen.map2 (fun a b -> Ast.Overlaps (a, b)) expr expr;
+        Gen.map3
+          (fun negated arg pattern ->
+            Ast.Similar { negated; arg; pattern = Ast.Lit (Ast.L_string pattern) })
+          Gen.bool expr gen_string_lit;
+        Gen.map (fun c -> Ast.Bool_expr c) gen_column;
+        Gen.map (fun q -> Ast.Exists q) (gen_subquery (size / 2));
+        Gen.map (fun q -> Ast.Unique q) (gen_subquery (size / 2));
+        Gen.map3
+          (fun negated arg q -> Ast.In_subquery { negated; arg; subquery = q })
+          Gen.bool expr (gen_subquery (size / 2));
+        Gen.map3
+          (fun op lhs (quantifier, q) ->
+            Ast.Quantified_comparison { op; lhs; quantifier; subquery = q })
+          gen_cmpop expr
+          (Gen.pair (Gen.oneofl [ Ast.Q_all; Ast.Q_some ]) (gen_subquery (size / 2)));
+      ]
+
+and gen_correlation ~with_columns =
+  Gen.map2
+    (fun alias columns -> { Ast.alias; columns })
+    (Gen.oneofl [ "d1"; "d2" ])
+    (if with_columns then
+       Gen.oneof [ Gen.return []; Gen.list_size (Gen.int_range 1 2) gen_ident ]
+     else Gen.return [])
+
+and gen_table_ref size : Ast.table_ref Gen.t =
+  let base =
+    Gen.oneof
+      [
+        Gen.map2 (fun n c -> Ast.Table (n, c)) gen_object_name
+          (Gen.opt (gen_correlation ~with_columns:true));
+        (if size > 0 then
+           Gen.map2
+             (fun q c -> Ast.Derived_table (q, c))
+             (gen_plain_query (size / 2))
+             (gen_correlation ~with_columns:true)
+         else
+           Gen.map2 (fun n c -> Ast.Table (n, c)) gen_object_name
+             (Gen.opt (gen_correlation ~with_columns:true)));
+      ]
+  in
+  if size <= 0 then base
+  else
+    Gen.oneof
+      [
+        base;
+        (* Join chains are left-nested, as the parser builds them. *)
+        Gen.map3
+          (fun lhs rhs kind ->
+            let condition =
+              match kind with
+              | Ast.Cross | Ast.Natural -> None
+              | _ -> Some (Ast.Using [ "a" ])
+            in
+            Ast.Joined { lhs; kind; rhs; condition })
+          (gen_table_ref (size / 2))
+          base
+          (Gen.oneofl
+             [ Ast.Inner; Ast.Left_outer; Ast.Right_outer; Ast.Full_outer; Ast.Cross; Ast.Natural ]);
+        Gen.map3
+          (fun lhs rhs c ->
+            Ast.Joined { lhs; kind = Ast.Inner; rhs; condition = Some (Ast.On c) })
+          (gen_table_ref (size / 2))
+          base (gen_cond (size / 2));
+      ]
+
+and gen_select_item size =
+  Gen.oneof
+    [
+      Gen.map2 (fun e alias -> Ast.Expr_item (e, alias)) (gen_expr size) (Gen.opt gen_ident);
+      Gen.map (fun q -> Ast.Qualified_star q) gen_table_ident;
+    ]
+
+and gen_select size : Ast.select Gen.t =
+  let open Gen in
+  let* quantifier = opt (oneofl [ Ast.All; Ast.Distinct ]) in
+  let* star = Gen.int_bound 9 in
+  let* projection =
+    if star = 0 then return [ Ast.Star ]
+    else list_size (int_range 1 3) (gen_select_item (size / 2))
+  in
+  let* from = list_size (int_range 1 2) (gen_table_ref (size / 2)) in
+  let* where = opt (gen_cond (size / 2)) in
+  let* group_by =
+    oneof
+      [
+        return [];
+        list_size (int_range 1 2) (map (fun e -> Ast.Group_expr e) (gen_expr (size / 3)));
+        ( if size > 1 then
+            map (fun es -> [ Ast.Rollup es ])
+              (list_size (int_range 1 2) (gen_expr (size / 3)))
+          else return [] );
+      ]
+  in
+  let* having = if group_by = [] then return None else opt (gen_cond (size / 3)) in
+  return
+    { Ast.select_quantifier = quantifier; projection; from; where; group_by; having }
+
+and gen_query_body size : Ast.query_body Gen.t =
+  let open Gen in
+  (* The base case must not construct [primary]: its Paren_query branch
+     recurses through gen_plain_query, which would loop at size 0. *)
+  if size <= 1 then map (fun s -> Ast.Select s) (gen_select size)
+  else
+    let primary =
+      oneof
+        [
+          map (fun s -> Ast.Select s) (gen_select size);
+          map (fun q -> Ast.Paren_query q) (gen_plain_query (size / 2));
+          map
+            (fun rows -> Ast.Values rows)
+            (let* width = int_range 1 3 in
+             list_size (int_range 1 3)
+               (list_repeat width (gen_expr (size / 3))));
+        ]
+    in
+    let* n = int_bound 2 in
+    if n = 0 then primary
+    else
+      (* Build a chain the way the parser associates it: INTERSECT binds
+         tighter than UNION/EXCEPT, both left-associative. *)
+      let* primaries = list_repeat (n + 1) primary in
+      let* ops =
+        list_repeat n
+          (triple
+             (oneofl [ Ast.Union; Ast.Except; Ast.Intersect ])
+             (opt (oneofl [ Ast.All; Ast.Distinct ]))
+             bool)
+      in
+      return (build_set_chain primaries ops)
+
+and build_set_chain primaries ops =
+  (* First fold INTERSECT runs, then UNION/EXCEPT left to right. *)
+  match primaries, ops with
+  | [ only ], [] -> only
+  | first :: rest, ops ->
+    let terms, pending_ops =
+      List.fold_left2
+        (fun (terms, pending) rhs (op, quantifier, corresponding) ->
+          match op with
+          | Ast.Intersect ->
+            (match terms with
+             | current :: others ->
+               ( Ast.Set_operation { op; quantifier; corresponding; lhs = current; rhs }
+                 :: others,
+                 pending )
+             | [] -> assert false)
+          | Ast.Union | Ast.Except ->
+            (rhs :: terms, (op, quantifier, corresponding) :: pending))
+        ([ first ], []) rest ops
+    in
+    let terms = List.rev terms and pending_ops = List.rev pending_ops in
+    (match terms with
+     | first :: rest ->
+       List.fold_left2
+         (fun lhs rhs (op, quantifier, corresponding) ->
+           Ast.Set_operation { op; quantifier; corresponding; lhs; rhs })
+         first rest pending_ops
+     | [] -> assert false)
+  | [], _ -> assert false
+
+(* A query with no ORDER BY / FETCH / EPOCH — the shape of subqueries. *)
+and gen_plain_query size : Ast.query Gen.t =
+  Gen.map Ast.query_of_body (gen_query_body size)
+
+(* Subqueries print as [(query)]; a top-level Paren_query inside one prints
+   as [((...))], which in expression/IN positions re-parses as something
+   else (a parenthesized scalar subquery). Strip top parens wherever a
+   subquery is generated. *)
+and gen_subquery size : Ast.query Gen.t =
+  let rec strip (body : Ast.query_body) =
+    match body with
+    | Ast.Paren_query (q : Ast.query) -> strip q.body
+    | b -> b
+  in
+  Gen.map (fun (q : Ast.query) -> Ast.query_of_body (strip q.body)) (gen_plain_query size)
+
+let gen_sort_spec size =
+  Gen.map3
+    (fun sort_expr descending nulls_last -> { Ast.sort_expr; descending; nulls_last })
+    (gen_expr (size / 2))
+    Gen.bool
+    (Gen.opt Gen.bool)
+
+let gen_with_clause size : Ast.with_clause Gen.t =
+  let open Gen in
+  let* recursive = Gen.bool in
+  let* ctes =
+    list_size (int_range 1 2)
+      (let* cte_name = oneofl [ "cte1"; "cte2" ] in
+       let* cte_columns = oneofl [ []; [ "a" ]; [ "a"; "b" ] ] in
+       let* cte_query = gen_subquery (size / 2) in
+       return { Ast.cte_name; cte_columns; cte_query })
+  in
+  return { Ast.recursive; ctes }
+
+let gen_query size : Ast.query Gen.t =
+  let open Gen in
+  let* with_ = opt (gen_with_clause size) in
+  let* body = gen_query_body size in
+  let* order_by = oneof [ return []; list_size (int_range 1 2) (gen_sort_spec size) ] in
+  let* fetch =
+    opt (oneof [ map (fun n -> Ast.Fetch_first n) (int_bound 50);
+                 map (fun n -> Ast.Limit n) (int_bound 50) ])
+  in
+  let* epoch =
+    opt
+      (let* duration = opt (int_range 1 4096) in
+       let* sample_period = if duration = None then map Option.some (int_range 1 64) else opt (int_range 1 64) in
+       return { Ast.duration; sample_period })
+  in
+  let* updatability =
+    opt
+      (oneofl
+         [ Ast.For_read_only; Ast.For_update []; Ast.For_update [ "a"; "b" ] ])
+  in
+  return { Ast.with_; body; order_by; fetch; epoch; updatability }
+
+(* --- Statements -------------------------------------------------------------- *)
+
+let gen_set_clause size =
+  Gen.map2
+    (fun target value -> { Ast.target; value })
+    gen_ident
+    (Gen.opt (gen_expr size))
+
+let gen_column_def size =
+  let open Gen in
+  let* column = gen_ident in
+  let* ty = gen_data_type in
+  let* default = opt (map (fun l -> Ast.Lit l) gen_literal) in
+  let* constraints =
+    oneofl
+      [
+        []; [ Ast.C_not_null ]; [ Ast.C_unique ]; [ Ast.C_primary_key ];
+        [ Ast.C_not_null; Ast.C_unique ];
+        [ Ast.C_references
+            { Ast.ref_table = Ast.simple_name "u"; ref_columns = [ "a" ];
+              on_delete = Some Ast.Ra_cascade; on_update = None } ];
+        [ Ast.C_references
+            { Ast.ref_table = Ast.simple_name "u"; ref_columns = [];
+              on_delete = None; on_update = Some Ast.Ra_set_default } ];
+      ]
+  in
+  let* constraints =
+    if constraints = [] then
+      oneof
+        [ return []; map (fun c -> [ Ast.C_check c ]) (gen_cond (size / 2)) ]
+    else return constraints
+  in
+  return { Ast.column; ty; default; constraints }
+
+let gen_statement size : Ast.statement Gen.t =
+  let open Gen in
+  oneof
+    [
+      map (fun q -> Ast.Query_stmt q) (gen_query size);
+      (* INSERT *)
+      (let* table = gen_object_name in
+       let* width = int_range 1 3 in
+       let* columns =
+         oneof [ return []; return (Array.to_list (Array.sub idents 0 width)) ]
+       in
+       let* source =
+         oneof
+           [
+             map (fun rows -> Ast.Insert_values rows)
+               (list_size (int_range 1 3) (list_repeat width (gen_expr (size / 2))));
+             map
+               (fun q ->
+                 (* A bare VALUES body would print identically to
+                    Insert_values; parenthesize it so the trees differ only
+                    where the syntax does. *)
+                 match (q : Ast.query).body with
+                 | Ast.Values _ ->
+                   Ast.Insert_query (Ast.query_of_body (Ast.Paren_query q))
+                 | _ -> Ast.Insert_query q)
+               (gen_plain_query (size / 2));
+             return Ast.Insert_defaults;
+           ]
+       in
+       return (Ast.Insert_stmt { table; columns; source }));
+      (* UPDATE *)
+      (let* table = gen_object_name in
+       let* assignments = list_size (int_range 1 3) (gen_set_clause (size / 2)) in
+       let* update_where = opt (gen_cond (size / 2)) in
+       return (Ast.Update_stmt { table; assignments; update_where }));
+      (* DELETE *)
+      (let* table = gen_object_name in
+       let* delete_where = opt (gen_cond (size / 2)) in
+       return (Ast.Delete_stmt { table; delete_where }));
+      (* CREATE TABLE *)
+      (let* table = gen_object_name in
+       let* cols = list_size (int_range 1 3) (gen_column_def (size / 2)) in
+       let* constraints =
+         oneof
+           [
+             return [];
+             map
+               (fun name ->
+                 [ Ast.Constraint_element
+                     { Ast.constraint_name = name; body = Ast.T_unique [ "a" ] } ])
+               (opt (return "uq"));
+             map
+               (fun c ->
+                 [ Ast.Constraint_element
+                     { Ast.constraint_name = None; body = Ast.T_check c } ])
+               (gen_cond (size / 2));
+             return
+               [ Ast.Constraint_element
+                   { Ast.constraint_name = Some "fk";
+                     body =
+                       Ast.T_foreign_key
+                         ( [ "a" ],
+                           { Ast.ref_table = Ast.simple_name "u"; ref_columns = [ "b" ];
+                             on_delete = Some Ast.Ra_restrict;
+                             on_update = Some Ast.Ra_no_action } ) } ];
+           ]
+       in
+       return
+         (Ast.Create_table_stmt
+            { Ast.table_name = table;
+              elements =
+                List.map (fun c -> Ast.Column_element c) cols @ constraints }));
+      (* CREATE VIEW / DROP / ALTER *)
+      (let* name = gen_object_name in
+       let* view_columns = oneof [ return []; return [ "a"; "b" ] ] in
+       let* view_query = gen_plain_query (size / 2) in
+       let* check_option = bool in
+       return (Ast.Create_view_stmt { view_name = name; view_columns; view_query; check_option }));
+      (let* kind = oneofl [ Ast.Drop_table; Ast.Drop_view ] in
+       let* name = gen_object_name in
+       let* behavior = opt (oneofl [ Ast.Cascade; Ast.Restrict ]) in
+       return (Ast.Drop_stmt { drop_kind = kind; drop_name = name; behavior }));
+      (let* table = gen_object_name in
+       let* action =
+         oneof
+           [
+             map (fun c -> Ast.Add_column c) (gen_column_def (size / 2));
+             map2 (fun c b -> Ast.Drop_column (c, b)) gen_ident
+               (opt (oneofl [ Ast.Cascade; Ast.Restrict ]));
+             map2 (fun c e -> Ast.Set_column_default (c, e)) gen_ident (gen_expr (size / 2));
+             map (fun c -> Ast.Drop_column_default c) gen_ident;
+             map
+               (fun name ->
+                 Ast.Add_constraint
+                   { Ast.constraint_name = name; body = Ast.T_primary_key [ "a" ] })
+               (opt (return "pk"));
+           ]
+       in
+       return (Ast.Alter_table_stmt { altered = table; action }));
+      (* GRANT / REVOKE *)
+      (let* privileges =
+         oneofl
+           [
+             [ Ast.P_all ]; [ Ast.P_select ]; [ Ast.P_select; Ast.P_delete ];
+             [ Ast.P_update [] ]; [ Ast.P_update [ "a"; "b" ] ];
+             [ Ast.P_insert; Ast.P_references [ "a" ] ];
+           ]
+       in
+       let* grant_on = gen_object_name in
+       let* grantees =
+         oneofl [ [ Ast.User "alice" ]; [ Ast.Public ]; [ Ast.User "bob"; Ast.Public ] ]
+       in
+       let* with_grant_option = bool in
+       return (Ast.Grant_stmt { privileges; grant_on; grantees; with_grant_option }));
+      (let* revoked = oneofl [ [ Ast.P_all ]; [ Ast.P_select ]; [ Ast.P_delete ] ] in
+       let* revoke_on = gen_object_name in
+       let* revokees = oneofl [ [ Ast.User "alice" ]; [ Ast.Public ] ] in
+       let* grant_option_for = bool in
+       let* revoke_behavior = opt (oneofl [ Ast.Cascade; Ast.Restrict ]) in
+       return
+         (Ast.Revoke_stmt { revoked; revoke_on; revokees; grant_option_for; revoke_behavior }));
+      (* Transactions and schemas *)
+      map
+        (fun t -> Ast.Transaction_stmt t)
+        (oneofl
+           [
+             Ast.Commit; Ast.Rollback None; Ast.Rollback (Some "sp1");
+             Ast.Savepoint "sp1"; Ast.Release_savepoint "sp1";
+             Ast.Start_transaction None;
+             Ast.Start_transaction (Some Ast.Serializable);
+             Ast.Set_transaction Ast.Read_committed;
+           ]);
+      map
+        (fun s -> Ast.Session_stmt s)
+        (oneofl
+           [
+             Ast.Set_session_authorization "alice";
+             Ast.Reset_session_authorization;
+           ]);
+      map
+        (fun s -> Ast.Sequence_stmt s)
+        (oneof
+           [
+             (let* seq_name = oneofl [ "seq1"; "seq2" ] in
+              let* seq_start = opt (int_bound 1000) in
+              let* seq_increment = opt (int_range 1 10) in
+              return (Ast.Create_sequence { seq_name; seq_start; seq_increment }));
+             map (fun n -> Ast.Drop_sequence n) (oneofl [ "seq1"; "seq2" ]);
+           ]);
+      map
+        (fun s -> Ast.Schema_stmt s)
+        (oneofl
+           [
+             Ast.Create_schema "retail"; Ast.Drop_schema ("retail", None);
+             Ast.Drop_schema ("retail", Some Ast.Cascade); Ast.Set_schema "retail";
+           ]);
+      (* MERGE *)
+      (let* target = gen_object_name in
+       let* target_alias = opt (return "m1") in
+       let* source = map2 (fun n c -> Ast.Table (n, c)) gen_object_name (opt (gen_correlation ~with_columns:false)) in
+       let* on = gen_cond (size / 2) in
+       let* update_sets = list_size (int_range 1 2) (gen_set_clause (size / 2)) in
+       let* insert_vals = list_size (int_range 1 2) (gen_expr (size / 2)) in
+       let* actions =
+         oneofl
+           [
+             [ Ast.When_matched_update update_sets ];
+             [ Ast.When_not_matched_insert ([ "a"; "b" ], insert_vals) ];
+             [ Ast.When_matched_update update_sets;
+               Ast.When_not_matched_insert ([], insert_vals) ];
+           ]
+       in
+       return (Ast.Merge_stmt { target; target_alias; source; on; actions }));
+    ]
+

@@ -1,0 +1,11 @@
+(* Tiny substring helper shared by the test suites (no astring dependency). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i =
+      if i + nn > nh then false
+      else String.equal (String.sub haystack i nn) needle || go (i + 1)
+    in
+    go 0

@@ -1,0 +1,31 @@
+(* A shared token set for scanner and parser-engine tests. *)
+
+open Lexing_gen
+
+let basic_set : Spec.set =
+  [
+    ("SELECT", Spec.Keyword "SELECT");
+    ("FROM", Spec.Keyword "FROM");
+    ("IDENT", Spec.Class Spec.Identifier);
+    ("QUOTED_IDENT", Spec.Class Spec.Quoted_identifier);
+    ("UNSIGNED_INTEGER", Spec.Class Spec.Unsigned_integer);
+    ("DECIMAL_LITERAL", Spec.Class Spec.Decimal_number);
+    ("STRING_LITERAL", Spec.Class Spec.String_literal);
+    ("LPAREN", Spec.Punct "(");
+    ("RPAREN", Spec.Punct ")");
+    ("COMMA", Spec.Punct ",");
+    ("PERIOD", Spec.Punct ".");
+    ("PLUS", Spec.Punct "+");
+    ("TIMES", Spec.Punct "*");
+    ("EQUALS", Spec.Punct "=");
+    ("LESS_EQ", Spec.Punct "<=");
+    ("LESS", Spec.Punct "<");
+    ("CONCAT", Spec.Punct "||");
+  ]
+
+let scanner = Scanner.create basic_set
+
+let tokens input =
+  match Scanner.scan scanner input with
+  | Ok tokens -> tokens
+  | Error e -> Alcotest.failf "lex error: %a" Scanner.pp_error e

@@ -1,0 +1,174 @@
+(* End-to-end tests of the sqlpl command-line interface, driving the built
+   binary. Skipped silently if the binary is not where dune puts it
+   (e.g. when the test executable is run outside dune). *)
+
+let binary =
+  let candidates = [ "../bin/sqlpl.exe"; "_build/default/bin/sqlpl.exe" ] in
+  List.find_opt Sys.file_exists candidates
+
+let run_cli ?stdin_text args =
+  match binary with
+  | None -> None
+  | Some bin ->
+    let out_file = Filename.temp_file "sqlpl_cli" ".out" in
+    let stdin_file =
+      match stdin_text with
+      | None -> None
+      | Some text ->
+        let f = Filename.temp_file "sqlpl_cli" ".in" in
+        Out_channel.with_open_text f (fun oc -> output_string oc text);
+        Some f
+    in
+    let redirect =
+      match stdin_file with
+      | None -> ""
+      | Some f -> Printf.sprintf " < %s" (Filename.quote f)
+    in
+    let cmd =
+      Printf.sprintf "%s %s > %s 2>&1%s" (Filename.quote bin)
+        (String.concat " " (List.map Filename.quote args))
+        (Filename.quote out_file) redirect
+    in
+    let status = Sys.command cmd in
+    let output = In_channel.with_open_text out_file In_channel.input_all in
+    Sys.remove out_file;
+    Option.iter Sys.remove stdin_file;
+    Some (status, output)
+
+let check_bool = Alcotest.(check bool)
+let contains = Astring_contains.contains
+
+let expect ?stdin_text ~status ~needles args () =
+  match run_cli ?stdin_text args with
+  | None -> () (* binary unavailable; skip *)
+  | Some (actual_status, output) ->
+    Alcotest.(check int)
+      (Printf.sprintf "exit status of %s" (String.concat " " args))
+      status actual_status;
+    List.iter
+      (fun needle ->
+        check_bool
+          (Printf.sprintf "output of %s contains %S" (String.concat " " args) needle)
+          true (contains output needle))
+      needles
+
+let test_dialects = expect ~status:0 ~needles:[ "tinysql"; "SCQL" ] [ "dialects" ]
+
+let test_features_stats =
+  expect ~status:0
+    ~needles:[ "feature diagrams:"; "distinct features:" ]
+    [ "features"; "--stats" ]
+
+let test_diagram =
+  expect ~status:0
+    ~needles:[ "Query Specification"; "Set Quantifier"; "Select Sublist [1..*]" ]
+    [ "diagram"; "Query Specification" ]
+
+let test_diagram_selected =
+  expect ~status:0
+    ~needles:[ "[x] * From"; "[ ] o Joined Table" ]
+    [ "diagram"; "--selected"; "tinysql"; "Table Expression" ]
+
+let test_diagram_missing =
+  expect ~status:124 ~needles:[ "no diagram named" ] [ "diagram"; "Nonsense" ]
+
+let test_validate_dialect =
+  expect ~status:0 ~needles:[ "valid" ] [ "validate"; "-d"; "tinysql" ]
+
+let test_validate_violation =
+  expect ~status:124
+    ~needles:[ "OR group"; "violation" ]
+    [ "validate"; "-f"; "Where" ]
+
+let test_grammar =
+  expect ~status:0
+    ~needles:[ "<query_specification>"; "rules," ]
+    [ "grammar"; "-d"; "minimal" ]
+
+let test_parse_ast =
+  expect ~status:0
+    ~needles:[ "SELECT nodeid, AVG(temp) FROM sensors GROUP BY nodeid EPOCH DURATION 1024" ]
+    [ "parse"; "-d"; "tinysql"; "--ast";
+      "SELECT nodeid, AVG(temp) FROM sensors GROUP BY nodeid EPOCH DURATION 1024" ]
+
+let test_parse_reject =
+  (* In the minimal dialect the comma is not even a token: the rejection is
+     lexical. A parse-level rejection needs known tokens in a bad order. *)
+  expect ~status:124 ~needles:[ "lexical error" ]
+    [ "parse"; "-d"; "minimal"; "SELECT a, b FROM t" ]
+
+let test_parse_reject_syntactic =
+  expect ~status:124 ~needles:[ "parse error" ]
+    [ "parse"; "-d"; "minimal"; "SELECT FROM t" ]
+
+let test_report =
+  expect ~status:0
+    ~needles:[ "grammar report: scql"; "statement classes" ]
+    [ "report"; "-d"; "scql" ]
+
+let test_emit =
+  expect ~status:0 ~needles:[ "let parse tokens"; "p_query_specification" ]
+    [ "emit"; "-d"; "minimal" ]
+
+let test_run_script =
+  expect ~status:0
+    ~stdin_text:
+      "CREATE TABLE t (a INTEGER);\nINSERT INTO t (a) VALUES (1), (2);\nSELECT COUNT(*) FROM t;"
+    ~needles:[ "table t created"; "2 row(s) affected"; "(1 rows)" ]
+    [ "run"; "-d"; "full" ]
+
+let test_diff =
+  expect ~status:0
+    ~needles:[ "commonality:"; "only in tinysql"; "grammar size:" ]
+    [ "diff"; "tinysql"; "scql" ]
+
+let test_configure_session =
+  expect ~status:0
+    ~stdin_text:
+      "add Where\nfix\nadd Equals\ntry SELECT a FROM t WHERE a = b\ntry SELECT a, b FROM t\nquit\n"
+    ~needles:
+      [
+        "pick at least one of";
+        "accepted: SELECT a FROM t WHERE a = b";
+        "rejected:";
+      ]
+    [ "configure" ]
+
+let test_config_file_roundtrip () =
+  match binary with
+  | None -> ()
+  | Some _ ->
+    let file = Filename.temp_file "sqlpl_features" ".txt" in
+    (* Save a selection via the configurator, then use it with validate. *)
+    (match
+       run_cli
+         ~stdin_text:(Printf.sprintf "add Where\nadd Equals\nsave %s\nquit\n" file)
+         [ "configure" ]
+     with
+     | Some (0, _) -> ()
+     | _ -> Alcotest.fail "configure save failed");
+    (match run_cli [ "validate"; "-c"; file ] with
+     | Some (0, out) -> check_bool "valid from file" true (contains out "valid")
+     | _ -> Alcotest.fail "validate from file failed");
+    Sys.remove file
+
+let suite =
+  [
+    Alcotest.test_case "dialects" `Quick test_dialects;
+    Alcotest.test_case "features --stats" `Quick test_features_stats;
+    Alcotest.test_case "diagram" `Quick test_diagram;
+    Alcotest.test_case "diagram --selected" `Quick test_diagram_selected;
+    Alcotest.test_case "diagram missing" `Quick test_diagram_missing;
+    Alcotest.test_case "validate dialect" `Quick test_validate_dialect;
+    Alcotest.test_case "validate violation" `Quick test_validate_violation;
+    Alcotest.test_case "grammar" `Quick test_grammar;
+    Alcotest.test_case "parse --ast" `Quick test_parse_ast;
+    Alcotest.test_case "parse reject (lexical)" `Quick test_parse_reject;
+    Alcotest.test_case "parse reject (syntactic)" `Quick test_parse_reject_syntactic;
+    Alcotest.test_case "report" `Quick test_report;
+    Alcotest.test_case "emit" `Quick test_emit;
+    Alcotest.test_case "run script" `Quick test_run_script;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "configure session" `Quick test_configure_session;
+    Alcotest.test_case "config file round-trip" `Quick test_config_file_roundtrip;
+  ]

@@ -1,0 +1,89 @@
+(* Tests for the OCaml parser source emitter (the code-generation face of
+   "parser generation"). The emitted module is checked structurally and, when
+   an OCaml compiler is available on PATH, actually compiled. *)
+
+open Grammar.Builder
+
+let check_bool = Alcotest.(check bool)
+let contains = Astring_contains.contains
+
+let toy =
+  grammar ~start:"expr"
+    [
+      rule "expr" [ [ nt "term"; star [ t "PLUS"; nt "term" ] ] ];
+      rule "term" [ [ t "NUM" ]; [ t "LPAREN"; nt "expr"; t "RPAREN" ]; [ opt [ t "MINUS" ]; t "NUM" ] ];
+      rule "sign" [ [ grp [ [ t "PLUS" ]; [ t "MINUS" ] ] ] ];
+      rule "names" [ [ plus [ t "IDENT" ] ] ];
+    ]
+
+let emitted = lazy (Parser_gen.Codegen.emit toy)
+
+let test_structure () =
+  let src = Lazy.force emitted in
+  check_bool "has parse entry point" true (contains src "let parse tokens");
+  List.iter
+    (fun nt ->
+      check_bool
+        (Printf.sprintf "has %s" (Parser_gen.Codegen.rule_function_name nt))
+        true
+        (contains src (Parser_gen.Codegen.rule_function_name nt)))
+    [ "expr"; "term"; "sign"; "names" ];
+  check_bool "declares token type" true (contains src "type token");
+  check_bool "declares tree type" true (contains src "type tree");
+  check_bool "mentions start symbol" true (contains src "Start symbol: expr")
+
+let test_rule_function_name () =
+  Alcotest.(check string) "prefix" "p_query_specification"
+    (Parser_gen.Codegen.rule_function_name "query_specification")
+
+let test_custom_doc () =
+  let src = Parser_gen.Codegen.emit ~module_doc:"My generated parser." toy in
+  check_bool "doc included" true (contains src "My generated parser.")
+
+let compile_ocaml source =
+  let dir = Filename.temp_file "sqlpl_codegen" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "generated_parser.ml" in
+  let oc = open_out file in
+  output_string oc source;
+  close_out oc;
+  let log = Filename.concat dir "compile.log" in
+  let status =
+    Sys.command
+      (Printf.sprintf "ocamlfind ocamlc -package fmt -c %s > %s 2>&1"
+         (Filename.quote file) (Filename.quote log))
+  in
+  let log_contents =
+    if Sys.file_exists log then In_channel.with_open_text log In_channel.input_all
+    else ""
+  in
+  (status, log_contents)
+
+let ocaml_available =
+  lazy (Sys.command "ocamlfind ocamlc -version > /dev/null 2>&1" = 0)
+
+let test_emitted_code_compiles () =
+  if not (Lazy.force ocaml_available) then ()
+  else
+    let status, log = compile_ocaml (Lazy.force emitted) in
+    if status <> 0 then Alcotest.failf "emitted toy parser does not compile:\n%s" log
+
+let test_emitted_sql_parser_compiles () =
+  if not (Lazy.force ocaml_available) then ()
+  else
+    match Core.generate_dialect Dialects.Dialect.tinysql with
+    | Error e -> Alcotest.failf "generate: %a" Core.pp_error e
+    | Ok g ->
+      let status, log = compile_ocaml (Core.emit_ocaml_parser g) in
+      if status <> 0 then
+        Alcotest.failf "emitted TinySQL parser does not compile:\n%s" log
+
+let suite =
+  [
+    Alcotest.test_case "emitted structure" `Quick test_structure;
+    Alcotest.test_case "rule function names" `Quick test_rule_function_name;
+    Alcotest.test_case "custom module doc" `Quick test_custom_doc;
+    Alcotest.test_case "toy parser compiles" `Slow test_emitted_code_compiles;
+    Alcotest.test_case "TinySQL parser compiles" `Slow test_emitted_sql_parser_compiles;
+  ]

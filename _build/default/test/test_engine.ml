@@ -1,0 +1,168 @@
+(* Tests for the engine substrate: values, row storage, schemas. *)
+
+module Value = Engine.Value
+module Vec = Engine.Vec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Value -------------------------------------------------------------- *)
+
+let test_value_equal () =
+  check_bool "int/float cross equal" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check_bool "null equals null (grouping)" true (Value.equal Value.Null Value.Null);
+  check_bool "str" true (Value.equal (Value.Str "a") (Value.Str "a"));
+  check_bool "cross kind" false (Value.equal (Value.Str "1") (Value.Int 1))
+
+let test_value_compare_sql () =
+  Alcotest.(check (option int)) "null incomparable" None
+    (Value.compare_sql Value.Null (Value.Int 1));
+  check_bool "int lt" true (Value.compare_sql (Value.Int 1) (Value.Int 2) = Some (-1));
+  check_bool "mixed numeric" true
+    (Value.compare_sql (Value.Int 2) (Value.Float 1.5) = Some 1);
+  Alcotest.check_raises "string vs int is a type error"
+    (Value.Type_error "comparison between incompatible types") (fun () ->
+      ignore (Value.compare_sql (Value.Str "a") (Value.Int 1)))
+
+let test_value_arith () =
+  check_bool "int add" true (Value.add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+  check_bool "mixed promotes" true
+    (Value.mul (Value.Int 2) (Value.Float 1.5) = Value.Float 3.0);
+  check_bool "null propagates" true (Value.add Value.Null (Value.Int 1) = Value.Null);
+  Alcotest.check_raises "div by zero" Value.Division_by_zero (fun () ->
+      ignore (Value.div (Value.Int 1) (Value.Int 0)))
+
+let test_value_concat () =
+  check_bool "concat strings" true
+    (Value.concat (Value.Str "a") (Value.Str "b") = Value.Str "ab");
+  check_bool "concat coerces" true
+    (Value.concat (Value.Str "n=") (Value.Int 3) = Value.Str "n=3");
+  check_bool "null propagates" true (Value.concat Value.Null (Value.Str "x") = Value.Null)
+
+let test_value_coerce () =
+  let open Sql_ast.Ast in
+  check_bool "int from string" true (Value.coerce T_integer (Value.Str "42") = Value.Int 42);
+  check_bool "float widening" true (Value.coerce T_double (Value.Int 2) = Value.Float 2.0);
+  check_bool "char truncation" true
+    (Value.coerce (T_char (Some 2)) (Value.Str "abc") = Value.Str "ab");
+  check_bool "bool from int" true (Value.coerce T_boolean (Value.Int 0) = Value.Bool false);
+  check_bool "null passes through" true (Value.coerce T_integer Value.Null = Value.Null);
+  Alcotest.check_raises "bad cast"
+    (Value.Type_error "cannot cast 'xyz' to integer") (fun () ->
+      ignore (Value.coerce T_integer (Value.Str "xyz")))
+
+let test_value_to_string () =
+  check_string "int" "7" (Value.to_string (Value.Int 7));
+  check_string "float integral" "2.0" (Value.to_string (Value.Float 2.));
+  check_string "null" "NULL" (Value.to_string Value.Null);
+  check_string "bool" "TRUE" (Value.to_string (Value.Bool true))
+
+let test_value_total_order () =
+  let sorted =
+    List.sort Value.compare_total
+      [ Value.Str "b"; Value.Int 3; Value.Null; Value.Float 1.5; Value.Str "a" ]
+  in
+  check_bool "null first" true (List.hd sorted = Value.Null);
+  check_bool "numbers before strings" true
+    (sorted = [ Value.Null; Value.Float 1.5; Value.Int 3; Value.Str "a"; Value.Str "b" ])
+
+(* --- Vec ------------------------------------------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do Vec.push v i done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 42 (Vec.get v 42);
+  Vec.set v 42 7;
+  check_int "set" 7 (Vec.get v 42)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 2))
+
+let test_vec_filter_in_place () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let removed = Vec.filter_in_place (fun x -> x mod 2 = 0) v in
+  check_int "removed" 3 removed;
+  Alcotest.(check (list int)) "kept order" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_vec_map_copy () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  let w = Vec.copy v in
+  Vec.map_in_place (fun x -> x * 10) v;
+  Alcotest.(check (list int)) "mapped" [ 10; 20; 30 ] (Vec.to_list v);
+  Alcotest.(check (list int)) "copy untouched" [ 1; 2; 3 ] (Vec.to_list w)
+
+(* --- Schema ------------------------------------------------------------------- *)
+
+let full =
+  lazy
+    (match Core.generate_dialect Dialects.Dialect.full with
+     | Ok g -> g
+     | Error e -> Alcotest.failf "generate: %a" Core.pp_error e)
+
+let create_table_ast sql =
+  match Core.parse_statement (Lazy.force full) sql with
+  | Ok (Sql_ast.Ast.Create_table_stmt ct) -> ct
+  | Ok _ -> Alcotest.fail "not a create table"
+  | Error e -> Alcotest.failf "parse: %a" Core.pp_error e
+
+let test_schema_of_create_table () =
+  let ct =
+    create_table_ast
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(10) NOT NULL, \
+       price DECIMAL DEFAULT 0, CONSTRAINT u UNIQUE (name, price), CHECK (id > 0))"
+  in
+  match Engine.Schema.of_create_table ct with
+  | Error e -> Alcotest.fail e
+  | Ok schema ->
+    Alcotest.(check (list string)) "columns" [ "id"; "name"; "price" ]
+      (Engine.Schema.column_names schema);
+    check_int "unique set" 1 (List.length schema.Engine.Schema.unique_sets);
+    check_int "checks" 1 (List.length schema.Engine.Schema.checks);
+    (match Engine.Schema.find_column schema "id" with
+     | Some c ->
+       check_bool "pk not null" true c.Engine.Schema.not_null;
+       check_bool "pk unique" true c.Engine.Schema.unique
+     | None -> Alcotest.fail "id column");
+    Alcotest.(check (option int)) "index" (Some 2)
+      (Engine.Schema.column_index schema "price")
+
+let test_schema_rejects_duplicates () =
+  let ct = create_table_ast "CREATE TABLE t (a INTEGER, a INTEGER)" in
+  check_bool "duplicate rejected" true
+    (Result.is_error (Engine.Schema.of_create_table ct))
+
+let test_schema_rejects_two_pks () =
+  let ct =
+    create_table_ast "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)"
+  in
+  check_bool "two pks rejected" true
+    (Result.is_error (Engine.Schema.of_create_table ct))
+
+let test_schema_rejects_unknown_constraint_column () =
+  let ct = create_table_ast "CREATE TABLE t (a INTEGER, UNIQUE (ghost))" in
+  check_bool "unknown column rejected" true
+    (Result.is_error (Engine.Schema.of_create_table ct))
+
+let suite =
+  [
+    Alcotest.test_case "value equality" `Quick test_value_equal;
+    Alcotest.test_case "value sql comparison" `Quick test_value_compare_sql;
+    Alcotest.test_case "value arithmetic" `Quick test_value_arith;
+    Alcotest.test_case "value concat" `Quick test_value_concat;
+    Alcotest.test_case "value coercion" `Quick test_value_coerce;
+    Alcotest.test_case "value to_string" `Quick test_value_to_string;
+    Alcotest.test_case "value total order" `Quick test_value_total_order;
+    Alcotest.test_case "vec push/get/set" `Quick test_vec_push_get;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec filter in place" `Quick test_vec_filter_in_place;
+    Alcotest.test_case "vec map/copy" `Quick test_vec_map_copy;
+    Alcotest.test_case "schema from create table" `Quick test_schema_of_create_table;
+    Alcotest.test_case "schema duplicate columns" `Quick test_schema_rejects_duplicates;
+    Alcotest.test_case "schema two primary keys" `Quick test_schema_rejects_two_pks;
+    Alcotest.test_case "schema unknown constraint column" `Quick
+      test_schema_rejects_unknown_constraint_column;
+  ]

@@ -1,0 +1,291 @@
+(* Tests for the feature library: diagrams, configurations, counting. *)
+
+open Feature
+open Feature.Tree
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* A small model exercising every group kind:
+
+   car
+   |-- * engine <xor> petrol | electric
+   |-- o radio
+   |       `-- * speakers
+   `-- <or> comfort: heating | cooling            *)
+let car =
+  feature "car"
+    [
+      mandatory (feature "engine" [ Alt_group [ leaf "petrol"; leaf "electric" ] ]);
+      optional (feature "radio" [ mandatory (leaf "speakers") ]);
+      Or_group [ leaf "heating"; leaf "cooling" ];
+    ]
+
+let car_model =
+  Model.make
+    ~constraints:
+      [ Model.Requires ("radio", "electric"); Model.Excludes ("petrol", "cooling") ]
+    car
+
+let config names = Config.of_names names
+
+(* --- Tree -------------------------------------------------------------------- *)
+
+let test_counts () =
+  check_int "feature count" 8 (Tree.feature_count car);
+  check_int "depth" 3 (Tree.depth car)
+
+let test_find_and_parent () =
+  check_bool "find speakers" true (Tree.find car "speakers" <> None);
+  check_bool "find nothing" true (Tree.find car "wheels" = None);
+  (match Tree.parent car "speakers" with
+   | Some p -> check_string "parent of speakers" "radio" p.name
+   | None -> Alcotest.fail "parent expected");
+  check_bool "root has no parent" true (Tree.parent car "car" = None)
+
+let test_names_preorder () =
+  Alcotest.(check (list string)) "pre-order"
+    [ "car"; "engine"; "petrol"; "electric"; "radio"; "speakers"; "heating"; "cooling" ]
+    (Tree.names car)
+
+let test_duplicates () =
+  let dup = feature "x" [ mandatory (leaf "a"); optional (leaf "a") ] in
+  Alcotest.(check (list string)) "duplicate reported" [ "a" ] (Tree.duplicate_names dup);
+  Alcotest.(check (list string)) "car clean" [] (Tree.duplicate_names car)
+
+let test_cardinality_pp () =
+  check_string "1..*" "[1..*]" (Fmt.str "%a" Tree.pp_cardinality Tree.one_or_more);
+  check_string "fixed" "[2]"
+    (Fmt.str "%a" Tree.pp_cardinality { Tree.min = 2; max = Some 2 });
+  check_string "range" "[1..3]"
+    (Fmt.str "%a" Tree.pp_cardinality { Tree.min = 1; max = Some 3 })
+
+(* --- Model ------------------------------------------------------------------- *)
+
+let test_model_check () =
+  Alcotest.(check int) "car model clean" 0 (List.length (Model.check car_model));
+  let bad =
+    Model.make ~constraints:[ Model.Requires ("radio", "warp-drive") ] car
+  in
+  check_bool "unknown feature in constraint" true
+    (List.exists
+       (function Model.Constraint_on_unknown_feature "warp-drive" -> true | _ -> false)
+       (Model.check bad))
+
+let test_requires_of () =
+  Alcotest.(check (list string)) "requires" [ "electric" ]
+    (Model.requires_of car_model "radio")
+
+(* --- Config validation ---------------------------------------------------------- *)
+
+let valid_config = config [ "car"; "engine"; "electric"; "heating" ]
+
+let test_valid () =
+  Alcotest.(check int) "no violations" 0
+    (List.length (Config.validate car_model valid_config))
+
+let test_concept_required () =
+  let c = config [ "engine"; "electric"; "heating" ] in
+  check_bool "concept missing" true
+    (List.exists
+       (function Config.Concept_not_selected _ -> true | _ -> false)
+       (Config.validate car_model c))
+
+let test_unknown_feature () =
+  let c = Config.union valid_config (config [ "wings" ]) in
+  check_bool "unknown" true
+    (List.exists
+       (function Config.Unknown_feature "wings" -> true | _ -> false)
+       (Config.validate car_model c))
+
+let test_mandatory_child () =
+  let c = config [ "car"; "heating" ] in
+  check_bool "engine missing" true
+    (List.exists
+       (function
+         | Config.Mandatory_child_missing { child = "engine"; _ } -> true
+         | _ -> false)
+       (Config.validate car_model c))
+
+let test_alt_group_exactly_one () =
+  let zero = config [ "car"; "engine"; "heating" ] in
+  let two = config [ "car"; "engine"; "petrol"; "electric"; "heating" ] in
+  let violation c =
+    List.exists
+      (function Config.Alt_group_violation _ -> true | _ -> false)
+      (Config.validate car_model c)
+  in
+  check_bool "zero selected" true (violation zero);
+  check_bool "two selected" true (violation two);
+  check_bool "one selected ok" false (violation valid_config)
+
+let test_or_group_at_least_one () =
+  let none = config [ "car"; "engine"; "electric" ] in
+  check_bool "or violation" true
+    (List.exists
+       (function Config.Or_group_violation _ -> true | _ -> false)
+       (Config.validate car_model none));
+  let both = config [ "car"; "engine"; "electric"; "heating"; "cooling" ] in
+  check_bool "both members fine" false
+    (List.exists
+       (function Config.Or_group_violation _ -> true | _ -> false)
+       (Config.validate car_model both))
+
+let test_orphan () =
+  let c = Config.union valid_config (config [ "speakers" ]) in
+  check_bool "parent not selected" true
+    (List.exists
+       (function
+         | Config.Parent_not_selected { feature = "speakers"; parent = "radio" } -> true
+         | _ -> false)
+       (Config.validate car_model c))
+
+let test_requires_excludes () =
+  let needs = config [ "car"; "engine"; "petrol"; "radio"; "speakers"; "heating" ] in
+  let violations = Config.validate car_model needs in
+  check_bool "requires violated" true
+    (List.exists
+       (function
+         | Config.Requires_violation { feature = "radio"; missing = "electric" } -> true
+         | _ -> false)
+       violations);
+  let clash = config [ "car"; "engine"; "petrol"; "cooling" ] in
+  check_bool "excludes violated" true
+    (List.exists
+       (function Config.Excludes_violation _ -> true | _ -> false)
+       (Config.validate car_model clash))
+
+let test_close () =
+  let closed = Config.close car_model (config [ "speakers"; "heating" ]) in
+  List.iter
+    (fun f -> check_bool (f ^ " pulled in") true (Config.mem f closed))
+    [ "car"; "radio"; "speakers"; "electric"; "engine" ]
+(* radio requires electric; engine is a mandatory child of car. *)
+
+let test_full_config () =
+  check_int "full has everything" 8 (Config.cardinal (Config.full car_model))
+
+let test_sample_validity () =
+  (* Samples are valid by construction for constraint-free models; with
+     constraints the requires-closure may clash with ALT groups and samples
+     must be re-validated (documented in Config.sample). *)
+  let no_constraints = Model.make car in
+  for seed = 0 to 49 do
+    let c = Config.sample no_constraints ~seed in
+    match Config.validate no_constraints c with
+    | [] -> ()
+    | vs ->
+      Alcotest.failf "seed %d invalid: %a" seed
+        Fmt.(list ~sep:comma Config.pp_violation)
+        vs
+  done
+
+let test_sample_deterministic () =
+  let a = Config.sample car_model ~seed:42 in
+  let b = Config.sample car_model ~seed:42 in
+  Alcotest.(check (list string)) "same seed, same config" (Config.to_names a)
+    (Config.to_names b)
+
+(* --- Counting ----------------------------------------------------------------------- *)
+
+let test_count_car () =
+  (* engine: 2 (xor); radio: optional(1 + 1) = 2; or-group {heating,cooling}:
+     2*2 - 1 = 3.  Total = 2 * 2 * 3 = 12. *)
+  check_string "car products" "12" (Bignum.to_string (Count.products car))
+
+let test_count_leaf () =
+  check_string "leaf has one product" "1" (Bignum.to_string (Count.products (leaf "x")))
+
+let test_count_overflows_native () =
+  (* 70 optional children: 2^70 products, which exceeds max_int. *)
+  let wide =
+    feature "wide"
+      (List.init 70 (fun i -> optional (leaf (Printf.sprintf "f%d" i))))
+  in
+  let n = Count.products wide in
+  check_bool "does not fit in int" true (Bignum.to_int_opt n = None);
+  check_string "2^70" "1180591620717411303424" (Bignum.to_string n)
+
+let test_count_sql_model () =
+  let n = Count.products Sql.Model.model.Model.concept in
+  check_bool "astronomically many SQL dialects" true (Bignum.digits n > 15)
+
+(* --- Bignum -------------------------------------------------------------------------- *)
+
+let test_bignum_roundtrip () =
+  List.iter
+    (fun s -> check_string s s (Bignum.to_string (Bignum.of_string s)))
+    [ "0"; "7"; "1000000000"; "123456789012345678901234567890" ]
+
+let test_bignum_arith () =
+  let a = Bignum.of_string "999999999999999999" in
+  let b = Bignum.add a Bignum.one in
+  check_string "carry chain" "1000000000000000000" (Bignum.to_string b);
+  check_string "multiplication" "999999999999999999000000000000000000"
+    (Bignum.to_string (Bignum.mul a (Bignum.of_string "1000000000000000000")));
+  check_string "pred" "999999999999999999" (Bignum.to_string (Bignum.pred b));
+  check_string "pred zero saturates" "0" (Bignum.to_string (Bignum.pred Bignum.zero))
+
+let test_bignum_compare () =
+  check_bool "ordering" true
+    (Bignum.compare (Bignum.of_int 5) (Bignum.of_string "1000000000000") < 0);
+  check_bool "equal" true (Bignum.equal (Bignum.of_int 42) (Bignum.of_string "42"))
+
+let test_bignum_to_int () =
+  Alcotest.(check (option int)) "small" (Some 12345)
+    (Bignum.to_int_opt (Bignum.of_int 12345))
+
+(* --- Diagram rendering ----------------------------------------------------------------- *)
+
+let test_diagram_render () =
+  let s = Diagram.render car in
+  check_bool "root first" true (String.length s > 0 && String.sub s 0 3 = "car");
+  check_bool "mandatory marker" true (Astring_contains.contains s "* engine");
+  check_bool "optional marker" true (Astring_contains.contains s "o radio");
+  check_bool "xor arc" true (Astring_contains.contains s "<xor>");
+  check_bool "or arc" true (Astring_contains.contains s "<or>")
+
+let test_diagram_checkboxes () =
+  let s = Diagram.render_selected valid_config car in
+  check_bool "selected box" true (Astring_contains.contains s "[x] ");
+  check_bool "unselected box" true (Astring_contains.contains s "[ ] ")
+
+let test_diagram_cardinality_shown () =
+  let t = feature "list" [ mandatory (leaf ~card:Tree.one_or_more "item") ] in
+  check_bool "cardinality rendered" true
+    (Astring_contains.contains (Diagram.render t) "item [1..*]")
+
+let suite =
+  [
+    Alcotest.test_case "tree counts" `Quick test_counts;
+    Alcotest.test_case "find and parent" `Quick test_find_and_parent;
+    Alcotest.test_case "pre-order names" `Quick test_names_preorder;
+    Alcotest.test_case "duplicate detection" `Quick test_duplicates;
+    Alcotest.test_case "cardinality pp" `Quick test_cardinality_pp;
+    Alcotest.test_case "model check" `Quick test_model_check;
+    Alcotest.test_case "requires_of" `Quick test_requires_of;
+    Alcotest.test_case "valid config" `Quick test_valid;
+    Alcotest.test_case "concept required" `Quick test_concept_required;
+    Alcotest.test_case "unknown feature" `Quick test_unknown_feature;
+    Alcotest.test_case "mandatory child" `Quick test_mandatory_child;
+    Alcotest.test_case "alt group exactly one" `Quick test_alt_group_exactly_one;
+    Alcotest.test_case "or group at least one" `Quick test_or_group_at_least_one;
+    Alcotest.test_case "orphan feature" `Quick test_orphan;
+    Alcotest.test_case "requires/excludes" `Quick test_requires_excludes;
+    Alcotest.test_case "closure" `Quick test_close;
+    Alcotest.test_case "full config" `Quick test_full_config;
+    Alcotest.test_case "samples valid" `Quick test_sample_validity;
+    Alcotest.test_case "samples deterministic" `Quick test_sample_deterministic;
+    Alcotest.test_case "count car" `Quick test_count_car;
+    Alcotest.test_case "count leaf" `Quick test_count_leaf;
+    Alcotest.test_case "count beyond native int" `Quick test_count_overflows_native;
+    Alcotest.test_case "count SQL model" `Quick test_count_sql_model;
+    Alcotest.test_case "bignum roundtrip" `Quick test_bignum_roundtrip;
+    Alcotest.test_case "bignum arithmetic" `Quick test_bignum_arith;
+    Alcotest.test_case "bignum compare" `Quick test_bignum_compare;
+    Alcotest.test_case "bignum to_int" `Quick test_bignum_to_int;
+    Alcotest.test_case "diagram render" `Quick test_diagram_render;
+    Alcotest.test_case "diagram checkboxes" `Quick test_diagram_checkboxes;
+    Alcotest.test_case "diagram cardinality" `Quick test_diagram_cardinality_shown;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the grammar library: symbols, productions, grammars, printers. *)
+
+open Grammar
+open Grammar.Builder
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Symbol ------------------------------------------------------------- *)
+
+let test_symbol_basics () =
+  check_bool "terminal" true (Symbol.is_terminal (Symbol.Terminal "SELECT"));
+  check_bool "nonterminal" true (Symbol.is_nonterminal (Symbol.Nonterminal "query"));
+  check Alcotest.string "name" "query" (Symbol.name (Symbol.Nonterminal "query"));
+  check_bool "equal" true (Symbol.equal (Symbol.Terminal "A") (Symbol.Terminal "A"));
+  check_bool "not equal across kinds" false
+    (Symbol.equal (Symbol.Terminal "A") (Symbol.Nonterminal "A"));
+  check_bool "terminal sorts before nonterminal" true
+    (Symbol.compare (Symbol.Terminal "Z") (Symbol.Nonterminal "A") < 0)
+
+let test_symbol_pp () =
+  check Alcotest.string "terminal verbatim" "SELECT"
+    (Fmt.str "%a" Symbol.pp (Symbol.Terminal "SELECT"));
+  check Alcotest.string "nonterminal in brackets" "<query>"
+    (Fmt.str "%a" Symbol.pp (Symbol.Nonterminal "query"))
+
+(* --- Production ----------------------------------------------------------- *)
+
+let test_flatten_plain () =
+  let alt = [ t "SELECT"; nt "select_list"; nt "table_expression" ] in
+  check_int "three symbols" 3 (List.length (Production.flatten alt))
+
+let test_flatten_looks_through_structure () =
+  let alt = [ t "A"; opt [ nt "b"; star [ t "C" ] ]; grp [ [ t "D" ]; [ nt "e" ] ] ] in
+  let names = List.map Symbol.name (Production.flatten alt) in
+  check Alcotest.(list string) "in order" [ "A"; "b"; "C"; "D"; "e" ] names
+
+let test_required_skips_optionals () =
+  let alt = [ opt [ t "X" ]; t "A"; star [ t "Y" ]; plus [ t "B" ] ] in
+  let required = Production.required alt in
+  check_int "two required terms" 2 (List.length required)
+
+let test_subsequence () =
+  let sym n = Symbol.Terminal n in
+  check_bool "empty is subsequence" true (Production.subsequence [] [ sym "A" ]);
+  check_bool "in order" true
+    (Production.subsequence [ sym "A"; sym "C" ] [ sym "A"; sym "B"; sym "C" ]);
+  check_bool "out of order" false
+    (Production.subsequence [ sym "C"; sym "A" ] [ sym "A"; sym "B"; sym "C" ]);
+  check_bool "longer is not subsequence" false
+    (Production.subsequence [ sym "A"; sym "B" ] [ sym "A" ])
+
+let test_alt_equal_structural () =
+  let a = [ t "A"; opt [ nt "b" ] ] in
+  let b = [ t "A"; opt [ nt "b" ] ] in
+  let c = [ t "A"; star [ nt "b" ] ] in
+  check_bool "equal" true (Production.alt_equal a b);
+  check_bool "different structure" false (Production.alt_equal a c)
+
+let test_mentioned () =
+  let r =
+    rule "x" [ [ t "A"; nt "y" ]; [ nt "z"; nt "y"; t "B" ] ]
+  in
+  check Alcotest.(list string) "nonterminals dedupe in order" [ "y"; "z" ]
+    (Production.mentioned_nonterminals r);
+  check Alcotest.(list string) "terminals" [ "A"; "B" ]
+    (Production.mentioned_terminals r)
+
+let test_production_pp () =
+  let r = rule "set_quantifier" [ [ t "DISTINCT" ]; [ t "ALL" ] ] in
+  let rendered = Fmt.str "%a" Production.pp r in
+  check_bool "mentions lhs" true
+    (Astring_contains.contains rendered "set_quantifier");
+  check_bool "mentions choice" true (Astring_contains.contains rendered "|")
+
+(* --- Cfg -------------------------------------------------------------------- *)
+
+let toy_grammar =
+  grammar ~start:"s"
+    [
+      rule "s" [ [ nt "a"; t "END" ] ];
+      rule "a" [ [ t "X" ]; [ t "Y"; nt "a" ] ];
+    ]
+
+let test_cfg_merge_same_lhs () =
+  let g =
+    grammar ~start:"s"
+      [ rule "s" [ [ t "A" ] ]; rule "s" [ [ t "B" ] ]; rule "s" [ [ t "A" ] ] ]
+  in
+  check_int "one rule" 1 (Cfg.rule_count g);
+  check_int "two distinct alternatives" 2 (Cfg.alternative_count g)
+
+let test_cfg_lookups () =
+  check_bool "find defined" true (Cfg.find toy_grammar "a" <> None);
+  check_bool "find undefined" true (Cfg.find toy_grammar "zz" = None);
+  check Alcotest.(list string) "defined order" [ "s"; "a" ] (Cfg.defined toy_grammar);
+  check Alcotest.(list string) "terminals order" [ "END"; "X"; "Y" ]
+    (Cfg.terminals toy_grammar)
+
+let test_cfg_check_clean () =
+  check_int "no problems" 0 (List.length (Cfg.check toy_grammar))
+
+let test_cfg_check_undefined () =
+  let g = grammar ~start:"s" [ rule "s" [ [ nt "ghost" ] ] ] in
+  let problems = Cfg.check g in
+  check_bool "undefined reported" true
+    (List.exists
+       (function
+         | Cfg.Undefined_nonterminal { nonterminal = "ghost"; referenced_from = "s" } ->
+           true
+         | _ -> false)
+       problems)
+
+let test_cfg_check_unreachable () =
+  let g =
+    grammar ~start:"s" [ rule "s" [ [ t "A" ] ]; rule "island" [ [ t "B" ] ] ]
+  in
+  check_bool "unreachable reported" true
+    (List.exists
+       (function Cfg.Unreachable_rule "island" -> true | _ -> false)
+       (Cfg.check g))
+
+let test_cfg_check_missing_start () =
+  let g = grammar ~start:"nope" [ rule "s" [ [ t "A" ] ] ] in
+  check_bool "undefined start" true
+    (List.exists (function Cfg.Undefined_start -> true | _ -> false) (Cfg.check g))
+
+let test_symbol_count () =
+  check_int "symbols" 5 (Cfg.symbol_count toy_grammar)
+
+(* --- Printer ------------------------------------------------------------------ *)
+
+let test_printer_ebnf () =
+  let s = Printer.to_ebnf toy_grammar in
+  check_bool "has rule" true (Astring_contains.contains s "<a>")
+
+let test_printer_bnf_desugars () =
+  let g = grammar ~start:"s" [ rule "s" [ [ t "A"; opt [ t "B" ] ] ] ] in
+  let s = Printer.to_bnf g in
+  check_bool "helper rule created" true (Astring_contains.contains s "s_opt1");
+  check_bool "no EBNF brackets" false (Astring_contains.contains s "[ ")
+
+let test_printer_bnf_star () =
+  let g = grammar ~start:"s" [ rule "s" [ [ t "A"; star [ t "B" ] ] ] ] in
+  let s = Printer.to_bnf g in
+  check_bool "list helper" true (Astring_contains.contains s "s_list1")
+
+let test_printer_antlr () =
+  let s = Printer.to_antlr toy_grammar in
+  check_bool "grammar header" true (Astring_contains.contains s "grammar s;");
+  check_bool "token section" true (Astring_contains.contains s "// tokens")
+
+let suite =
+  [
+    Alcotest.test_case "symbol basics" `Quick test_symbol_basics;
+    Alcotest.test_case "symbol pp" `Quick test_symbol_pp;
+    Alcotest.test_case "flatten plain" `Quick test_flatten_plain;
+    Alcotest.test_case "flatten nested" `Quick test_flatten_looks_through_structure;
+    Alcotest.test_case "required skips optionals" `Quick test_required_skips_optionals;
+    Alcotest.test_case "subsequence" `Quick test_subsequence;
+    Alcotest.test_case "alt structural equality" `Quick test_alt_equal_structural;
+    Alcotest.test_case "mentioned symbols" `Quick test_mentioned;
+    Alcotest.test_case "production pp" `Quick test_production_pp;
+    Alcotest.test_case "cfg merges same lhs" `Quick test_cfg_merge_same_lhs;
+    Alcotest.test_case "cfg lookups" `Quick test_cfg_lookups;
+    Alcotest.test_case "cfg check clean" `Quick test_cfg_check_clean;
+    Alcotest.test_case "cfg undefined nonterminal" `Quick test_cfg_check_undefined;
+    Alcotest.test_case "cfg unreachable rule" `Quick test_cfg_check_unreachable;
+    Alcotest.test_case "cfg missing start" `Quick test_cfg_check_missing_start;
+    Alcotest.test_case "cfg symbol count" `Quick test_symbol_count;
+    Alcotest.test_case "printer ebnf" `Quick test_printer_ebnf;
+    Alcotest.test_case "printer bnf opt" `Quick test_printer_bnf_desugars;
+    Alcotest.test_case "printer bnf star" `Quick test_printer_bnf_star;
+    Alcotest.test_case "printer antlr" `Quick test_printer_antlr;
+  ]

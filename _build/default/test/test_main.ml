@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "sqlpl"
+    [
+      ("grammar", Test_grammar.suite);
+      ("analysis", Test_analysis.suite);
+      ("feature", Test_feature.suite);
+      ("compose", Test_compose.suite);
+      ("scanner", Test_scanner.suite);
+      ("parser-engine", Test_parser_engine.suite);
+      ("sql-model", Test_sql_model.suite);
+      ("dialects", Test_dialects.suite);
+      ("lowering", Test_lower.suite);
+      ("engine", Test_engine.suite);
+      ("executor", Test_executor.suite);
+      ("roundtrip", Test_roundtrip.suite);
+      ("codegen", Test_codegen.suite);
+      ("report", Test_report.suite);
+      ("properties", Test_properties.suite);
+      ("printer", Test_printer.suite);
+      ("cli", Test_cli.suite);
+    ]

@@ -1,0 +1,154 @@
+(* Direct unit tests of the SQL printer (corner cases beyond what the
+   round-trip property exercises). *)
+
+open Sql_ast
+
+let check = Alcotest.(check string)
+
+let col n = Ast.Column (None, n)
+
+let test_literals () =
+  check "negative integer is parenthesized" "(- 5)"
+    (Sql_printer.literal (Ast.L_integer (-5)));
+  check "string escaping" "'it''s'" (Sql_printer.literal (Ast.L_string "it's"));
+  check "decimal padding" "2.500000" (Sql_printer.literal (Ast.L_decimal 2.5));
+  check "interval" "INTERVAL '5' DAY TO HOUR"
+    (Sql_printer.literal
+       (Ast.L_interval ("5", { Ast.from_field = "DAY"; to_field = Some "HOUR" })))
+
+let test_types () =
+  check "decimal with scale" "DECIMAL(8, 2)"
+    (Sql_printer.data_type (Ast.T_decimal (Some (8, Some 2))));
+  check "double" "DOUBLE PRECISION" (Sql_printer.data_type Ast.T_double);
+  check "interval type" "INTERVAL YEAR"
+    (Sql_printer.data_type (Ast.T_interval { Ast.from_field = "YEAR"; to_field = None }))
+
+let test_expr_parenthesization () =
+  check "compound operands wrapped" "(a + b) * c"
+    (Sql_printer.expr
+       (Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, col "a", col "b"), col "c")));
+  check "atoms unwrapped" "a + b"
+    (Sql_printer.expr (Ast.Binop (Ast.Add, col "a", col "b")));
+  check "unary wraps compounds" "- (a + b)"
+    (Sql_printer.expr (Ast.Unary (Ast.S_minus, Ast.Binop (Ast.Add, col "a", col "b"))))
+
+let test_niladic_and_calls () =
+  check "niladic bare" "CURRENT_DATE" (Sql_printer.expr (Ast.Call ("CURRENT_DATE", [])));
+  check "call with args" "f(a, b)"
+    (Sql_printer.expr (Ast.Call ("f", [ col "a"; col "b" ])));
+  check "next value" "NEXT VALUE FOR ids" (Sql_printer.expr (Ast.Next_value "ids"))
+
+let test_trim_variants () =
+  check "plain trim" "TRIM(a)"
+    (Sql_printer.expr (Ast.Trim { side = None; removed = None; arg = col "a" }));
+  check "side only" "TRIM(LEADING FROM a)"
+    (Sql_printer.expr
+       (Ast.Trim { side = Some Ast.Trim_leading; removed = None; arg = col "a" }));
+  check "removed only" "TRIM(x FROM a)"
+    (Sql_printer.expr (Ast.Trim { side = None; removed = Some (col "x"); arg = col "a" }))
+
+let test_window_call () =
+  check "both clauses" "RANK() OVER (PARTITION BY a ORDER BY b)"
+    (Sql_printer.expr
+       (Ast.Window_call
+          { wfunc = "RANK"; partition_by = [ col "a" ]; win_order_by = [ col "b" ] }));
+  check "empty spec" "ROW_NUMBER() OVER ()"
+    (Sql_printer.expr
+       (Ast.Window_call { wfunc = "ROW_NUMBER"; partition_by = []; win_order_by = [] }))
+
+let test_cond_nesting () =
+  let cmp a b = Ast.Comparison (Ast.Eq, col a, col b) in
+  check "and/or parenthesized" "(a = b) AND (c = d)"
+    (Sql_printer.cond (Ast.And (cmp "a" "b", cmp "c" "d")));
+  check "not" "NOT (a = b)" (Sql_printer.cond (Ast.Not (cmp "a" "b")))
+
+let test_query_clause_order () =
+  let q =
+    {
+      Ast.with_ = None;
+      body =
+        Ast.Select
+          {
+            Ast.select_quantifier = None;
+            projection = [ Ast.Expr_item (col "a", None) ];
+            from = [ Ast.Table (Ast.simple_name "t", None) ];
+            where = None;
+            group_by = [];
+            having = None;
+          };
+      order_by = [ { Ast.sort_expr = col "a"; descending = true; nulls_last = Some true } ];
+      fetch = Some (Ast.Fetch_first 3);
+      epoch = Some { Ast.duration = Some 1024; sample_period = Some 8 };
+      updatability = Some Ast.For_read_only;
+    }
+  in
+  check "clauses in grammar order"
+    "SELECT a FROM t ORDER BY a DESC NULLS LAST FETCH FIRST 3 ROWS ONLY FOR \
+     READ ONLY EPOCH DURATION 1024 SAMPLE PERIOD 8"
+    (Sql_printer.query q)
+
+let test_with_clause_printing () =
+  let inner =
+    Ast.query_of_body
+      (Ast.Select
+         {
+           Ast.select_quantifier = None;
+           projection = [ Ast.Expr_item (col "x", None) ];
+           from = [ Ast.Table (Ast.simple_name "t", None) ];
+           where = None;
+           group_by = [];
+           having = None;
+         })
+  in
+  let q =
+    {
+      inner with
+      Ast.with_ =
+        Some
+          {
+            Ast.recursive = true;
+            ctes = [ { Ast.cte_name = "c"; cte_columns = [ "x" ]; cte_query = inner } ];
+          };
+    }
+  in
+  check "with recursive prefix" "WITH RECURSIVE c (x) AS (SELECT x FROM t) SELECT x FROM t"
+    (Sql_printer.query q)
+
+let test_statements () =
+  check "sequence options"
+    "CREATE SEQUENCE ids START WITH 10 INCREMENT BY 2"
+    (Sql_printer.statement
+       (Ast.Sequence_stmt
+          (Ast.Create_sequence
+             { seq_name = "ids"; seq_start = Some 10; seq_increment = Some 2 })));
+  check "grant all" "GRANT ALL PRIVILEGES ON TABLE t TO PUBLIC"
+    (Sql_printer.statement
+       (Ast.Grant_stmt
+          {
+            Ast.privileges = [ Ast.P_all ];
+            grant_on = Ast.simple_name "t";
+            grantees = [ Ast.Public ];
+            with_grant_option = false;
+          }));
+  check "qualified drop" "DROP TABLE s.t CASCADE"
+    (Sql_printer.statement
+       (Ast.Drop_stmt
+          {
+            Ast.drop_kind = Ast.Drop_table;
+            drop_name = { Ast.qualifier = Some "s"; name = "t" };
+            behavior = Some Ast.Cascade;
+          }))
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "types" `Quick test_types;
+    Alcotest.test_case "expression parens" `Quick test_expr_parenthesization;
+    Alcotest.test_case "calls and niladics" `Quick test_niladic_and_calls;
+    Alcotest.test_case "trim variants" `Quick test_trim_variants;
+    Alcotest.test_case "window calls" `Quick test_window_call;
+    Alcotest.test_case "condition nesting" `Quick test_cond_nesting;
+    Alcotest.test_case "query clause order" `Quick test_query_clause_order;
+    Alcotest.test_case "with clause" `Quick test_with_clause_printing;
+    Alcotest.test_case "statements" `Quick test_statements;
+  ]

@@ -1,0 +1,58 @@
+(* Tests for the grammar report. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let report_of name =
+  match Dialects.Dialect.find name with
+  | None -> Alcotest.failf "no dialect %s" name
+  | Some d -> (
+    match Core.generate_dialect d with
+    | Ok g -> Report.build g
+    | Error e -> Alcotest.failf "generate: %a" Core.pp_error e)
+
+let test_minimal_report () =
+  let r = report_of "minimal" in
+  check_int "features" 24 r.Report.feature_count;
+  Alcotest.(check (list string)) "one statement class" [ "query_statement" ]
+    r.Report.statement_classes;
+  check_int "no LL(1) conflicts in the minimal grammar" 0
+    (List.length r.Report.ll1_conflicts);
+  check_bool "contributions non-empty" true (r.Report.contributions <> []);
+  check_bool "every contribution is a selected feature" true
+    (List.for_all
+       (fun (f, _, _) -> Feature.Config.mem f (Dialects.Dialect.minimal_select).Dialects.Dialect.config)
+       r.Report.contributions)
+
+let test_full_report () =
+  let r = report_of "full" in
+  check_bool "many statement classes" true
+    (List.length r.Report.statement_classes >= 10);
+  check_bool "full grammar needs backtracking somewhere" true
+    (r.Report.ll1_conflicts <> []);
+  check_bool "statement classes include DML and DDL" true
+    (List.mem "insert_statement" r.Report.statement_classes
+     && List.mem "create_table_statement" r.Report.statement_classes)
+
+let test_rendering () =
+  match Dialects.Dialect.find "tinysql" with
+  | None -> Alcotest.fail "tinysql"
+  | Some d -> (
+    match Core.generate_dialect d with
+    | Error e -> Alcotest.failf "generate: %a" Core.pp_error e
+    | Ok g ->
+      let text = Report.to_string g in
+      List.iter
+        (fun needle ->
+          check_bool (needle ^ " present") true (Astring_contains.contains text needle))
+        [
+          "grammar report: tinysql"; "-- size --"; "-- statement classes --";
+          "-- determinism --"; "-- feature contributions"; "Epoch Duration";
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "minimal report" `Quick test_minimal_report;
+    Alcotest.test_case "full report" `Quick test_full_report;
+    Alcotest.test_case "rendering" `Quick test_rendering;
+  ]

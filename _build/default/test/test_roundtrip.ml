@@ -1,0 +1,45 @@
+(* Property-based round-trip tests: generate random ASTs, print them to SQL,
+   re-parse with the full-dialect generated parser, lower, and compare. *)
+
+open Sql_ast
+module Gen = QCheck.Gen
+
+let full =
+  lazy
+    (match Core.generate_dialect Dialects.Dialect.full with
+     | Ok g -> g
+     | Error e -> Alcotest.failf "generate full: %a" Core.pp_error e)
+
+let arbitrary_statement =
+  QCheck.make
+    ~print:(fun s -> Sql_printer.statement s)
+    (Gen.sized (fun n -> Test_gen.Ast_gen.gen_statement (min n 8)))
+
+let roundtrip_property stmt =
+  let sql = Sql_printer.statement stmt in
+  match Core.parse_statement (Lazy.force full) sql with
+  | Error e -> QCheck.Test.fail_reportf "re-parse failed: %a@.SQL: %s" Core.pp_error e sql
+  | Ok reparsed ->
+    if Ast.equal_statement stmt reparsed then true
+    else
+      QCheck.Test.fail_reportf "AST mismatch after round-trip.@.SQL: %s@.Reprinted: %s"
+        sql (Sql_printer.statement reparsed)
+
+let roundtrip_test =
+  QCheck.Test.make ~count:500 ~name:"print/parse/lower round-trip"
+    arbitrary_statement roundtrip_property
+
+(* A second property: printing is stable — print (parse (print s)) = print s. *)
+let print_stable_test =
+  QCheck.Test.make ~count:200 ~name:"printing is stable" arbitrary_statement
+    (fun stmt ->
+      let sql = Sql_printer.statement stmt in
+      match Core.parse_statement (Lazy.force full) sql with
+      | Error _ -> false
+      | Ok reparsed -> String.equal sql (Sql_printer.statement reparsed))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest roundtrip_test;
+    QCheck_alcotest.to_alcotest print_stable_test;
+  ]

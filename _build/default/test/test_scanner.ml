@@ -1,0 +1,161 @@
+(* Tests for the generated scanners. *)
+
+open Lexing_gen
+open Def_tokens
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let kinds scanner input =
+  match Scanner.scan scanner input with
+  | Ok tokens -> List.map (fun (t : Token.t) -> t.kind) tokens
+  | Error e -> Alcotest.failf "lex error: %a" Scanner.pp_error e
+
+let texts scanner input =
+  match Scanner.scan scanner input with
+  | Ok tokens -> List.map (fun (t : Token.t) -> t.text) tokens
+  | Error e -> Alcotest.failf "lex error: %a" Scanner.pp_error e
+
+let basic = Scanner.create basic_set
+
+let test_keywords_case_insensitive () =
+  Alcotest.(check (list string)) "kinds"
+    [ "SELECT"; "IDENT"; "FROM"; "IDENT"; "EOF" ]
+    (kinds basic "select a FROM t");
+  Alcotest.(check (list string)) "mixed case"
+    [ "SELECT"; "IDENT"; "FROM"; "IDENT"; "EOF" ]
+    (kinds basic "SeLeCt a fRoM t")
+
+let test_keyword_spelling_preserved () =
+  Alcotest.(check (list string)) "texts keep source spelling"
+    [ "sElEcT"; "x"; "" ]
+    (texts basic "sElEcT x")
+
+let test_unknown_keyword_is_identifier () =
+  (* WINDOW is not in the basic token set: it scans as a plain identifier —
+     keywords are features. *)
+  Alcotest.(check (list string)) "window is an identifier"
+    [ "IDENT"; "EOF" ]
+    (kinds basic "window")
+
+let test_punct_longest_match () =
+  Alcotest.(check (list string)) "<= is one token"
+    [ "IDENT"; "LESS_EQ"; "UNSIGNED_INTEGER"; "EOF" ]
+    (kinds basic "a <= 1");
+  Alcotest.(check (list string)) "< then ="
+    [ "IDENT"; "LESS"; "EQUALS"; "UNSIGNED_INTEGER"; "EOF" ]
+    (kinds basic "a < = 1")
+
+let test_concat_operator () =
+  Alcotest.(check (list string)) "||"
+    [ "IDENT"; "CONCAT"; "IDENT"; "EOF" ]
+    (kinds basic "a || b")
+
+let test_numbers () =
+  Alcotest.(check (list string)) "integer vs decimal"
+    [ "UNSIGNED_INTEGER"; "DECIMAL_LITERAL"; "DECIMAL_LITERAL"; "DECIMAL_LITERAL"; "EOF" ]
+    (kinds basic "42 3.25 1e6 2.5E-3");
+  check_string "decimal text" "3.25" (List.nth (texts basic "3.25") 0)
+
+let test_leading_dot_decimal () =
+  Alcotest.(check (list string)) "leading dot"
+    [ "DECIMAL_LITERAL"; "EOF" ]
+    (kinds basic ".5");
+  check_string "text" ".5" (List.nth (texts basic ".5") 0)
+
+let test_integer_then_period () =
+  (* "1." without a following digit: integer, then punctuation. *)
+  Alcotest.(check (list string)) "no accidental decimal"
+    [ "UNSIGNED_INTEGER"; "PERIOD"; "IDENT"; "EOF" ]
+    (kinds basic "1.x")
+
+let test_string_literals () =
+  check_string "simple" "abc" (List.nth (texts basic "'abc'") 0);
+  check_string "escaped quote" "it's" (List.nth (texts basic "'it''s'") 0);
+  check_string "empty" "" (List.nth (texts basic "''") 0)
+
+let test_unterminated_string () =
+  match Scanner.scan basic "'oops" with
+  | Error e -> check_bool "mentions string" true
+                 (Astring_contains.contains e.Scanner.message "string")
+  | Ok _ -> Alcotest.fail "unterminated string must fail"
+
+let test_quoted_identifier () =
+  Alcotest.(check (list string)) "kind" [ "QUOTED_IDENT"; "EOF" ]
+    (kinds basic "\"Order Total\"");
+  check_string "text unquoted" "Order Total" (List.nth (texts basic "\"Order Total\"") 0)
+
+let test_comments_skipped () =
+  Alcotest.(check (list string)) "line comment"
+    [ "SELECT"; "IDENT"; "EOF" ]
+    (kinds basic "SELECT a -- trailing comment");
+  Alcotest.(check (list string)) "block comment"
+    [ "SELECT"; "IDENT"; "EOF" ]
+    (kinds basic "SELECT /* inline\n comment */ a")
+
+let test_unterminated_block_comment () =
+  check_bool "error" true (Result.is_error (Scanner.scan basic "SELECT /* oops"))
+
+let test_positions () =
+  match Scanner.scan basic "SELECT\n  a" with
+  | Error _ -> Alcotest.fail "scan"
+  | Ok tokens ->
+    let a = List.nth tokens 1 in
+    check_int "line" 2 a.Token.pos.Token.line;
+    check_int "column" 3 a.Token.pos.Token.column;
+    check_int "offset" 9 a.Token.pos.Token.offset
+
+let test_unexpected_character () =
+  match Scanner.scan basic "a ? b" with
+  | Error e -> check_int "at the right column" 3 e.Scanner.pos.Token.column
+  | Ok _ -> Alcotest.fail "? is not a token"
+
+let test_disabled_classes () =
+  (* A scanner without a string-literal class rejects strings. *)
+  let tiny = Scanner.create [ ("IDENT", Spec.Class Spec.Identifier) ] in
+  check_bool "strings rejected" true (Result.is_error (Scanner.scan tiny "'x'"));
+  check_bool "numbers rejected" true (Result.is_error (Scanner.scan tiny "42"));
+  check_bool "identifiers fine" true (Result.is_ok (Scanner.scan tiny "abc"))
+
+let test_counts () =
+  check_bool "keyword count" true (Scanner.keyword_count basic >= 2);
+  check_bool "punct count" true (Scanner.punct_count basic >= 5)
+
+let test_eof_always_last () =
+  match Scanner.scan basic "" with
+  | Ok [ eof ] -> check_string "eof kind" "EOF" eof.Token.kind
+  | _ -> Alcotest.fail "empty input yields exactly EOF"
+
+let test_underscored_keyword () =
+  let s =
+    Scanner.create
+      (("CURRENT_DATE", Spec.Keyword "CURRENT_DATE") :: basic_set)
+  in
+  Alcotest.(check (list string)) "single token" [ "CURRENT_DATE"; "EOF" ]
+    (kinds s "current_date")
+
+let suite =
+  [
+    Alcotest.test_case "keywords case-insensitive" `Quick test_keywords_case_insensitive;
+    Alcotest.test_case "keyword spelling preserved" `Quick test_keyword_spelling_preserved;
+    Alcotest.test_case "unknown keyword is identifier" `Quick
+      test_unknown_keyword_is_identifier;
+    Alcotest.test_case "punct longest match" `Quick test_punct_longest_match;
+    Alcotest.test_case "concat operator" `Quick test_concat_operator;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "integer then period" `Quick test_integer_then_period;
+    Alcotest.test_case "leading dot decimal" `Quick test_leading_dot_decimal;
+    Alcotest.test_case "string literals" `Quick test_string_literals;
+    Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
+    Alcotest.test_case "quoted identifier" `Quick test_quoted_identifier;
+    Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+    Alcotest.test_case "unterminated block comment" `Quick
+      test_unterminated_block_comment;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "unexpected character" `Quick test_unexpected_character;
+    Alcotest.test_case "disabled classes" `Quick test_disabled_classes;
+    Alcotest.test_case "scanner size counts" `Quick test_counts;
+    Alcotest.test_case "EOF always last" `Quick test_eof_always_last;
+    Alcotest.test_case "underscored keyword" `Quick test_underscored_keyword;
+  ]

@@ -1,0 +1,166 @@
+(* Experiments E1–E3: the paper's decomposition statistics and Figures 1/2.
+
+   E1 — "Overall 40 feature diagrams are obtained for SQL Foundation with
+   more than 500 features" (§3.1, §5).
+   E2 — Figure 1 (Query Specification feature diagram).
+   E3 — Figure 2 (Table Expression feature diagram). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let stats = Sql.Model.stats
+
+let test_e1_diagram_count () =
+  check_bool
+    (Printf.sprintf "at least 40 diagrams (got %d)" stats.Sql.Model.diagram_count)
+    true
+    (stats.Sql.Model.diagram_count >= 40)
+
+let test_e1_feature_count () =
+  check_bool
+    (Printf.sprintf "more than 500 features across diagrams (got %d)"
+       stats.Sql.Model.features_across_diagrams)
+    true
+    (stats.Sql.Model.features_across_diagrams > 500);
+  check_bool
+    (Printf.sprintf "more than 200 distinct features (got %d)"
+       stats.Sql.Model.features_in_model)
+    true
+    (stats.Sql.Model.features_in_model > 200)
+
+let test_model_well_formed () =
+  Alcotest.(check (list string)) "no model problems" []
+    (List.map (Fmt.str "%a" Feature.Model.pp_problem) (Feature.Model.check Sql.Model.model))
+
+let test_full_config_valid () =
+  Alcotest.(check (list string)) "full config valid" []
+    (List.map
+       (Fmt.str "%a" Feature.Config.pp_violation)
+       (Sql.Model.validate (Feature.Config.full Sql.Model.model)))
+
+let test_every_feature_reachable_in_registry_or_organizational () =
+  (* Every feature either owns a fragment or is purely organizational, and
+     every fragment's owner exists in the model. *)
+  let names = Feature.Tree.names Sql.Model.model.Feature.Model.concept in
+  List.iter
+    (fun (frag : Compose.Fragment.t) ->
+      check_bool
+        (Printf.sprintf "fragment %S owned by a model feature" frag.Compose.Fragment.feature)
+        true
+        (List.mem frag.Compose.Fragment.feature names))
+    (Compose.Fragment.fragments Sql.Model.registry)
+
+let find_diagram name =
+  match Sql.Model.diagram name with
+  | Some d -> d
+  | None -> Alcotest.failf "diagram %S not published" name
+
+(* E2: Figure 1 — Query Specification with optional Set Quantifier
+   (ALL | DISTINCT or-group), mandatory Select List with Asterisk and
+   Select Sublist [1..*] (Derived Column with optional AS), and mandatory
+   Table Expression. *)
+let test_e2_figure1 () =
+  let d = find_diagram "Query Specification" in
+  let child name = Feature.Tree.find d name in
+  check_bool "has Set Quantifier" true (child "Set Quantifier" <> None);
+  check_bool "has Select List" true (child "Select List" <> None);
+  check_bool "has Asterisk" true (child "Asterisk" <> None);
+  check_bool "has Derived Column" true (child "Derived Column" <> None);
+  check_bool "has As Clause" true (child "As Clause" <> None);
+  check_bool "has Table Expression" true (child "Table Expression" <> None);
+  (* Set Quantifier's members are the keywords ALL and DISTINCT. *)
+  (match child "Set Quantifier" with
+   | Some sq ->
+     Alcotest.(check (list string)) "quantifier members"
+       [ "Set Quantifier"; "All"; "Distinct" ]
+       (Feature.Tree.names sq)
+   | None -> Alcotest.fail "set quantifier");
+  (* Select Sublist carries the paper's [1..*] cardinality. *)
+  (match child "Select Sublist" with
+   | Some ss ->
+     check_bool "cardinality 1..*" true (ss.Feature.Tree.card = Some Feature.Tree.one_or_more)
+   | None -> Alcotest.fail "select sublist");
+  (* Structural relations match the figure. *)
+  let parent_of name =
+    Option.map
+      (fun (p : Feature.Tree.t) -> p.Feature.Tree.name)
+      (Feature.Tree.parent d name)
+  in
+  Alcotest.(check (option string)) "Set Quantifier under QS"
+    (Some "Query Specification") (parent_of "Set Quantifier");
+  Alcotest.(check (option string)) "As Clause under Derived Column"
+    (Some "Derived Column") (parent_of "As Clause")
+
+(* E3: Figure 2 — Table Expression: mandatory From, optional Where, Group By,
+   Having, Window. *)
+let test_e3_figure2 () =
+  let d = find_diagram "Table Expression" in
+  let relation_of name =
+    let parent = Feature.Tree.parent d name in
+    match parent with
+    | None -> Alcotest.failf "%s not under table expression" name
+    | Some p ->
+      List.find_map
+        (fun g ->
+          match g with
+          | Feature.Tree.Child (rel, c) when String.equal c.Feature.Tree.name name ->
+            Some rel
+          | _ -> None)
+        p.Feature.Tree.groups
+  in
+  Alcotest.(check bool) "From mandatory" true
+    (relation_of "From" = Some Feature.Tree.Mandatory);
+  List.iter
+    (fun clause ->
+      Alcotest.(check bool) (clause ^ " optional") true
+        (relation_of clause = Some Feature.Tree.Optional))
+    [ "Where"; "Group By"; "Having"; "Window" ]
+
+let test_figures_render () =
+  let fig1 = Feature.Diagram.render (find_diagram "Query Specification") in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " in Figure 1") true (Astring_contains.contains fig1 needle))
+    [
+      "Query Specification"; "o Set Quantifier"; "* Select List";
+      "* Select Sublist [1..*]"; "* Derived Column"; "o As Clause";
+      "* Table Expression";
+    ];
+  let fig2 = Feature.Diagram.render (find_diagram "Table Expression") in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " in Figure 2") true (Astring_contains.contains fig2 needle))
+    [ "* From"; "o Where"; "o Group By"; "o Having"; "o Window" ]
+
+let test_diagram_lookup_miss () =
+  check_bool "unknown diagram" true (Sql.Model.diagram "Quantum Join" = None)
+
+let test_products_per_diagram () =
+  let counts = Feature.Count.products_per_diagram Sql.Model.diagrams in
+  check_int "one count per diagram" stats.Sql.Model.diagram_count (List.length counts);
+  (* Query Specification alone admits many variants. *)
+  match List.assoc_opt "Query Specification" counts with
+  | Some n -> check_bool "many QS variants" true (Feature.Bignum.compare n (Feature.Bignum.of_int 100) > 0)
+  | None -> Alcotest.fail "QS diagram counted"
+
+let test_close_pulls_ancestors () =
+  let c = Sql.Model.close (Feature.Config.of_names [ "Epoch Duration" ]) in
+  List.iter
+    (fun f -> check_bool (f ^ " in closure") true (Feature.Config.mem f c))
+    [ "Extension Packages"; "Acquisitional Queries"; "SQL:2003"; "Queries" ]
+
+let suite =
+  [
+    Alcotest.test_case "E1: >= 40 diagrams" `Quick test_e1_diagram_count;
+    Alcotest.test_case "E1: > 500 features" `Quick test_e1_feature_count;
+    Alcotest.test_case "model well-formed" `Quick test_model_well_formed;
+    Alcotest.test_case "full config valid" `Quick test_full_config_valid;
+    Alcotest.test_case "registry consistent with model" `Quick
+      test_every_feature_reachable_in_registry_or_organizational;
+    Alcotest.test_case "E2: Figure 1 structure" `Quick test_e2_figure1;
+    Alcotest.test_case "E3: Figure 2 structure" `Quick test_e3_figure2;
+    Alcotest.test_case "figures render" `Quick test_figures_render;
+    Alcotest.test_case "diagram lookup miss" `Quick test_diagram_lookup_miss;
+    Alcotest.test_case "products per diagram" `Quick test_products_per_diagram;
+    Alcotest.test_case "closure pulls ancestors" `Quick test_close_pulls_ancestors;
+  ]
