@@ -1,1 +1,1 @@
-bench/main.ml: Analyze Bechamel Benchmark Compose Core Dialects Feature Fmt Grammar Instance Lexing_gen List Measure Parser_gen Printf Sql Staged Sys Test Time Toolkit Workloads
+bench/main.ml: Analyze Bechamel Benchmark Compose Core Dialects Feature Fmt Grammar Instance Lexing_gen Lint List Measure Parser_gen Printf Sql Staged Sys Test Time Toolkit Workloads

@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates the paper's reported artifacts (E1–E6) and
-   the quantitative tailoring experiments (E7–E12) described in DESIGN.md /
+   the quantitative tailoring experiments (E7–E14) described in DESIGN.md /
    EXPERIMENTS.md.
 
    Two kinds of output:
@@ -145,6 +145,41 @@ let report_e7_sweep () =
         (List.length out.Compose.Composer.tokens))
     sorted;
   pf "(%d valid samples out of 40 drawn)\n" (List.length sorted)
+
+(* ------------------------------------------------------------------ *)
+(* E14 — lint subsystem: diagnostic counts and wall-time per dialect    *)
+(* ------------------------------------------------------------------ *)
+
+let report_e14 () =
+  pf "\n== E14: lint diagnostics across the dialect sweep ==\n";
+  pf "%-10s %9s %7s %9s %6s %6s %6s %10s\n" "dialect" "features" "rules"
+    "conflicts" "error" "warn" "info" "lint-time";
+  List.iter
+    (fun ((d : Dialects.Dialect.t), (g : Core.generated)) ->
+      let t0 = Sys.time () in
+      let diags =
+        Lint.run ~model:Sql.Model.model ~config:g.Core.config
+          ~fragments:Sql.Model.fragment_rules ~tokens:g.Core.tokens
+          g.Core.grammar
+      in
+      let elapsed = Sys.time () -. t0 in
+      let conflicts =
+        List.length
+          (List.filter
+             (fun (dg : Lint.Diagnostic.t) ->
+               dg.Lint.Diagnostic.code = "grammar/ll1-conflict"
+               || dg.Lint.Diagnostic.code = "grammar/ll2-conflict")
+             diags)
+      in
+      pf "%-10s %9d %7d %9d %6d %6d %6d %8.1fms\n" d.name
+        (Feature.Config.cardinal g.Core.config)
+        (Grammar.Cfg.rule_count g.Core.grammar)
+        conflicts
+        (Lint.Diagnostic.count Lint.Diagnostic.Error diags)
+        (Lint.Diagnostic.count Lint.Diagnostic.Warning diags)
+        (Lint.Diagnostic.count Lint.Diagnostic.Info diags)
+        (elapsed *. 1e3))
+    generated_dialects
 
 (* ------------------------------------------------------------------ *)
 (* Timed series (Bechamel)                                             *)
@@ -335,5 +370,6 @@ let () =
   report_e6 ();
   report_e7 ();
   report_e7_sweep ();
+  report_e14 ();
   pf "\n== E8-E13: timed series ==\n";
   run_benchmarks (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

@@ -1,1 +1,1 @@
-bin/sqlpl.ml: Arg Cmd Cmdliner Config_file Configure Core Dialects Engine Feature Fmt Grammar In_channel Lexing_gen List Parser_gen Printf Report Sql Sql_ast String Term
+bin/sqlpl.ml: Arg Cmd Cmdliner Compose Config_file Configure Core Dialects Engine Feature Fmt Grammar In_channel Lexing_gen Lint List Parser_gen Printf Report Sql Sql_ast String Term

@@ -11,6 +11,7 @@
      parse SQL           parse a statement and print its CST
      emit                print generated OCaml parser source
      report              grammar report for a selection
+     lint DIALECT        static-analysis diagnostics for a selection
      diff A B            commonality/variability between two dialects
      configure           interactive feature selection (the paper's UI)
      run [SCRIPT]        execute statements against an in-memory database *)
@@ -273,8 +274,59 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Grammar report for a selection: sizes, statement classes, LL(1)              diagnostics, per-feature contributions")
+       ~doc:"Grammar report for a selection: sizes, statement classes, LL(1) \
+             diagnostics, per-feature contributions")
     Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg))
+
+(* --- lint ---------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let dialect_pos_arg =
+    let doc =
+      Printf.sprintf
+        "Dialect to lint. One of: %s. Ignored when $(b,--feature) or \
+         $(b,--config) give an explicit selection."
+        (String.concat ", "
+           (List.map (fun (d : Dialects.Dialect.t) -> d.name) Dialects.Dialect.all))
+    in
+    Arg.(value & pos 0 string "full" & info [] ~docv:"DIALECT" ~doc)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: text (human-readable report) or json \
+                (one JSON object per diagnostic, one per line).")
+  in
+  let run features config_file format dialect =
+    match resolve_config dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok (label, config) -> (
+      match Sql.Model.compose_linted config with
+      | Error e -> fail "%s: %s" label (Fmt.str "%a" Compose.Composer.pp_error e)
+      | Ok out ->
+        let diags = out.Compose.Composer.diagnostics in
+        (match format with
+         | `Text ->
+           Printf.printf "lint %s (%d features)\n" label
+             (Feature.Config.cardinal config);
+           Fmt.pr "%a@." Lint.pp_report diags
+         | `Json -> print_string (Lint.to_json_lines diags));
+        if Lint.Diagnostic.has_errors diags then
+          fail "%s: lint found %d error(s)" label
+            (List.length (Lint.Diagnostic.errors diags))
+        else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static-analysis pass over a composed product: grammar \
+             (reachability, productivity, duplicate alternatives, LL(k) \
+             conflicts for k <= 2), token set (overlaps, keyword shadowing, \
+             unused/undeclared terminals) and feature model (dead features, \
+             false optionals, redundant constraints, fragment coverage). \
+             Exits nonzero when any Error-severity diagnostic is found.")
+    Term.(ret (const run $ features_arg $ config_file_arg $ format_arg $ dialect_pos_arg))
 
 (* --- diff ---------------------------------------------------------------------- *)
 
@@ -411,6 +463,6 @@ let () =
        (Cmd.group info
           [
             dialects_cmd; features_cmd; diagram_cmd; validate_cmd; grammar_cmd;
-            tokens_cmd; parse_cmd; emit_cmd; report_cmd; diff_cmd; configure_cmd;
-            run_cmd;
+            tokens_cmd; parse_cmd; emit_cmd; report_cmd; lint_cmd; diff_cmd;
+            configure_cmd; run_cmd;
           ]))

@@ -1,1 +1,1 @@
-lib/compose/composer.ml: Feature Fmt Fragment Grammar Lexing_gen List Option Rules String
+lib/compose/composer.ml: Feature Fmt Fragment Grammar Lexing_gen Lint List Option Rules String

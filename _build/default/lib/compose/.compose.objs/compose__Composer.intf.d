@@ -1,1 +1,1 @@
-lib/compose/composer.mli: Feature Fmt Fragment Grammar Lexing_gen Rules
+lib/compose/composer.mli: Feature Fmt Fragment Grammar Lexing_gen Lint Rules

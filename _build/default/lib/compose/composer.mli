@@ -14,6 +14,9 @@ type output = {
   grammar : Grammar.Cfg.t;
   tokens : Lexing_gen.Spec.set;
   sequence : string list;  (** composition sequence actually used *)
+  diagnostics : Lint.Diagnostic.t list;
+      (** findings of the [?lint] hook passed to {!compose}; [[]] when no
+          hook was given *)
 }
 
 type error =
@@ -50,6 +53,7 @@ val trace :
     trace. *)
 
 val compose :
+  ?lint:(output -> Lint.Diagnostic.t list) ->
   start:string ->
   Feature.Model.t ->
   Fragment.registry ->
@@ -58,4 +62,11 @@ val compose :
 (** Validate the configuration, determine the sequence, compose all
     fragments. The composed grammar is checked for coherence (undefined
     non-terminals indicate a fragment whose dependency feature is missing —
-    the error carries hints naming the features that would define them). *)
+    the error carries hints naming the features that would define them).
+
+    [?lint] is the static-analysis hook: it receives the composed output
+    (with an empty [diagnostics] field) and its findings are attached to
+    the returned [output.diagnostics]. Pass
+    [fun out -> Lint.Lint.run ~tokens:out.tokens out.grammar] (optionally
+    with the model/registry views) to certify the product at compose
+    time. *)

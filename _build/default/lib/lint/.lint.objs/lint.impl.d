@@ -1,0 +1,1 @@
+lib/lint/lint.ml: Diagnostic Grammar_lint Lookahead Model_lint Token_lint

@@ -1,0 +1,1 @@
+lib/lint/lint.mli: Diagnostic Feature Fmt Grammar Grammar_lint Lexing_gen Lookahead Model_lint Token_lint

@@ -1,0 +1,1 @@
+lib/lint/diagnostic.ml: Buffer Char Fmt Int List Printf Stdlib String

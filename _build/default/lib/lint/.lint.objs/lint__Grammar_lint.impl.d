@@ -1,0 +1,1 @@
+lib/lint/grammar_lint.ml: Diagnostic Grammar List Lookahead Printf Set String

@@ -1,0 +1,1 @@
+lib/lint/grammar_lint.mli: Diagnostic Grammar

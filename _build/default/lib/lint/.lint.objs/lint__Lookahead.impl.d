@@ -1,0 +1,1 @@
+lib/lint/lookahead.ml: Fmt Grammar Int List Map Option Set Stdlib String

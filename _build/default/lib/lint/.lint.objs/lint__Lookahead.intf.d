@@ -1,0 +1,1 @@
+lib/lint/lookahead.mli: Fmt Grammar Set

@@ -1,0 +1,1 @@
+lib/lint/model_lint.ml: Diagnostic Feature Fmt Grammar List Printf Set String

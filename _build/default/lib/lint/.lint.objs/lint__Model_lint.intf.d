@@ -1,0 +1,1 @@
+lib/lint/model_lint.mli: Diagnostic Feature Grammar

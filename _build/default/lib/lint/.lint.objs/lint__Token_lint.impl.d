@@ -1,0 +1,1 @@
+lib/lint/token_lint.ml: Diagnostic Grammar Lexing_gen List Map Option Printf Set String

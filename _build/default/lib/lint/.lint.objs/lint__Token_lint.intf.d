@@ -1,0 +1,1 @@
+lib/lint/token_lint.mli: Diagnostic Grammar Lexing_gen

@@ -1,0 +1,88 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  message : string;
+  witness : string list;
+}
+
+let make ~code ~severity ~subject ?(witness = []) message =
+  { code; severity; subject; message; witness }
+
+let severity_rank = function
+  | Error -> 0
+  | Warning -> 1
+  | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> (
+      match String.compare a.subject b.subject with
+      | 0 -> Stdlib.compare (a.message, a.witness) (b.message, b.witness)
+      | n -> n)
+    | n -> n)
+  | n -> n
+
+let count severity ds =
+  List.length (List.filter (fun d -> d.severity = severity) ds)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_severity ppf s = Fmt.string ppf (severity_name s)
+
+let pp ppf d =
+  Fmt.pf ppf "%-7s %-26s %s: %s" (severity_name d.severity) d.code d.subject
+    d.message;
+  match d.witness with
+  | [] -> ()
+  | w -> Fmt.pf ppf "  [%a]" Fmt.(list ~sep:sp string) w
+
+let pp_report ppf ds =
+  let sorted = List.sort compare ds in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) sorted;
+  Fmt.pf ppf "%d error(s), %d warning(s), %d info@." (count Error ds)
+    (count Warning ds) (count Info ds)
+
+(* Minimal JSON string escaping: the diagnostics only carry grammar/token/
+   feature names and plain-ASCII messages, but escape defensively. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":%s,\"severity\":%s,\"subject\":%s,\"message\":%s,\"witness\":[%s]}"
+    (json_string d.code)
+    (json_string (severity_name d.severity))
+    (json_string d.subject) (json_string d.message)
+    (String.concat "," (List.map json_string d.witness))
+
+let to_json_lines ds =
+  String.concat "" (List.map (fun d -> to_json d ^ "\n") (List.sort compare ds))

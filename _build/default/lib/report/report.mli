@@ -22,6 +22,9 @@ type t = {
   contributions : (string * int * int) list;
       (** (feature, rules contributed, tokens contributed), composition order,
           organizational features omitted *)
+  grammar : Grammar.Cfg.t;
+      (** the composed grammar itself, kept for grammar-aware rendering of
+          the conflicts *)
 }
 
 val build : Core.generated -> t

@@ -1,1 +1,1 @@
-lib/sql/model.ml: Compose Def Feature Features_dcl Features_ddl Features_dml Features_expr Features_ext Features_lexical Features_pred Features_query Features_txn Features_types List Option
+lib/sql/model.ml: Compose Def Feature Features_dcl Features_ddl Features_dml Features_expr Features_ext Features_lexical Features_pred Features_query Features_txn Features_types Lint List Option

@@ -1,1 +1,1 @@
-lib/sql/model.mli: Compose Feature
+lib/sql/model.mli: Compose Feature Grammar Lint

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Astring_contains Compose Dialects Feature Grammar Lexing_gen Lint List Printf Sql String

@@ -118,6 +118,40 @@ let test_left_recursion_through_nullable () =
   check_bool "nullable prefix left recursion" true
     (List.mem "a" (Analysis.left_recursive g))
 
+let test_left_recursion_mutual_three_way () =
+  (* a -> b -> c -> a: every member of the cycle is reported. *)
+  let g =
+    grammar ~start:"a"
+      [
+        rule "a" [ [ nt "b"; t "X" ]; [ t "N" ] ];
+        rule "b" [ [ nt "c"; t "Y" ] ];
+        rule "c" [ [ nt "a"; t "Z" ] ];
+      ]
+  in
+  let lr = Analysis.left_recursive g in
+  List.iter
+    (fun n -> check_bool (n ^ " in three-way cycle") true (List.mem n lr))
+    [ "a"; "b"; "c" ]
+
+let test_left_recursion_epsilon_cycle () =
+  (* The cycle runs entirely through optional (epsilon-possible) prefixes:
+     a : [b] Y and b : [a] Z reach each other without consuming a terminal,
+     and e : [e] X reaches itself. The start rule s is not on a cycle. *)
+  let g =
+    grammar ~start:"s"
+      [
+        rule "s" [ [ nt "a"; nt "e"; t "X" ] ];
+        rule "a" [ [ opt [ nt "b" ]; t "Y" ] ];
+        rule "b" [ [ opt [ nt "a" ]; t "Z" ] ];
+        rule "e" [ [ opt [ nt "e" ]; t "X" ] ];
+      ]
+  in
+  let lr = Analysis.left_recursive g in
+  check_bool "a in epsilon cycle" true (List.mem "a" lr);
+  check_bool "b in epsilon cycle" true (List.mem "b" lr);
+  check_bool "e self epsilon cycle" true (List.mem "e" lr);
+  check_bool "s not recursive" false (List.mem "s" lr)
+
 let test_no_left_recursion () =
   Alcotest.(check (list string)) "expression grammar clean" []
     (Analysis.left_recursive expr_grammar)
@@ -151,6 +185,10 @@ let suite =
     Alcotest.test_case "left recursion indirect" `Quick test_left_recursion_indirect;
     Alcotest.test_case "left recursion nullable prefix" `Quick
       test_left_recursion_through_nullable;
+    Alcotest.test_case "left recursion mutual three-way" `Quick
+      test_left_recursion_mutual_three_way;
+    Alcotest.test_case "left recursion epsilon cycle" `Quick
+      test_left_recursion_epsilon_cycle;
     Alcotest.test_case "no false left recursion" `Quick test_no_left_recursion;
     Alcotest.test_case "full SQL grammar analyzable" `Quick
       test_full_sql_grammar_is_analyzable;

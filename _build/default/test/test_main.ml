@@ -15,6 +15,7 @@ let () =
       ("roundtrip", Test_roundtrip.suite);
       ("codegen", Test_codegen.suite);
       ("report", Test_report.suite);
+      ("lint", Test_lint.suite);
       ("properties", Test_properties.suite);
       ("printer", Test_printer.suite);
       ("cli", Test_cli.suite);

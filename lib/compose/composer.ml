@@ -2,6 +2,7 @@ type output = {
   grammar : Grammar.Cfg.t;
   tokens : Lexing_gen.Spec.set;
   sequence : string list;
+  diagnostics : Lint.Diagnostic.t list;
 }
 
 type error =
@@ -84,7 +85,7 @@ let trace (model : Feature.Model.t) registry config =
 
 exception Conflict of error
 
-let compose ~start (model : Feature.Model.t) registry config =
+let compose ?lint ~start (model : Feature.Model.t) registry config =
   match Feature.Config.validate model config with
   | _ :: _ as violations -> Error (Invalid_configuration violations)
   | [] -> (
@@ -128,5 +129,12 @@ let compose ~start (model : Feature.Model.t) registry config =
             fatal
         in
         Error (Incoherent_grammar { problems = fatal; hints })
-      else Ok { grammar; tokens; sequence = seq }
+      else
+        let out = { grammar; tokens; sequence = seq; diagnostics = [] } in
+        let out =
+          match lint with
+          | None -> out
+          | Some check -> { out with diagnostics = check out }
+        in
+        Ok out
     with Conflict e -> Error e)

@@ -147,6 +147,22 @@ let pp_conflict ppf c =
     Fmt.(list ~sep:comma string)
     (String_set.elements c.overlap)
 
+let pp_conflict_in (g : Cfg.t) ppf c =
+  pp_conflict ppf c;
+  match Cfg.find g c.lhs with
+  | None -> ()
+  | Some r ->
+    let side i =
+      match List.nth_opt r.Production.alts i with
+      | None -> ()
+      | Some [] -> Fmt.pf ppf "@,      #%d: (empty)" i
+      | Some alt -> Fmt.pf ppf "@,      #%d: @[<h>%a@]" i Production.pp_alt alt
+    in
+    Fmt.pf ppf "@[<v>";
+    side c.alt_a;
+    side c.alt_b;
+    Fmt.pf ppf "@]"
+
 let ll1_conflicts (g : Cfg.t) =
   let an = compute g in
   let predict lhs alt =

@@ -39,6 +39,13 @@ val ll1_conflicts : Cfg.t -> conflict list
     parser needs more lookahead or backtracking. *)
 
 val pp_conflict : conflict Fmt.t
+(** One-line rendering: rule, alternative indices and the overlapping
+    terminal set. *)
+
+val pp_conflict_in : Cfg.t -> conflict Fmt.t
+(** Grammar-aware rendering: like {!pp_conflict}, followed by the body of
+    each conflicting alternative (looked up in the grammar) so the reader
+    sees which productions compete for the overlapping terminals. *)
 
 val left_recursive : Cfg.t -> string list
 (** Non-terminals involved in (direct or indirect) left recursion, which the

@@ -1,0 +1,54 @@
+(** Structured lint diagnostics.
+
+    Every analysis of the lint subsystem reports its findings as values of
+    {!type:t}: a stable mnemonic code, a severity, the subject of the
+    finding (a non-terminal, token or feature name), a human-readable
+    message and a {e witness} — the concrete evidence backing the finding
+    (a lookahead token sequence for an LL(k) conflict, a reference chain
+    for an undefined non-terminal, the features of a contradictory
+    constraint pair). Witnesses are what turn "this composition is broken"
+    into "here is the input prefix that exposes it". *)
+
+type severity =
+  | Error    (** the composed product is broken; fail the build *)
+  | Warning  (** suspicious but functional (e.g. backtracking conflicts) *)
+  | Info     (** noteworthy observations, no action needed *)
+
+type t = {
+  code : string;         (** stable mnemonic, e.g. ["grammar/undefined-nt"] *)
+  severity : severity;
+  subject : string;      (** non-terminal, token or feature concerned *)
+  message : string;
+  witness : string list; (** concrete evidence; may be empty *)
+}
+
+val make :
+  code:string -> severity:severity -> subject:string ->
+  ?witness:string list -> string -> t
+(** [make ~code ~severity ~subject ?witness message] builds a diagnostic;
+    [witness] defaults to the empty list. *)
+
+val severity_rank : severity -> int
+(** [Error] ranks 0, [Warning] 1, [Info] 2 — lower is more severe. *)
+
+val compare : t -> t -> int
+(** Severity first (most severe first), then code, then subject — the
+    presentation order of reports. *)
+
+val count : severity -> t list -> int
+val errors : t list -> t list
+val has_errors : t list -> bool
+
+val pp_severity : severity Fmt.t
+val pp : t Fmt.t
+(** One-line rendering: [severity code <subject>: message [witness]]. *)
+
+val pp_report : t list Fmt.t
+(** Sorted listing followed by a one-line count summary. *)
+
+val to_json : t -> string
+(** One diagnostic as a single-line JSON object with fields [code],
+    [severity], [subject], [message], [witness]. *)
+
+val to_json_lines : t list -> string
+(** Machine-readable report: one JSON object per line, sorted. *)

@@ -1,0 +1,32 @@
+(** Static lint of composed grammars.
+
+    Five analyses over a {!Grammar.Cfg.t}:
+
+    - {b undefined non-terminals} ([grammar/undefined-nt], Error): a rule
+      references a non-terminal no rule defines — the composed product
+      cannot parse the construct; the witness is the reference chain.
+    - {b unproductive rules} ([grammar/unproductive], Error when reachable,
+      Warning otherwise): the non-terminal derives no terminal string, so
+      every parse through it fails.
+    - {b unreachable rules} ([grammar/unreachable], Warning): dead weight
+      from composition, often a helper whose only user was not selected.
+    - {b duplicate alternatives} ([grammar/duplicate-alt], Warning): two
+      alternatives of a rule are structurally equal — the second can never
+      match first.
+    - {b LL(k) conflicts} (k ≤ 2): a pair of alternatives indistinguishable
+      under k-token lookahead. A conflict that persists at [k = 2]
+      ([grammar/ll2-conflict], Warning) forces the generated parser to
+      backtrack; one resolved by the second token ([grammar/ll1-conflict],
+      Info) merely needs LL(2) prediction. Each carries a concrete witness
+      lookahead sequence. *)
+
+val unproductive : Grammar.Cfg.t -> string list
+(** Non-terminals that derive no terminal string (undefined references
+    count as unproductive ground). *)
+
+val duplicate_alternatives : Grammar.Cfg.t -> (string * Grammar.Production.alt) list
+(** [(lhs, alt)] pairs where [alt] occurs more than once in the rule. *)
+
+val check : ?k:int -> Grammar.Cfg.t -> Diagnostic.t list
+(** All grammar diagnostics. [k] bounds the conflict analysis (1 or 2,
+    default 2). *)

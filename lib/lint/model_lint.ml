@@ -1,0 +1,316 @@
+module String_set = Set.Make (String)
+
+type fragments = (string * Grammar.Production.t list) list
+
+(* A closure is self-contradictory when it selects both sides of an
+   [excludes] constraint or more than one member of an ALT group — adding
+   features can never repair either, so any configuration containing the
+   seed is invalid. *)
+let closure_contradiction (model : Feature.Model.t) closure =
+  List.find_map
+    (fun v ->
+      match v with
+      | Feature.Config.Excludes_violation { feature; conflicting } ->
+        Some (feature, conflicting)
+      | Feature.Config.Alt_group_violation { parent; selected = _ :: _ :: _ as selected } ->
+        Some (parent, String.concat " | " selected)
+      | _ -> None)
+    (Feature.Config.validate model closure)
+
+let dead_features (model : Feature.Model.t) =
+  List.filter_map
+    (fun name ->
+      let closure = Feature.Config.close model (Feature.Config.of_names [ name ]) in
+      match closure_contradiction model closure with
+      | Some _ -> Some name
+      | None -> None)
+    (Feature.Tree.names model.concept)
+
+(* Optional-ish features with their parent: optional children and OR/ALT
+   group members. *)
+let optionalish (model : Feature.Model.t) =
+  List.concat_map
+    (fun (p : Feature.Tree.t) ->
+      List.concat_map
+        (fun g ->
+          match g with
+          | Feature.Tree.Child (Feature.Tree.Mandatory, _) -> []
+          | Feature.Tree.Child (Feature.Tree.Optional, c) ->
+            [ (p.Feature.Tree.name, c.Feature.Tree.name) ]
+          | Feature.Tree.Or_group members | Feature.Tree.Alt_group members ->
+            List.map
+              (fun (m : Feature.Tree.t) ->
+                (p.Feature.Tree.name, m.Feature.Tree.name))
+              members)
+        p.Feature.Tree.groups)
+    (Feature.Tree.all_features model.concept)
+
+let false_optional (model : Feature.Model.t) =
+  List.filter
+    (fun (parent, feature) ->
+      Feature.Config.mem feature
+        (Feature.Config.close model (Feature.Config.of_names [ parent ])))
+    (optionalish model)
+
+let constraint_pair = function
+  | Feature.Model.Requires (a, b) | Feature.Model.Excludes (a, b) -> (a, b)
+
+let model_diagnostics model =
+  List.map
+    (fun p ->
+      let subject =
+        match p with
+        | Feature.Model.Duplicate_feature n
+        | Feature.Model.Constraint_on_unknown_feature n ->
+          n
+      in
+      Diagnostic.make ~code:"model/malformed" ~severity:Diagnostic.Error
+        ~subject ~witness:[ subject ]
+        (Fmt.str "%a" Feature.Model.pp_problem p))
+    (Feature.Model.check model)
+
+let dead_diagnostics (model : Feature.Model.t) =
+  List.map
+    (fun name ->
+      let closure =
+        Feature.Config.close model (Feature.Config.of_names [ name ])
+      in
+      let why =
+        match closure_contradiction model closure with
+        | Some (a, b) -> [ a; b ]
+        | None -> []
+      in
+      Diagnostic.make ~code:"model/dead-feature" ~severity:Diagnostic.Error
+        ~subject:name ~witness:(name :: why)
+        (Printf.sprintf
+           "feature %S is selectable in no valid configuration: its forced \
+            closure is self-contradictory (%s)"
+           name (String.concat " vs " why)))
+    (dead_features model)
+
+let false_optional_diagnostics model =
+  List.map
+    (fun (parent, feature) ->
+      Diagnostic.make ~code:"model/false-optional"
+        ~severity:Diagnostic.Warning ~subject:feature
+        ~witness:[ parent; feature ]
+        (Printf.sprintf
+           "feature %S is optional under %S in the diagram, but selecting \
+            %S already forces it through the constraint closure"
+           feature parent parent))
+    (false_optional model)
+
+let constraint_diagnostics (model : Feature.Model.t) =
+  let constraints = model.constraints in
+  let contradiction =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Feature.Model.Excludes (a, b) when String.equal a b ->
+          Some
+            (Diagnostic.make ~code:"model/contradiction"
+               ~severity:Diagnostic.Error ~subject:a ~witness:[ a; b ]
+               (Printf.sprintf "feature %S excludes itself" a))
+        | Feature.Model.Requires (a, b) ->
+          if
+            List.exists
+              (fun c' ->
+                match c' with
+                | Feature.Model.Excludes (x, y) ->
+                  (String.equal x a && String.equal y b)
+                  || (String.equal x b && String.equal y a)
+                | Feature.Model.Requires _ -> false)
+              constraints
+          then
+            Some
+              (Diagnostic.make ~code:"model/contradiction"
+                 ~severity:Diagnostic.Error ~subject:a ~witness:[ a; b ]
+                 (Printf.sprintf
+                    "%S requires %S while an excludes constraint forbids the \
+                     pair; %S is dead"
+                    a b a))
+          else None
+        | Feature.Model.Excludes _ -> None)
+      constraints
+  in
+  (* Exact duplicates ([excludes] compared symmetrically). *)
+  let duplicates =
+    let equal_constraint c c' =
+      match c, c' with
+      | Feature.Model.Requires (a, b), Feature.Model.Requires (x, y) ->
+        String.equal a x && String.equal b y
+      | Feature.Model.Excludes (a, b), Feature.Model.Excludes (x, y) ->
+        (String.equal a x && String.equal b y)
+        || (String.equal a y && String.equal b x)
+      | Feature.Model.Requires _, Feature.Model.Excludes _
+      | Feature.Model.Excludes _, Feature.Model.Requires _ ->
+        false
+    in
+    let rec go seen = function
+      | [] -> []
+      | c :: rest ->
+        if List.exists (equal_constraint c) seen then
+          let a, b = constraint_pair c in
+          Diagnostic.make ~code:"model/redundant-constraint"
+            ~severity:Diagnostic.Warning ~subject:a ~witness:[ a; b ]
+            (Fmt.str "constraint '%a' is stated more than once"
+               Feature.Model.pp_constraint c)
+          :: go seen rest
+        else go (c :: seen) rest
+    in
+    go [] constraints
+  in
+  (* A [requires] already implied by the diagram plus the remaining
+     constraints adds nothing. *)
+  let implied =
+    List.mapi (fun i c -> (i, c)) constraints
+    |> List.filter_map (fun (i, c) ->
+           match c with
+           | Feature.Model.Excludes _ -> None
+           | Feature.Model.Requires (a, b) ->
+             let without =
+               List.filteri (fun j _ -> j <> i) constraints
+             in
+             let model' = Feature.Model.make ~constraints:without model.concept in
+             if
+               Feature.Config.mem b
+                 (Feature.Config.close model' (Feature.Config.of_names [ a ]))
+             then
+               Some
+                 (Diagnostic.make ~code:"model/redundant-constraint"
+                    ~severity:Diagnostic.Info ~subject:a ~witness:[ a; b ]
+                    (Printf.sprintf
+                       "'%s requires %s' is already implied by the diagram \
+                        and the other constraints"
+                       a b))
+             else None)
+  in
+  (* [excludes] between two members of the same ALT group restates the
+     group's exactly-one semantics. *)
+  let alt_excludes =
+    let same_alt_group a b =
+      List.exists
+        (fun (p : Feature.Tree.t) ->
+          List.exists
+            (fun g ->
+              match g with
+              | Feature.Tree.Alt_group members ->
+                let names =
+                  List.map (fun (m : Feature.Tree.t) -> m.Feature.Tree.name) members
+                in
+                List.mem a names && List.mem b names
+              | Feature.Tree.Child _ | Feature.Tree.Or_group _ -> false)
+            p.Feature.Tree.groups)
+        (Feature.Tree.all_features model.concept)
+    in
+    List.filter_map
+      (fun c ->
+        match c with
+        | Feature.Model.Excludes (a, b)
+          when (not (String.equal a b)) && same_alt_group a b ->
+          Some
+            (Diagnostic.make ~code:"model/redundant-constraint"
+               ~severity:Diagnostic.Info ~subject:a ~witness:[ a; b ]
+               (Printf.sprintf
+                  "'%s excludes %s' restates the ALT group the two features \
+                   already belong to"
+                  a b))
+        | Feature.Model.Excludes _ | Feature.Model.Requires _ -> None)
+      constraints
+  in
+  contradiction @ duplicates @ implied @ alt_excludes
+
+let defined_nonterminals (fragments : fragments) =
+  List.fold_left
+    (fun acc (_, rules) ->
+      List.fold_left
+        (fun acc (r : Grammar.Production.t) -> String_set.add r.lhs acc)
+        acc rules)
+    String_set.empty fragments
+
+let defining_feature (fragments : fragments) nt =
+  List.find_map
+    (fun (feature, rules) ->
+      if List.exists (fun (r : Grammar.Production.t) -> String.equal r.lhs nt) rules
+      then Some feature
+      else None)
+    fragments
+
+let registry_diagnostics (model : Feature.Model.t) (fragments : fragments) =
+  let owners = String_set.of_list (List.map fst fragments) in
+  let missing =
+    List.filter_map
+      (fun name ->
+        if String_set.mem name owners then None
+        else
+          Some
+            (Diagnostic.make ~code:"model/fragment-missing"
+               ~severity:Diagnostic.Info ~subject:name ~witness:[ name ]
+               (Printf.sprintf
+                  "feature %S owns no fragment; treated as purely \
+                   organizational"
+                  name)))
+      (Feature.Tree.names model.concept)
+  in
+  let defined = defined_nonterminals fragments in
+  let dangling =
+    List.concat_map
+      (fun (feature, rules) ->
+        List.concat_map
+          (fun (r : Grammar.Production.t) ->
+            List.filter_map
+              (fun nt ->
+                if String_set.mem nt defined then None
+                else
+                  Some
+                    (Diagnostic.make ~code:"model/undefined-nt"
+                       ~severity:Diagnostic.Error ~subject:nt
+                       ~witness:[ feature; r.lhs; nt ]
+                       (Printf.sprintf
+                          "fragment of %S references <%s> (from <%s>) but no \
+                           fragment of any feature defines it"
+                          feature nt r.lhs)))
+              (Grammar.Production.mentioned_nonterminals r))
+          rules)
+      fragments
+  in
+  missing @ dangling
+
+let check ?(fragments = []) model =
+  model_diagnostics model @ dead_diagnostics model
+  @ false_optional_diagnostics model
+  @ constraint_diagnostics model
+  @ (match fragments with [] -> [] | _ -> registry_diagnostics model fragments)
+
+let check_selection ~fragments (_model : Feature.Model.t) config =
+  let selected =
+    List.filter (fun (feature, _) -> Feature.Config.mem feature config) fragments
+  in
+  let defined = defined_nonterminals selected in
+  List.concat_map
+    (fun (feature, rules) ->
+      List.concat_map
+        (fun (r : Grammar.Production.t) ->
+          List.filter_map
+            (fun nt ->
+              if String_set.mem nt defined then None
+              else
+                let hint = defining_feature fragments nt in
+                let hint_text =
+                  match hint with
+                  | Some f -> Printf.sprintf "; selecting %S would define it" f
+                  | None -> ""
+                in
+                Some
+                  (Diagnostic.make ~code:"model/fragment-undefined-nt"
+                     ~severity:Diagnostic.Error ~subject:nt
+                     ~witness:
+                       (feature :: r.lhs :: nt
+                        :: (match hint with Some f -> [ f ] | None -> []))
+                     (Printf.sprintf
+                        "selected fragment of %S references <%s> (from <%s>) \
+                         which no selected fragment defines%s"
+                        feature nt r.lhs hint_text)))
+            (Grammar.Production.mentioned_nonterminals r))
+        rules)
+    selected

@@ -1,0 +1,49 @@
+(** Lint of the feature model, its constraints and the fragment registry.
+
+    The analyses work on the forced-selection closure: selecting feature
+    [f] forces [close model {f}] (ancestors, mandatory children, [requires]
+    closure), so contradictions inside that closure condemn [f] in {e
+    every} configuration.
+
+    - {b model well-formedness} ([model/malformed], Error): duplicate
+      feature names, constraints naming unknown features.
+    - {b dead features} ([model/dead-feature], Error): the closure of [f]
+      violates an [excludes] constraint or forces two members of an ALT
+      group — no valid configuration can select [f].
+    - {b false-optional features} ([model/false-optional], Warning): [f] is
+      optional in the diagram (optional child or OR/ALT group member) but
+      selecting its parent already forces it through [requires].
+    - {b contradictory constraints} ([model/contradiction], Error):
+      [a requires b] together with [a excludes b] (either direction), or a
+      self-exclusion.
+    - {b redundant constraints} ([model/redundant-constraint], Warning for
+      exact duplicates, Info for [requires] already implied by the
+      diagram/closure or [excludes] between ALT siblings).
+    - {b registry coverage} (with [~fragments]): a feature owning no
+      fragment at all ([model/fragment-missing], Info) and a fragment
+      referencing a non-terminal no fragment anywhere defines
+      ([model/undefined-nt], Error).
+
+    {!check_selection} adds the per-configuration coverage check: every
+    non-terminal referenced by a selected fragment must be defined by some
+    {e selected} fragment ([model/fragment-undefined-nt], Error, with the
+    defining feature as hint in the witness) — the lint-level counterpart
+    of the composer's coherence rejection. *)
+
+type fragments = (string * Grammar.Production.t list) list
+(** [(feature, rules)] view of a fragment registry, kept free of a
+    dependency on [Compose] (which itself links against this library). *)
+
+val dead_features : Feature.Model.t -> string list
+
+val false_optional : Feature.Model.t -> (string * string) list
+(** [(parent, feature)] pairs: optional [feature] forced whenever [parent]
+    is selected. *)
+
+val check : ?fragments:fragments -> Feature.Model.t -> Diagnostic.t list
+
+val check_selection :
+  fragments:fragments ->
+  Feature.Model.t ->
+  Feature.Config.t ->
+  Diagnostic.t list

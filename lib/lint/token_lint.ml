@@ -1,0 +1,138 @@
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let identifier_shaped s =
+  String.length s > 0
+  && is_ident_start s.[0]
+  && String.for_all is_ident_char s
+
+let is_prefix p s =
+  String.length p < String.length s
+  && String.equal p (String.sub s 0 (String.length p))
+
+(* Group token names by their effective literal: keywords by lowercased
+   spelling, puncts by literal. A group with more than one name means only
+   one terminal is ever produced by the scanner. *)
+let collisions pairs =
+  let groups =
+    List.fold_left
+      (fun m (literal, name) ->
+        String_map.update literal
+          (fun prev -> Some (name :: Option.value ~default:[] prev))
+          m)
+      String_map.empty pairs
+  in
+  String_map.fold
+    (fun literal names acc ->
+      match names with
+      | [] | [ _ ] -> acc
+      | _ -> (literal, List.rev names) :: acc)
+    groups []
+
+let overlap_diagnostics set =
+  let keyword_overlaps =
+    List.map
+      (fun (spelling, names) ->
+        Diagnostic.make ~code:"token/overlap" ~severity:Diagnostic.Error
+          ~subject:(List.hd names) ~witness:names
+          (Printf.sprintf
+             "keyword spelling %S is claimed by tokens %s; only one can be \
+              scanned"
+             spelling
+             (String.concat ", " names)))
+      (collisions (Lexing_gen.Spec.keywords set))
+  in
+  let punct_overlaps =
+    List.map
+      (fun (literal, names) ->
+        Diagnostic.make ~code:"token/overlap" ~severity:Diagnostic.Error
+          ~subject:(List.hd names) ~witness:names
+          (Printf.sprintf
+             "punctuation literal %S is claimed by tokens %s; only one can \
+              be scanned"
+             literal
+             (String.concat ", " names)))
+      (collisions (Lexing_gen.Spec.puncts set))
+  in
+  keyword_overlaps @ punct_overlaps
+
+let keyword_shape_diagnostics set =
+  List.filter_map
+    (fun (name, def) ->
+      match def with
+      | Lexing_gen.Spec.Keyword spelling when not (identifier_shaped spelling)
+        ->
+        Some
+          (Diagnostic.make ~code:"token/keyword-shadowed"
+             ~severity:Diagnostic.Error ~subject:name ~witness:[ spelling ]
+             (Printf.sprintf
+                "keyword %s is spelled %S, which the identifier rule can \
+                 never scan as a word"
+                name spelling))
+      | Lexing_gen.Spec.Keyword _ | Lexing_gen.Spec.Punct _
+      | Lexing_gen.Spec.Class _ ->
+        None)
+    set
+
+let punct_prefix_diagnostics set =
+  let puncts = Lexing_gen.Spec.puncts set in
+  List.concat_map
+    (fun (literal, name) ->
+      List.filter_map
+        (fun (other, other_name) ->
+          if is_prefix literal other then
+            Some
+              (Diagnostic.make ~code:"token/punct-prefix"
+                 ~severity:Diagnostic.Info ~subject:name
+                 ~witness:[ literal; other ]
+                 (Printf.sprintf
+                    "literal %S (%s) is a prefix of %S (%s); longest-match \
+                     ordering decides"
+                    literal name other other_name))
+          else None)
+        puncts)
+    puncts
+
+let reference_diagnostics ~grammar set =
+  let declared = String_set.of_list (List.map fst set) in
+  let referenced = String_set.of_list (Grammar.Cfg.terminals grammar) in
+  let undeclared =
+    String_set.fold
+      (fun name acc ->
+        (* EOF is synthesized by the scanner, never declared. *)
+        if String.equal name "EOF" || String_set.mem name declared then acc
+        else
+          Diagnostic.make ~code:"token/undeclared" ~severity:Diagnostic.Error
+            ~subject:name ~witness:[ name ]
+            (Printf.sprintf
+               "the grammar references terminal %s but no composed token \
+                declares it"
+               name)
+          :: acc)
+      referenced []
+  in
+  let unused =
+    List.filter_map
+      (fun (name, _) ->
+        if String_set.mem name referenced then None
+        else
+          Some
+            (Diagnostic.make ~code:"token/unused" ~severity:Diagnostic.Warning
+               ~subject:name ~witness:[ name ]
+               (Printf.sprintf
+                  "token %s is declared by the composed token set but no \
+                   grammar rule references it"
+                  name)))
+      set
+  in
+  undeclared @ unused
+
+let check ~grammar set =
+  overlap_diagnostics set @ keyword_shape_diagnostics set
+  @ punct_prefix_diagnostics set
+  @ reference_diagnostics ~grammar set

@@ -1,0 +1,28 @@
+(** Lint of composed token sets against the composed grammar.
+
+    The scanner generated from a composed token set recognizes keywords by
+    scanning an identifier-shaped word and consulting the (lowercased)
+    keyword table, and punctuation by longest-match over literals. Four
+    things can silently go wrong after composition:
+
+    - {b colliding literals} ([token/overlap], Error): two token names bound
+      to the same spelling — only one of the terminals can ever be produced
+      (for keywords the table keeps one entry per lowercased spelling; for
+      punctuation the first longest-match entry wins).
+    - {b unscannable keywords} ([token/keyword-shadowed], Error): a keyword
+      whose spelling is not identifier-shaped never reaches the keyword
+      table — the identifier rule's lexical shape shadows it.
+    - {b prefix punctuation} ([token/punct-prefix], Info): a literal that is
+      a strict prefix of another; longest-match resolves it, but the
+      ordering dependency is worth surfacing.
+    - {b declared/referenced mismatches}: a terminal referenced by the
+      grammar but declared by no token ([token/undeclared], Error — the
+      scanner can never produce it), and a token declared but referenced
+      nowhere ([token/unused], Warning — dead weight in the scanner). *)
+
+val identifier_shaped : string -> bool
+(** Whether a spelling matches the identifier rule's lexical shape
+    ([\[A-Za-z_\]\[A-Za-z0-9_\]*]) — the shape a keyword must have to be
+    recognized. *)
+
+val check : grammar:Grammar.Cfg.t -> Lexing_gen.Spec.set -> Diagnostic.t list

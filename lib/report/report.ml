@@ -11,6 +11,7 @@ type t = {
   ll1_conflicts : Grammar.Analysis.conflict list;
   unreachable_rules : string list;
   contributions : (string * int * int) list;
+  grammar : Grammar.Cfg.t;
 }
 
 let statement_classes (g : Grammar.Cfg.t) =
@@ -37,6 +38,7 @@ let build (g : Core.generated) =
     keyword_count = Lexing_gen.Scanner.keyword_count scanner;
     punct_count = Lexing_gen.Scanner.punct_count scanner;
     statement_classes = statement_classes grammar;
+    grammar;
     ll1_conflicts = Grammar.Analysis.ll1_conflicts grammar;
     unreachable_rules =
       List.filter_map
@@ -76,7 +78,8 @@ let pp ppf r =
   Fmt.pf ppf "@.-- determinism --@.";
   Fmt.pf ppf "LL(1) conflicts: %d (resolved by backtracking at parse time)@."
     (List.length r.ll1_conflicts);
-  List.iter (fun c -> Fmt.pf ppf "  %a@." Grammar.Analysis.pp_conflict c)
+  List.iter
+    (fun c -> Fmt.pf ppf "  %a@." (Grammar.Analysis.pp_conflict_in r.grammar) c)
     r.ll1_conflicts;
   (match r.unreachable_rules with
    | [] -> ()

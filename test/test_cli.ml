@@ -117,6 +117,24 @@ let test_run_script =
     ~needles:[ "table t created"; "2 row(s) affected"; "(1 rows)" ]
     [ "run"; "-d"; "full" ]
 
+let test_lint_minimal =
+  expect ~status:0
+    ~needles:[ "lint minimal"; "0 error(s)" ]
+    [ "lint"; "minimal" ]
+
+let test_lint_full =
+  expect ~status:0
+    ~needles:[ "lint full"; "0 error(s)" ]
+    [ "lint"; "full" ]
+
+let test_lint_json =
+  expect ~status:0
+    ~needles:[ "\"code\":"; "\"severity\":"; "\"witness\":" ]
+    [ "lint"; "full"; "--format=json" ]
+
+let test_lint_unknown_dialect =
+  expect ~status:124 ~needles:[ "unknown dialect" ] [ "lint"; "nonsense" ]
+
 let test_diff =
   expect ~status:0
     ~needles:[ "commonality:"; "only in tinysql"; "grammar size:" ]
@@ -168,6 +186,10 @@ let suite =
     Alcotest.test_case "report" `Quick test_report;
     Alcotest.test_case "emit" `Quick test_emit;
     Alcotest.test_case "run script" `Quick test_run_script;
+    Alcotest.test_case "lint minimal" `Quick test_lint_minimal;
+    Alcotest.test_case "lint full" `Quick test_lint_full;
+    Alcotest.test_case "lint --format=json" `Quick test_lint_json;
+    Alcotest.test_case "lint unknown dialect" `Quick test_lint_unknown_dialect;
     Alcotest.test_case "diff" `Quick test_diff;
     Alcotest.test_case "configure session" `Quick test_configure_session;
     Alcotest.test_case "config file round-trip" `Quick test_config_file_roundtrip;
