@@ -182,6 +182,132 @@ let report_e14 () =
     generated_dialects
 
 (* ------------------------------------------------------------------ *)
+(* E15 — parser-service layer: configuration-keyed cache and batched   *)
+(* sessions (cold vs. warm compose+generate; session vs. per-statement *)
+(* regeneration). Also emits the BENCH_e15.json artifact.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Average seconds per run, with the repetition count adapted so that each
+   series takes a measurable but bounded slice of wall time. *)
+let time_avg f =
+  let once () =
+    let t0 = Sys.time () in
+    ignore (Sys.opaque_identity (f ()));
+    Sys.time () -. t0
+  in
+  let first = once () in
+  let reps = max 3 (min 500 (int_of_float (0.2 /. max 1e-6 first))) in
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Sys.time () -. t0) /. float reps
+
+let e15_cache_rows () =
+  List.map
+    (fun ((d : Dialects.Dialect.t), _) ->
+      let cold = time_avg (fun () -> Core.generate_dialect d) in
+      let cache = Service.Cache.create () in
+      (match Service.Cache.generate_dialect cache d with
+      | Ok _ -> ()
+      | Error e -> Fmt.failwith "warm %s: %a" d.name Core.pp_error e);
+      let warm = time_avg (fun () -> Service.Cache.generate_dialect cache d) in
+      (d.name, cold, warm, cold /. warm))
+    generated_dialects
+
+let e15_workload (g : Core.generated) (d : Dialects.Dialect.t) =
+  (* Corpus statements plus grammar-sampled sentences: a batch large enough
+     that per-statement regeneration cost dominates visibly. *)
+  let sampled = Service.Sentences.sample ~count:100 ~seed:1517 g in
+  let corpus = Workloads.queries_for d.Dialects.Dialect.name in
+  sampled @ corpus @ corpus
+
+let e15_batch_rows () =
+  List.map
+    (fun name ->
+      let d, g = dialect name in
+      let statements = e15_workload g d in
+      let n = List.length statements in
+      let batched =
+        time_avg (fun () ->
+            let session = Service.Session.create g in
+            Service.Session.parse_batch session statements)
+      in
+      let cache = Service.Cache.create () in
+      let per_statement_cached =
+        time_avg (fun () ->
+            List.iter
+              (fun sql ->
+                match Service.Cache.generate_dialect cache d with
+                | Ok g -> ignore (Sys.opaque_identity (Core.parse_cst g sql))
+                | Error e -> Fmt.failwith "%a" Core.pp_error e)
+              statements)
+      in
+      let regenerate =
+        time_avg (fun () ->
+            List.iter
+              (fun sql ->
+                match Core.generate_dialect d with
+                | Ok g -> ignore (Sys.opaque_identity (Core.parse_cst g sql))
+                | Error e -> Fmt.failwith "%a" Core.pp_error e)
+              statements)
+      in
+      let per_s t = float n /. t in
+      ( name,
+        n,
+        per_s batched,
+        per_s per_statement_cached,
+        per_s regenerate,
+        regenerate /. batched ))
+    [ "embedded"; "analytics" ]
+
+let write_e15_json cache_rows batch_rows =
+  let oc = open_out "BENCH_e15.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"e15\",\n  \"cache\": [\n";
+  List.iteri
+    (fun i (name, cold, warm, speedup) ->
+      p
+        "    {\"dialect\": %S, \"cold_ms\": %.4f, \"warm_ms\": %.4f, \
+         \"speedup\": %.1f}%s\n"
+        name (cold *. 1e3) (warm *. 1e3) speedup
+        (if i = List.length cache_rows - 1 then "" else ","))
+    cache_rows;
+  p "  ],\n  \"batch\": [\n";
+  List.iteri
+    (fun i (name, n, batched, cached, regen, speedup) ->
+      p
+        "    {\"dialect\": %S, \"statements\": %d, \
+         \"batched_stmts_per_s\": %.0f, \"cached_stmts_per_s\": %.0f, \
+         \"regenerate_stmts_per_s\": %.0f, \"speedup_vs_regenerate\": \
+         %.1f}%s\n"
+        name n batched cached regen speedup
+        (if i = List.length batch_rows - 1 then "" else ","))
+    batch_rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let report_e15 () =
+  pf "\n== E15: parser-service cache and batched sessions ==\n";
+  let cache_rows = e15_cache_rows () in
+  pf "%-10s %12s %12s %9s\n" "dialect" "cold" "warm" "speedup";
+  List.iter
+    (fun (name, cold, warm, speedup) ->
+      pf "%-10s %10.3fms %10.4fms %8.0fx\n" name (cold *. 1e3) (warm *. 1e3)
+        speedup)
+    cache_rows;
+  let batch_rows = e15_batch_rows () in
+  pf "\n%-10s %6s %14s %14s %14s %9s\n" "dialect" "stmts" "session"
+    "cached" "regenerate" "speedup";
+  List.iter
+    (fun (name, n, batched, cached, regen, speedup) ->
+      pf "%-10s %6d %12.0f/s %12.0f/s %12.0f/s %8.0fx\n" name n batched cached
+        regen speedup)
+    batch_rows;
+  write_e15_json cache_rows batch_rows;
+  pf "(wrote BENCH_e15.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Timed series (Bechamel)                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -366,10 +492,24 @@ let run_benchmarks tests =
 let () =
   pf "sqlpl benchmark harness — reproduction of \"Generating Highly \
       Customizable SQL Parsers\" (EDBT'08 SETMDM)\n";
-  report_e1 ();
-  report_e6 ();
-  report_e7 ();
-  report_e7_sweep ();
-  report_e14 ();
-  pf "\n== E8-E13: timed series ==\n";
-  run_benchmarks (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)
+  (* `bench/main.exe e15` (or any experiment name below) runs just that
+     report; no argument runs the full harness. *)
+  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
+  | Some "e1" -> report_e1 ()
+  | Some "e6" -> report_e6 ()
+  | Some "e7" ->
+    report_e7 ();
+    report_e7_sweep ()
+  | Some "e14" -> report_e14 ()
+  | Some "e15" -> report_e15 ()
+  | Some other -> Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15)" other
+  | None ->
+    report_e1 ();
+    report_e6 ();
+    report_e7 ();
+    report_e7_sweep ();
+    report_e14 ();
+    report_e15 ();
+    pf "\n== E8-E13: timed series ==\n";
+    run_benchmarks
+      (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

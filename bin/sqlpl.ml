@@ -9,12 +9,18 @@
      grammar             print the composed grammar of a dialect/selection
      tokens              print the composed token set
      parse SQL           parse a statement and print its CST
+     parse --batch FILE  parse a whole statement batch through one session
      emit                print generated OCaml parser source
      report              grammar report for a selection
      lint DIALECT        static-analysis diagnostics for a selection
      diff A B            commonality/variability between two dialects
+     cache stats|key     the configuration-keyed parser cache
      configure           interactive feature selection (the paper's UI)
-     run [SCRIPT]        execute statements against an in-memory database *)
+     run [SCRIPT]        execute statements against an in-memory database
+
+   Every subcommand resolves its front-end through the process-wide
+   Service.Cache, so a selection is composed and generated at most once
+   per invocation no matter how many times it is referenced. *)
 
 open Cmdliner
 
@@ -62,7 +68,7 @@ let generate_front_end dialect features config_file =
   match resolve_config dialect features config_file with
   | Error msg -> Error msg
   | Ok (label, config) -> (
-    match Core.generate ~label config with
+    match Service.Cache.generate ~label Service.Cache.default config with
     | Ok g -> Ok g
     | Error e -> Error (Fmt.str "%a" Core.pp_error e))
 
@@ -222,31 +228,72 @@ let tokens_cmd =
 let parse_cmd =
   let sql_arg =
     Arg.(
-      required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"Statement to parse.")
+      value & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"Statement to parse (omit with $(b,--batch)).")
   in
   let ast_flag =
     Arg.(value & flag & info [ "ast" ] ~doc:"Print the lowered AST re-printed as SQL.")
   in
-  let run dialect features config_file ast sql =
+  let batch_arg =
+    let doc =
+      "Parse a whole batch: read semicolon-separated statements from $(docv) \
+       and run them through one parse session, reusing the generated parser \
+       and scanner across the batch. Prints one line per statement and \
+       aggregate throughput statistics; exits nonzero when any statement is \
+       rejected."
+    in
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE" ~doc)
+  in
+  let run_batch g path =
+    let session = Service.Session.create g in
+    let script = In_channel.with_open_text path In_channel.input_all in
+    let batch = Service.Session.parse_script session script in
+    List.iter
+      (fun (item : Service.Session.item) ->
+        match item.Service.Session.result with
+        | Ok _ ->
+          Printf.printf "#%d ok (%d tokens)\n" item.Service.Session.index
+            item.Service.Session.token_count
+        | Error e ->
+          Printf.printf "#%d FAIL %s\n" item.Service.Session.index
+            (Fmt.str "%a" Core.pp_error e))
+      batch.Service.Session.items;
+    let stats = batch.Service.Session.batch_stats in
+    Fmt.pr "-- %a@." Service.Session.pp_stats stats;
+    if stats.Service.Session.rejected = 0 then `Ok ()
+    else fail "%d of %d statement(s) rejected" stats.Service.Session.rejected
+        stats.Service.Session.statements
+  in
+  let run dialect features config_file ast batch sql =
     match generate_front_end dialect features config_file with
     | Error msg -> fail "%s" msg
-    | Ok g ->
-      if ast then (
-        match Core.parse_statement g sql with
-        | Ok stmt ->
-          print_endline (Sql_ast.Sql_printer.statement stmt);
-          `Ok ()
-        | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
-      else (
-        match Core.parse_cst g sql with
-        | Ok cst ->
-          Fmt.pr "%a@." Parser_gen.Cst.pp cst;
-          `Ok ()
-        | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
+    | Ok g -> (
+      match (batch, sql) with
+      | Some path, None -> run_batch g path
+      | Some _, Some _ -> fail "--batch and a SQL argument are exclusive"
+      | None, None -> fail "a SQL statement (or --batch FILE) is required"
+      | None, Some sql ->
+        if ast then (
+          match Core.parse_statement g sql with
+          | Ok stmt ->
+            print_endline (Sql_ast.Sql_printer.statement stmt);
+            `Ok ()
+          | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
+        else (
+          match Core.parse_cst g sql with
+          | Ok cst ->
+            Fmt.pr "%a@." Parser_gen.Cst.pp cst;
+            `Ok ()
+          | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e)))
   in
   Cmd.v
-    (Cmd.info "parse" ~doc:"Parse one statement with a tailored parser")
-    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg $ ast_flag $ sql_arg))
+    (Cmd.info "parse"
+       ~doc:"Parse one statement — or a whole batched session — with a \
+             tailored parser")
+    Term.(
+      ret
+        (const run $ dialect_arg $ features_arg $ config_file_arg $ ast_flag
+        $ batch_arg $ sql_arg))
 
 (* --- emit --------------------------------------------------------------------- *)
 
@@ -376,6 +423,68 @@ let diff_cmd =
        ~doc:"Commonality/variability analysis between two dialects")
     Term.(ret (const run $ a_arg $ b_arg))
 
+(* --- cache --------------------------------------------------------------------- *)
+
+let cache_stats_cmd =
+  let run () =
+    (* Resolve every shipped dialect twice through the shared cache: the
+       first pass pays compose+generate (misses), the second hits. *)
+    let cache = Service.Cache.default in
+    let time f =
+      let t0 = Sys.time () in
+      let r = f () in
+      (r, (Sys.time () -. t0) *. 1e3)
+    in
+    Printf.printf "%-10s %-32s %10s %10s\n" "dialect" "digest" "cold" "warm";
+    let rec go = function
+      | [] ->
+        Fmt.pr "--@.%a@." Service.Cache.pp_stats (Service.Cache.stats cache);
+        `Ok ()
+      | (d : Dialects.Dialect.t) :: rest -> (
+        let digest = Service.Digest_key.of_config d.config in
+        match time (fun () -> Service.Cache.generate_dialect cache d) with
+        | Error e, _ ->
+          fail "generate %s: %s" d.name (Fmt.str "%a" Core.pp_error e)
+        | Ok _, cold ->
+          let _, warm = time (fun () -> Service.Cache.generate_dialect cache d) in
+          Printf.printf "%-10s %-32s %8.2fms %8.2fms\n" d.name
+            (Service.Digest_key.to_hex digest)
+            cold warm;
+          go rest)
+    in
+    go Dialects.Dialect.all
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Resolve all shipped dialects through the configuration-keyed \
+             parser cache (cold, then warm) and print its hit/miss/eviction \
+             counters")
+    Term.(ret (const run $ const ()))
+
+let cache_key_cmd =
+  let run dialect features config_file =
+    match resolve_config dialect features config_file with
+    | Error msg -> fail "%s" msg
+    | Ok (label, config) ->
+      Printf.printf "%s %s (%d features)\n"
+        (Service.Digest_key.to_hex (Service.Digest_key.of_config config))
+        label
+        (Feature.Config.cardinal config);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "key"
+       ~doc:"Print the canonical (order-insensitive) cache digest of a \
+             selection")
+    Term.(ret (const run $ dialect_arg $ features_arg $ config_file_arg))
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"The configuration-keyed parser cache: canonical digests and \
+             hit/miss statistics")
+    [ cache_stats_cmd; cache_key_cmd ]
+
 (* --- configure ----------------------------------------------------------------- *)
 
 let configure_cmd =
@@ -464,5 +573,5 @@ let () =
           [
             dialects_cmd; features_cmd; diagram_cmd; validate_cmd; grammar_cmd;
             tokens_cmd; parse_cmd; emit_cmd; report_cmd; lint_cmd; diff_cmd;
-            configure_cmd; run_cmd;
+            cache_cmd; configure_cmd; run_cmd;
           ]))

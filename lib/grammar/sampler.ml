@@ -1,0 +1,95 @@
+exception Unproductive of string
+
+let inf = max_int
+let lift h = if h >= inf then inf else h + 1
+
+(* Minimal derivation height per non-terminal: 1 + the smallest over the
+   rule's alternatives of the largest height among the alternative's
+   required non-terminals (optional and starred groups can always derive
+   epsilon and cost nothing). Undefined or unproductive non-terminals keep
+   height [inf]. Expanding a non-terminal through a minimal alternative
+   strictly decreases the height, which is what guarantees termination of
+   the fallback phase. *)
+let heights (g : Cfg.t) =
+  let h = Hashtbl.create 64 in
+  let height nt = Option.value ~default:inf (Hashtbl.find_opt h nt) in
+  let rec term_height = function
+    | Production.Sym (Symbol.Terminal _) -> 0
+    | Production.Sym (Symbol.Nonterminal nt) -> height nt
+    | Production.Opt _ | Production.Star _ -> 0
+    | Production.Plus ts -> seq_height ts
+    | Production.Group alts ->
+      List.fold_left (fun acc ts -> min acc (seq_height ts)) inf alts
+  and seq_height ts =
+    List.fold_left (fun acc t -> max acc (term_height t)) 0 ts
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (rule : Production.t) ->
+        let best =
+          List.fold_left (fun acc alt -> min acc (seq_height alt)) inf rule.alts
+        in
+        let best = lift best in
+        if best < height rule.lhs then begin
+          Hashtbl.replace h rule.lhs best;
+          changed := true
+        end)
+      g.Cfg.rules
+  done;
+  (height, seq_height)
+
+let sentence ~rand ?start ?(budget = 40) (g : Cfg.t) =
+  let height, seq_height = heights g in
+  let start = Option.value ~default:g.Cfg.start start in
+  if height start >= inf then raise (Unproductive start);
+  let fuel = ref budget in
+  let out = ref [] in
+  let emit name =
+    decr fuel;
+    out := name :: !out
+  in
+  let pick_uniform xs = List.nth xs (Random.State.int rand (List.length xs)) in
+  let pick_minimal alts =
+    let best = List.fold_left (fun acc ts -> min acc (seq_height ts)) inf alts in
+    List.find (fun ts -> seq_height ts = best) alts
+  in
+  let rec expand_nt nt =
+    match Cfg.find g nt with
+    | None -> raise (Unproductive nt)
+    | Some rule ->
+      decr fuel;
+      let alt =
+        if !fuel > 0 then pick_uniform rule.Production.alts
+        else if height nt >= inf then raise (Unproductive nt)
+        else pick_minimal rule.Production.alts
+      in
+      expand_seq alt
+  and expand_seq ts = List.iter expand_term ts
+  and expand_term = function
+    | Production.Sym (Symbol.Terminal name) -> emit name
+    | Production.Sym (Symbol.Nonterminal nt) -> expand_nt nt
+    | Production.Opt ts ->
+      if !fuel > 0 && Random.State.bool rand then expand_seq ts
+    | Production.Star ts ->
+      if !fuel > 0 then
+        for _ = 1 to Random.State.int rand 3 do
+          expand_seq ts
+        done
+    | Production.Plus ts ->
+      expand_seq ts;
+      if !fuel > 0 && Random.State.bool rand then expand_seq ts
+    | Production.Group alts ->
+      if alts <> [] then
+        expand_seq
+          (if !fuel > 0 then pick_uniform alts else pick_minimal alts)
+  in
+  expand_nt start;
+  List.rev !out
+
+let sentences ~seed ?start ?(budget = 40) ~count (g : Cfg.t) =
+  let rand = Random.State.make [| seed |] in
+  List.init count (fun i ->
+      let budget = max 1 (budget / 4) + (i mod 4 * (budget / 4)) in
+      sentence ~rand ?start ~budget g)

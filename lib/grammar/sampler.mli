@@ -1,0 +1,36 @@
+(** Grammar-driven sentence sampling.
+
+    [sentence] draws a random derivation from a grammar and returns the
+    terminal names of its yield, in order. Any returned sentence is in the
+    grammar's language by construction, which makes the sampler the positive
+    half of conformance testing: every sentence sampled from a tailored
+    grammar must be accepted by the parser generated from it (and, by
+    subset containment, by any parser generated from a superset grammar).
+
+    Sampling is budgeted: while budget remains, alternatives are chosen
+    uniformly, optional groups are flipped and repetitions run 0–2 times;
+    once the budget is exhausted the sampler switches to the precomputed
+    {e minimal} derivation of every non-terminal (the alternative with the
+    smallest derivation height), so generation always terminates, even on
+    deeply recursive grammars. Unproductive non-terminals (those with no
+    finite derivation) raise — composed grammars that pass the coherence
+    check never contain any. *)
+
+exception Unproductive of string
+(** Raised when the requested start symbol (or a non-terminal reachable from
+    it) has no finite derivation. *)
+
+val sentence :
+  rand:Random.State.t -> ?start:string -> ?budget:int -> Cfg.t -> string list
+(** [sentence ~rand g] is the terminal-name yield of one random derivation
+    from [g]'s start symbol (or [start]). [budget] (default [40]) bounds the
+    free-choice phase: roughly the number of terminals emitted plus
+    non-terminal expansions before the sampler falls back to minimal
+    derivations. Deterministic in [rand]'s state. *)
+
+val sentences :
+  seed:int -> ?start:string -> ?budget:int -> count:int -> Cfg.t ->
+  string list list
+(** [sentences ~seed ~count g] draws [count] sentences from one PRNG seeded
+    with [seed]; sizes are varied by cycling the budget over
+    [budget/4 .. budget]. *)

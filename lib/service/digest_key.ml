@@ -1,0 +1,20 @@
+type t = string
+
+let of_config config =
+  (* String_set.elements is sorted, so the digest never depends on how the
+     selection was built up. Length-prefixing keeps distinct name lists from
+     colliding after concatenation ("ab"+"c" vs "a"+"bc"). *)
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (string_of_int (String.length name));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf name;
+      Buffer.add_char buf ';')
+    (Feature.Config.to_names config);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let to_hex d = d
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string

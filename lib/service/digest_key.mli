@@ -1,0 +1,21 @@
+(** Canonical cache keys for feature configurations.
+
+    The composed grammar and the parser generated from it are a pure
+    function of the selected-feature set, so a configuration's digest can
+    key memoized compose+generate results. The digest is order-insensitive
+    by construction: it hashes the sorted feature names (each prefixed with
+    its length so concatenation is unambiguous), which is exactly the
+    set-equality quotient of {!Feature.Config.t}. *)
+
+type t = private string
+(** Hex digest, 32 characters. *)
+
+val of_config : Feature.Config.t -> t
+(** [of_config c] is the canonical digest of the selected-feature set of
+    [c]. Two configurations have equal digests iff they select the same
+    features. *)
+
+val to_hex : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,25 @@
+(* Fixed representatives per lexeme class. Identifier spellings must not
+   collide with any dialect's keywords (the full SQL:2003 token set included),
+   or a sentence sampled from a small grammar would re-scan differently under
+   a larger one; "zq"-prefixed names are safely outside SQL vocabulary. *)
+let class_lexeme = function
+  | Lexing_gen.Spec.Identifier -> "zq1"
+  | Lexing_gen.Spec.Unsigned_integer -> "42"
+  | Lexing_gen.Spec.Decimal_number -> "0.5"
+  | Lexing_gen.Spec.String_literal -> "'zz'"
+  | Lexing_gen.Spec.Quoted_identifier -> "\"Zq\""
+
+let lexeme tokens name =
+  match List.assoc_opt name tokens with
+  | Some (Lexing_gen.Spec.Keyword spelling) -> spelling
+  | Some (Lexing_gen.Spec.Punct literal) -> literal
+  | Some (Lexing_gen.Spec.Class cls) -> class_lexeme cls
+  | None -> name
+
+let render tokens sentence =
+  String.concat " " (List.map (lexeme tokens) sentence)
+
+let sample ?(count = 100) ?budget ~seed (g : Core.generated) =
+  List.map
+    (render g.Core.tokens)
+    (Grammar.Sampler.sentences ~seed ?budget ~count g.Core.grammar)

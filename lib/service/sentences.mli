@@ -1,0 +1,25 @@
+(** Rendering grammar-sampled sentences back into SQL text.
+
+    {!Grammar.Sampler} yields sentences as terminal {e names}; this module
+    maps each name through the composed token set to a concrete lexeme
+    (keywords and punctuation print themselves, lexeme classes print fixed
+    representatives chosen to re-scan unambiguously in {e every} dialect —
+    identifiers that are no dialect's keyword, plain literals) and joins
+    them with spaces. The result is a statement guaranteed to be in the
+    sampled grammar's language, usable end-to-end through scanner and
+    parser — the generative half of the conformance suite and the workload
+    synthesizer of bench E15. *)
+
+val lexeme : Lexing_gen.Spec.set -> string -> string
+(** [lexeme tokens name] is a concrete spelling for terminal [name].
+    Unknown terminals (absent from the composed set) fall back to their own
+    name — the lint pass flags those grammars anyway. *)
+
+val render : Lexing_gen.Spec.set -> string list -> string
+(** Space-join the lexemes of a sampled sentence. *)
+
+val sample :
+  ?count:int -> ?budget:int -> seed:int -> Core.generated -> string list
+(** [sample ~seed g] draws [count] (default [100]) statements from [g]'s
+    composed grammar ([budget] as in {!Grammar.Sampler.sentence}) and
+    renders them against [g]'s token set. Deterministic in [seed]. *)

@@ -1,0 +1,141 @@
+type item = {
+  index : int;
+  sql : string;
+  token_count : int;
+  result : (Parser_gen.Cst.t, Core.error) result;
+}
+
+type stats = {
+  statements : int;
+  accepted : int;
+  rejected : int;
+  tokens : int;
+  elapsed : float;
+  statements_per_second : float;
+  tokens_per_second : float;
+  furthest_error : (int * Parser_gen.Engine.parse_error) option;
+}
+
+type t = {
+  front_end : Core.generated;
+  mutable acc_statements : int;
+  mutable acc_accepted : int;
+  mutable acc_tokens : int;
+  mutable acc_elapsed : float;
+  mutable acc_furthest : (int * Parser_gen.Engine.parse_error) option;
+}
+
+let create front_end =
+  {
+    front_end;
+    acc_statements = 0;
+    acc_accepted = 0;
+    acc_tokens = 0;
+    acc_elapsed = 0.;
+    acc_furthest = None;
+  }
+
+let of_cache ?label cache config =
+  Result.map create (Cache.generate ?label cache config)
+
+let front_end t = t.front_end
+
+type batch = {
+  items : item list;
+  batch_stats : stats;
+}
+
+let further (a : (int * Parser_gen.Engine.parse_error) option) b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (_, ea), Some (_, eb) ->
+    if eb.Parser_gen.Engine.pos.Lexing_gen.Token.offset
+       > ea.Parser_gen.Engine.pos.Lexing_gen.Token.offset
+    then b
+    else a
+
+let rates ~statements ~tokens elapsed =
+  if elapsed > 1e-9 then (float statements /. elapsed, float tokens /. elapsed)
+  else (0., 0.)
+
+let pp_stats ppf s =
+  let pp_furthest ppf = function
+    | None -> Fmt.string ppf "none"
+    | Some (i, e) ->
+      Fmt.pf ppf "statement %d, %a" i Parser_gen.Engine.pp_parse_error e
+  in
+  Fmt.pf ppf
+    "%d statement(s): %d accepted, %d rejected; %d token(s) in %.3fms \
+     (%.0f statements/s, %.0f tokens/s); furthest error: %a"
+    s.statements s.accepted s.rejected s.tokens (s.elapsed *. 1e3)
+    s.statements_per_second s.tokens_per_second pp_furthest s.furthest_error
+
+let parse_batch t sqls =
+  let t0 = Sys.time () in
+  let _, items =
+    List.fold_left
+      (fun (index, acc) sql ->
+        let token_count, result =
+          match Core.scan t.front_end sql with
+          | Error e -> (0, Error e)
+          | Ok tokens -> (
+            (* Drop the EOF sentinel from the count. *)
+            let token_count = List.length tokens - 1 in
+            match Parser_gen.Engine.parse t.front_end.Core.parser tokens with
+            | Ok cst -> (token_count, Ok cst)
+            | Error e -> (token_count, Error (Core.Parse_error e)))
+        in
+        (index + 1, { index; sql; token_count; result } :: acc))
+      (0, []) sqls
+  in
+  let items = List.rev items in
+  let elapsed = Sys.time () -. t0 in
+  let statements = List.length items in
+  let accepted =
+    List.length (List.filter (fun i -> Result.is_ok i.result) items)
+  in
+  let tokens = List.fold_left (fun acc i -> acc + i.token_count) 0 items in
+  let furthest_error =
+    List.fold_left
+      (fun acc i ->
+        match i.result with
+        | Error (Core.Parse_error e) -> further acc (Some (i.index, e))
+        | _ -> acc)
+      None items
+  in
+  let statements_per_second, tokens_per_second = rates ~statements ~tokens elapsed in
+  let batch_stats =
+    {
+      statements;
+      accepted;
+      rejected = statements - accepted;
+      tokens;
+      elapsed;
+      statements_per_second;
+      tokens_per_second;
+      furthest_error;
+    }
+  in
+  t.acc_statements <- t.acc_statements + statements;
+  t.acc_accepted <- t.acc_accepted + accepted;
+  t.acc_tokens <- t.acc_tokens + tokens;
+  t.acc_elapsed <- t.acc_elapsed +. elapsed;
+  t.acc_furthest <- further t.acc_furthest furthest_error;
+  { items; batch_stats }
+
+let parse_script t script = parse_batch t (Core.split_statements script)
+
+let totals t =
+  let statements_per_second, tokens_per_second =
+    rates ~statements:t.acc_statements ~tokens:t.acc_tokens t.acc_elapsed
+  in
+  {
+    statements = t.acc_statements;
+    accepted = t.acc_accepted;
+    rejected = t.acc_statements - t.acc_accepted;
+    tokens = t.acc_tokens;
+    elapsed = t.acc_elapsed;
+    statements_per_second;
+    tokens_per_second;
+    furthest_error = t.acc_furthest;
+  }

@@ -1,0 +1,57 @@
+(** Batched parse sessions.
+
+    A session pins one generated front-end (scanner + parser) and runs
+    batches of statements through it, so the compose+generate cost is paid
+    once per configuration instead of once per statement. Each batch
+    returns per-statement results plus aggregate statistics (token and
+    statement throughput, furthest parse-error position); the session also
+    accumulates the same statistics across all batches it has run
+    ({!totals}). *)
+
+type t
+
+val create : Core.generated -> t
+
+val of_cache :
+  ?label:string -> Cache.t -> Feature.Config.t -> (t, Core.error) result
+(** Resolve the front-end through a {!Cache} and open a session on it. *)
+
+val front_end : t -> Core.generated
+
+type item = {
+  index : int;                   (** 0-based position within the batch *)
+  sql : string;
+  token_count : int;             (** 0 when scanning failed *)
+  result : (Parser_gen.Cst.t, Core.error) result;
+}
+
+type stats = {
+  statements : int;
+  accepted : int;
+  rejected : int;
+  tokens : int;                  (** tokens scanned over accepted+rejected,
+                                     excluding the EOF sentinel *)
+  elapsed : float;               (** seconds of processor time *)
+  statements_per_second : float; (** 0 when [elapsed] is unmeasurably small *)
+  tokens_per_second : float;
+  furthest_error : (int * Parser_gen.Engine.parse_error) option;
+      (** statement index and error of the parse failure whose position is
+          furthest into its statement — the most informative rejection *)
+}
+
+val pp_stats : stats Fmt.t
+
+type batch = {
+  items : item list;
+  batch_stats : stats;
+}
+
+val parse_batch : t -> string list -> batch
+(** Scan and parse each statement with the pinned front-end. Failures don't
+    stop the batch; they are recorded per item and aggregated. *)
+
+val parse_script : t -> string -> batch
+(** [parse_batch] over {!Core.split_statements} of a script. *)
+
+val totals : t -> stats
+(** Statistics accumulated over every batch run in this session. *)

@@ -163,6 +163,68 @@ let full_accept =
       "EXPLAIN SELECT a FROM t WHERE a = 1";
     ]
 
+(* Statements exercising features the dialect did NOT select — the rejection
+   half of the paper's "exactly the selected subset" claim. Unlike the
+   [*_reject] lists above these are constrained to fail in the *parser* (with
+   a non-empty expected set), never the scanner: every word lexes as an
+   identifier when its keyword feature is unselected, and only punctuation
+   and literal classes the dialect's token set declares are used. *)
+let unselected_minimal =
+  [
+    "SELECT a FROM t GROUP BY a";          (* no grouping *)
+    "SELECT a FROM t ORDER BY a";          (* no ordering *)
+    "SELECT a FROM t EPOCH DURATION x";    (* acquisitional clauses are TinySQL's *)
+    "SELECT a FROM t LIMIT b";             (* no fetch/limit *)
+    "COMMIT";                              (* no transactions *)
+  ]
+
+let unselected_scql =
+  [
+    "SELECT balance FROM purse GROUP BY balance";   (* no aggregation/grouping *)
+    "SELECT balance FROM purse ORDER BY balance";   (* no ordering *)
+    "SELECT balance FROM purse EPOCH DURATION 10";  (* no acquisitional clauses *)
+    "SELECT a FROM t INNER JOIN u";                 (* single-table only *)
+    "COMMIT";                                       (* no transactions *)
+  ]
+
+let unselected_tinysql =
+  [
+    "SELECT nodeid AS n FROM sensors";        (* no column aliases *)
+    "SELECT nodeid FROM sensors ORDER BY nodeid";  (* no ordering *)
+    "SELECT a FROM t INNER JOIN u";           (* single-table only *)
+    "INSERT INTO sensors VALUES ( 1 )";       (* read-only dialect *)
+    "GRANT SELECT ON TABLE sensors TO alice"; (* no access control *)
+  ]
+
+let unselected_embedded =
+  [
+    "SELECT nodeid FROM sensors EPOCH DURATION 10";  (* no acquisitional clauses *)
+    "SELECT a FROM t UNION SELECT b FROM u";         (* no set operations *)
+    "SELECT COUNT ( a ) FROM t";                     (* no aggregation *)
+    "SELECT a FROM t INNER JOIN u";                  (* no joins *)
+    "GRANT SELECT ON TABLE items TO alice";          (* no access control *)
+  ]
+
+let unselected_analytics =
+  [
+    "UPDATE t SET a = 1";                            (* no UPDATE *)
+    "SELECT a FROM t LIMIT 3";                       (* analytics uses FETCH FIRST *)
+    "SELECT nodeid FROM sensors EPOCH DURATION 10";  (* no acquisitional clauses *)
+    "GRANT SELECT ON TABLE sales TO alice";          (* no access control *)
+    "COMMIT";                                        (* no transactions *)
+  ]
+
+(* [(dialect, statements)]; the full dialect selects everything, so it has no
+   unselected features to exercise. *)
+let unselected =
+  [
+    ("minimal", unselected_minimal);
+    ("scql", unselected_scql);
+    ("tinysql", unselected_tinysql);
+    ("embedded", unselected_embedded);
+    ("analytics", unselected_analytics);
+  ]
+
 (* Statements no dialect accepts (lexically or syntactically invalid). *)
 let always_reject =
   [

@@ -16,6 +16,9 @@ let () =
       ("codegen", Test_codegen.suite);
       ("report", Test_report.suite);
       ("lint", Test_lint.suite);
+      ("service", Test_service.suite);
+      ("conformance", Test_conformance.suite);
+      ("negative", Test_negative.suite);
       ("properties", Test_properties.suite);
       ("printer", Test_printer.suite);
       ("cli", Test_cli.suite);

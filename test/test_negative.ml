@@ -1,0 +1,83 @@
+(* Negative conformance — the rejection half of "exactly the selected
+   subset": statements exercising features a dialect did not select must be
+   rejected by that dialect's parser with a proper [parse_error] carrying a
+   non-empty expected set (the corpus is constructed so rejection happens in
+   the parser, not the scanner — unselected keywords simply lex as
+   identifiers). The same statements must be accepted — or at least lex — in
+   the full dialect, confirming the rejection is the tailoring's doing. *)
+
+let check_bool = Alcotest.(check bool)
+
+let generated =
+  lazy
+    (List.map
+       (fun (d : Dialects.Dialect.t) ->
+         match Core.generate_dialect d with
+         | Ok g -> (d.Dialects.Dialect.name, g)
+         | Error e ->
+           Alcotest.failf "generate %s: %a" d.Dialects.Dialect.name Core.pp_error e)
+       Dialects.Dialect.all)
+
+let parser_of name = List.assoc name (Lazy.force generated)
+
+let test_unselected_rejected (name, statements) () =
+  let g = parser_of name in
+  List.iter
+    (fun sql ->
+      match Core.parse_cst g sql with
+      | Ok _ ->
+        Alcotest.failf "%s must reject unselected-feature statement: %s" name
+          sql
+      | Error (Core.Parse_error e) ->
+        check_bool
+          (Printf.sprintf "%s: non-empty expected set for: %s" name sql)
+          true
+          (e.Parser_gen.Engine.expected <> [])
+      | Error other ->
+        Alcotest.failf
+          "%s: expected a parse error (not %a) for: %s — the corpus must \
+           fail in the parser, not the scanner"
+          name Core.pp_error other sql)
+    statements
+
+let test_unselected_statements_lex_everywhere () =
+  (* The corpus promise: rejection is syntactic. Every statement scans
+     cleanly in its target dialect. *)
+  List.iter
+    (fun (name, statements) ->
+      let g = parser_of name in
+      List.iter
+        (fun sql ->
+          check_bool
+            (Printf.sprintf "%s: lexes cleanly: %s" name sql)
+            true
+            (Result.is_ok (Core.scan g sql)))
+        statements)
+    Corpus.unselected
+
+let test_error_position_is_meaningful () =
+  (* The furthest-failure position points into the statement, not at its
+     start: the prefix up to the unselected construct parses. *)
+  let g = parser_of "scql" in
+  match Core.parse_cst g "SELECT balance FROM purse GROUP BY balance" with
+  | Error (Core.Parse_error e) ->
+    check_bool "error past the FROM clause" true
+      (e.Parser_gen.Engine.pos.Lexing_gen.Token.offset > 20)
+  | Ok _ -> Alcotest.fail "scql must reject GROUP BY"
+  | Error other -> Alcotest.failf "expected a parse error, got %a" Core.pp_error other
+
+let suite =
+  List.map
+    (fun ((name, statements) as entry) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s rejects %d unselected-feature statements" name
+           (List.length statements))
+        `Quick
+        (test_unselected_rejected entry))
+    Corpus.unselected
+  @ [
+      Alcotest.test_case "unselected corpus lexes in its dialect" `Quick
+        test_unselected_statements_lex_everywhere;
+      Alcotest.test_case "rejection position is inside the statement" `Quick
+        test_error_position_is_meaningful;
+    ]
