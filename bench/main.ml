@@ -156,13 +156,13 @@ let report_e14 () =
     "conflicts" "error" "warn" "info" "lint-time";
   List.iter
     (fun ((d : Dialects.Dialect.t), (g : Core.generated)) ->
-      let t0 = Sys.time () in
+      let t0 = Unix.gettimeofday () in
       let diags =
         Lint.run ~model:Sql.Model.model ~config:g.Core.config
           ~fragments:Sql.Model.fragment_rules ~tokens:g.Core.tokens
           g.Core.grammar
       in
-      let elapsed = Sys.time () -. t0 in
+      let elapsed = Unix.gettimeofday () -. t0 in
       let conflicts =
         List.length
           (List.filter
@@ -188,20 +188,24 @@ let report_e14 () =
 (* ------------------------------------------------------------------ *)
 
 (* Average seconds per run, with the repetition count adapted so that each
-   series takes a measurable but bounded slice of wall time. *)
+   series takes a measurable but bounded slice of wall time. Wall-clock
+   ([Unix.gettimeofday]), not [Sys.time]: processor time misstates
+   throughput and sums over workers for the domain-sharded series. *)
+let now () = Unix.gettimeofday ()
+
 let time_avg f =
   let once () =
-    let t0 = Sys.time () in
+    let t0 = now () in
     ignore (Sys.opaque_identity (f ()));
-    Sys.time () -. t0
+    now () -. t0
   in
   let first = once () in
   let reps = max 3 (min 500 (int_of_float (0.2 /. max 1e-6 first))) in
-  let t0 = Sys.time () in
+  let t0 = now () in
   for _ = 1 to reps do
     ignore (Sys.opaque_identity (f ()))
   done;
-  (Sys.time () -. t0) /. float reps
+  (now () -. t0) /. float reps
 
 let e15_cache_rows () =
   List.map
@@ -306,6 +310,178 @@ let report_e15 () =
     batch_rows;
   write_e15_json cache_rows batch_rows;
   pf "(wrote BENCH_e15.json)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E16 — interned parse pipeline: the integer-id engine vs. the        *)
+(* retained string-path Reference engine (the E15 batched baseline),   *)
+(* and domain-sharded batch scaling. Emits BENCH_e16.json.             *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched stmts/s recorded for `embedded` in EXPERIMENTS.md E15, on
+   the string-path engine this PR replaced; kept in the JSON artifact so
+   the speedup target is auditable. *)
+let e15_recorded_baseline = 52_763.
+
+type e16_row = {
+  e16_dialect : string;
+  e16_statements : int;
+  e16_tokens : int;
+  e16_ref_sps : float;          (* reference pipeline, statements/s *)
+  e16_ref_tps : float;          (* reference pipeline, tokens/s *)
+  e16_int_sps : float;          (* interned single-domain, statements/s *)
+  e16_int_tps : float;          (* interned single-domain, tokens/s *)
+  e16_shard_statements : int;   (* size of the sharding workload *)
+  e16_domains : (int * float * float) list; (* domains, stmts/s, tokens/s *)
+}
+
+let e16_workload ~smoke (g : Core.generated) (d : Dialects.Dialect.t) =
+  let corpus = Workloads.queries_for d.Dialects.Dialect.name in
+  if smoke then corpus
+  else Service.Sentences.sample ~count:300 ~seed:1609 g @ corpus @ corpus
+
+let e16_token_total g statements =
+  List.fold_left
+    (fun acc sql ->
+      match Core.scan_tokens g sql with
+      | Ok toks -> acc + Array.length toks - 1
+      | Error e -> Fmt.failwith "scan %S: %a" sql Core.pp_error e)
+    0 statements
+
+let e16_row ~smoke ~domain_counts name =
+  let d, g = dialect name in
+  let statements = e16_workload ~smoke g d in
+  let n = List.length statements in
+  let token_total = e16_token_total g statements in
+  (* Baseline: the pre-interning batched pipeline — token lists through the
+     string-keyed Reference engine, exactly what E15's session measured. *)
+  let refp =
+    match Parser_gen.Reference.generate g.Core.grammar with
+    | Ok p -> p
+    | Error e -> Fmt.failwith "%a" Parser_gen.Engine.pp_gen_error e
+  in
+  let ref_time =
+    time_avg (fun () ->
+        List.iter
+          (fun sql ->
+            match Core.scan g sql with
+            | Ok toks ->
+              ignore (Sys.opaque_identity (Parser_gen.Reference.parse refp toks))
+            | Error e -> Fmt.failwith "%a" Core.pp_error e)
+          statements)
+  in
+  let session = Service.Session.create g in
+  let int_time =
+    time_avg (fun () -> Service.Session.parse_batch session statements)
+  in
+  (* The scaling series runs on a multiplied batch: a shard must be large
+     enough that parsing dominates the fixed Domain.spawn cost, as it does
+     under sustained traffic. *)
+  let shard_statements =
+    if smoke then statements
+    else List.concat (List.init 8 (fun _ -> statements))
+  in
+  let shard_n = List.length shard_statements in
+  let shard_tokens = token_total * (shard_n / n) in
+  let domain_rows =
+    List.map
+      (fun domains ->
+        let t =
+          time_avg (fun () ->
+              Service.Session.parse_batch ~domains session shard_statements)
+        in
+        (domains, float shard_n /. t, float shard_tokens /. t))
+      domain_counts
+  in
+  {
+    e16_dialect = name;
+    e16_statements = n;
+    e16_tokens = token_total;
+    e16_ref_sps = float n /. ref_time;
+    e16_ref_tps = float token_total /. ref_time;
+    e16_int_sps = float n /. int_time;
+    e16_int_tps = float token_total /. int_time;
+    e16_shard_statements = shard_n;
+    e16_domains = domain_rows;
+  }
+
+let write_e16_json rows =
+  let oc = open_out "BENCH_e16.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"e16\",\n";
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"e15_recorded_baseline_stmts_per_s\": %.0f,\n" e15_recorded_baseline;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      let shard_base =
+        match row.e16_domains with (1, _, tps) :: _ -> tps | _ -> 0.
+      in
+      let scaling =
+        List.map
+          (fun (k, sps, tps) ->
+            Printf.sprintf
+              "{\"domains\": %d, \"stmts_per_s\": %.0f, \
+               \"tokens_per_s\": %.0f, \"scaling_vs_1_domain\": %.2f}"
+              k sps tps
+              (if shard_base > 0. then tps /. shard_base else 0.))
+          row.e16_domains
+      in
+      p
+        "    {\"dialect\": %S, \"statements\": %d, \"tokens\": %d,\n\
+        \     \"reference_stmts_per_s\": %.0f, \"reference_tokens_per_s\": \
+         %.0f,\n\
+        \     \"interned_stmts_per_s\": %.0f, \"interned_tokens_per_s\": \
+         %.0f,\n\
+        \     \"speedup_tokens_vs_reference\": %.2f, \
+         \"speedup_stmts_vs_e15_recorded\": %.2f,\n\
+        \     \"sharded_statements\": %d,\n\
+        \     \"sharded\": [%s]}%s\n"
+        row.e16_dialect row.e16_statements row.e16_tokens row.e16_ref_sps
+        row.e16_ref_tps row.e16_int_sps row.e16_int_tps
+        (if row.e16_ref_tps > 0. then row.e16_int_tps /. row.e16_ref_tps
+         else 0.)
+        (row.e16_int_sps /. e15_recorded_baseline)
+        row.e16_shard_statements
+        (String.concat ", " scaling)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let report_e16 ?(smoke = false) () =
+  pf "\n== E16: interned parse pipeline vs. string-path reference ==\n";
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let names = if smoke then [ "embedded" ] else [ "embedded"; "analytics" ] in
+  pf "(%d core(s) recommended by the runtime)\n"
+    (Domain.recommended_domain_count ());
+  let rows = List.map (e16_row ~smoke ~domain_counts) names in
+  pf "%-10s %6s %8s %14s %14s %9s\n" "dialect" "stmts" "tokens" "ref tok/s"
+    "interned tok/s" "speedup";
+  List.iter
+    (fun row ->
+      pf "%-10s %6d %8d %12.0f/s %12.0f/s %8.2fx\n" row.e16_dialect
+        row.e16_statements row.e16_tokens row.e16_ref_tps row.e16_int_tps
+        (if row.e16_ref_tps > 0. then row.e16_int_tps /. row.e16_ref_tps
+         else 0.))
+    rows;
+  pf "\n%-10s %8s %8s %14s %14s %9s\n" "dialect" "stmts" "domains" "stmts/s"
+    "tokens/s" "scaling";
+  List.iter
+    (fun row ->
+      let shard_base =
+        match row.e16_domains with (1, _, tps) :: _ -> tps | _ -> 0.
+      in
+      List.iter
+        (fun (k, sps, tps) ->
+          pf "%-10s %8d %8d %12.0f/s %12.0f/s %8.2fx\n" row.e16_dialect
+            row.e16_shard_statements k sps tps
+            (if shard_base > 0. then tps /. shard_base else 0.))
+        row.e16_domains)
+    rows;
+  if not smoke then begin
+    write_e16_json rows;
+    pf "(wrote BENCH_e16.json)\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Timed series (Bechamel)                                             *)
@@ -502,7 +678,13 @@ let () =
     report_e7_sweep ()
   | Some "e14" -> report_e14 ()
   | Some "e15" -> report_e15 ()
-  | Some other -> Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15)" other
+  | Some "e16" -> report_e16 ()
+  | Some "e16-smoke" ->
+    (* Reduced E16 wired into `dune runtest`: exercises the domain-sharded
+       batch path end-to-end without timing-dependent assertions. *)
+    report_e16 ~smoke:true ()
+  | Some other ->
+    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16)" other
   | None ->
     report_e1 ();
     report_e6 ();
@@ -510,6 +692,7 @@ let () =
     report_e7_sweep ();
     report_e14 ();
     report_e15 ();
+    report_e16 ();
     pf "\n== E8-E13: timed series ==\n";
     run_benchmarks
       (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

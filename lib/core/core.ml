@@ -30,10 +30,15 @@ let generate ?(label = "custom") config =
   let* out =
     Result.map_error (fun e -> Compose_error e) (Sql.Model.compose config)
   in
+  (* One interner spans scanner and parser, so the parser trusts the
+     [kind_id] stamped on every token without re-hashing kind strings. *)
+  let scanner = Lexing_gen.Scanner.create out.Compose.Composer.tokens in
   let* parser =
     Result.map_error
       (fun e -> Generation_error e)
-      (Parser_gen.Engine.generate out.Compose.Composer.grammar)
+      (Parser_gen.Engine.generate
+         ~interner:(Lexing_gen.Scanner.interner scanner)
+         out.Compose.Composer.grammar)
   in
   Ok
     {
@@ -41,7 +46,7 @@ let generate ?(label = "custom") config =
       config;
       grammar = out.Compose.Composer.grammar;
       tokens = out.Compose.Composer.tokens;
-      scanner = Lexing_gen.Scanner.create out.Compose.Composer.tokens;
+      scanner;
       parser;
       sequence = out.Compose.Composer.sequence;
     }
@@ -52,9 +57,16 @@ let generate_dialect (d : Dialects.Dialect.t) =
 let scan g sql =
   Result.map_error (fun e -> Lex_error e) (Lexing_gen.Scanner.scan g.scanner sql)
 
+let scan_tokens g sql =
+  Result.map_error
+    (fun e -> Lex_error e)
+    (Lexing_gen.Scanner.scan_tokens g.scanner sql)
+
 let parse_cst g sql =
-  let* tokens = scan g sql in
-  Result.map_error (fun e -> Parse_error e) (Parser_gen.Engine.parse g.parser tokens)
+  let* tokens = scan_tokens g sql in
+  Result.map_error
+    (fun e -> Parse_error e)
+    (Parser_gen.Engine.parse_tokens g.parser tokens)
 
 let parse_statement g sql =
   let* cst = parse_cst g sql in

@@ -44,6 +44,13 @@ val generate_dialect : Dialects.Dialect.t -> (generated, error) result
 val scan :
   generated -> string -> (Lexing_gen.Token.t list, error) result
 
+val scan_tokens :
+  generated -> string -> (Lexing_gen.Token.t array, error) result
+(** Array view of {!scan}: the scanner's native output, consumed without
+    conversion by {!Parser_gen.Engine.parse_tokens}. The array ends with
+    the [EOF] sentinel, so the statement's token count is
+    [Array.length tokens - 1]. *)
+
 val parse_cst : generated -> string -> (Parser_gen.Cst.t, error) result
 (** Scan and parse one statement to a concrete syntax tree. *)
 

@@ -1,0 +1,46 @@
+type t = {
+  names : string array;
+  ids : (string, int) Hashtbl.t;
+}
+
+let eof_name = "EOF"
+let eof_id = 0
+
+let build names =
+  let ids = Hashtbl.create (2 * (List.length names + 1)) in
+  let rev = ref [] in
+  let count = ref 0 in
+  let add n =
+    if not (Hashtbl.mem ids n) then begin
+      Hashtbl.add ids n !count;
+      rev := n :: !rev;
+      incr count
+    end
+  in
+  add eof_name;
+  List.iter add names;
+  { names = Array.of_list (List.rev !rev); ids }
+
+let of_names names = build names
+
+let id_opt t name = Hashtbl.find_opt t.ids name
+let mem t name = Hashtbl.mem t.ids name
+
+let stamp_of t ~kind id =
+  if
+    id >= 0
+    && id < Array.length t.names
+    && (t.names.(id) == kind || String.equal t.names.(id) kind)
+  then id
+  else match Hashtbl.find_opt t.ids kind with Some i -> i | None -> -1
+
+let extend t names =
+  if List.for_all (mem t) names then t
+  else build (Array.to_list t.names @ names)
+
+let name t id =
+  if id < 0 || id >= Array.length t.names then
+    invalid_arg (Printf.sprintf "Interner.name: id %d out of range" id)
+  else t.names.(id)
+
+let size t = Array.length t.names

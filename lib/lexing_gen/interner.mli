@@ -1,0 +1,46 @@
+(** Dense symbol interning.
+
+    The composed front-end is compiled down to integers at generation time:
+    every terminal kind (and, inside the parser engine, every non-terminal)
+    receives a dense id, so the hot path compares and indexes [int]s instead
+    of hashing strings. An interner is immutable once built, which makes it
+    safe to share across domains; string names survive only at the edges
+    (CST labels, error messages), recovered through {!name}.
+
+    The EOF sentinel is always interned and always receives id {!eof_id},
+    so every interner agrees on it. *)
+
+type t
+
+val eof_id : int
+(** Id of the [EOF] terminal in every interner (0). *)
+
+val of_names : string list -> t
+(** [of_names names] assigns dense ids in first-occurrence order (duplicates
+    ignored). ["EOF"] is interned first — explicitly listed or not — so it
+    gets {!eof_id}. *)
+
+val extend : t -> string list -> t
+(** [extend t names] is an interner covering [t]'s symbols plus any of
+    [names] not already present, appended in order. Existing ids are
+    preserved, so tokens stamped against [t] remain valid. Returns [t]
+    itself when nothing is new. *)
+
+val id_opt : t -> string -> int option
+(** The id of a name, or [None] when the name was never interned. *)
+
+val stamp_of : t -> kind:string -> int -> int
+(** [stamp_of t ~kind id] returns a trusted id for a token stamped
+    [(kind, id)]: [id] itself when it is [t]'s id for [kind] (the physical
+    fast path for tokens produced by a scanner sharing [t]), the id of
+    [kind] in [t] when the token was stamped by a foreign interner (or not
+    stamped at all, {!Token.no_id}), and [-1] when [kind] is unknown to
+    [t] — a kind that matches no terminal and belongs to no prediction
+    set. *)
+
+val mem : t -> string -> bool
+val name : t -> int -> string
+(** The name behind an id. Raises [Invalid_argument] when out of range. *)
+
+val size : t -> int
+(** Number of interned symbols; valid ids are [0 .. size - 1]. *)

@@ -1,25 +1,66 @@
-module String_map = Map.Make (String)
-
-type t = {
-  keywords : string String_map.t;  (* lowercase spelling -> terminal name *)
-  puncts : (string * string) list; (* longest first: literal, terminal name *)
-  ident_kind : string option;
-  integer_kind : string option;
-  decimal_kind : string option;
-  string_kind : string option;
-  quoted_ident_kind : string option;
+type kinded = {
+  k_name : string;
+  k_id : int;
 }
 
-let create set =
-  let class_kind cls =
-    List.assoc_opt cls (Spec.classes set)
+type t = {
+  interner : Interner.t;
+  keywords : (string, kinded) Hashtbl.t; (* lowercase spelling -> kind *)
+  keyword_count : int;
+  (* Punct dispatch: literals bucketed by first character, longest first
+     within a bucket, so matching probes only literals that can start here
+     instead of scanning the whole punct list. *)
+  puncts : (string * kinded) list array; (* 256 buckets *)
+  punct_count : int;
+  ident_kind : kinded option;
+  integer_kind : kinded option;
+  decimal_kind : kinded option;
+  string_kind : kinded option;
+  quoted_ident_kind : kinded option;
+}
+
+let create ?interner set =
+  let interner =
+    match interner with
+    | Some i ->
+      List.iter
+        (fun (name, _) ->
+          if not (Interner.mem i name) then
+            invalid_arg
+              (Printf.sprintf
+                 "Scanner.create: terminal %S is not covered by the supplied \
+                  interner"
+                 name))
+        set;
+      i
+    | None -> Interner.of_names (List.map fst set)
   in
+  let kinded name =
+    match Interner.id_opt interner name with
+    | Some k_id -> { k_name = name; k_id }
+    | None -> assert false (* covered above / by construction *)
+  in
+  let kws = Spec.keywords set in
+  let keywords = Hashtbl.create (2 * List.length kws + 1) in
+  List.iter
+    (fun (spelling, name) -> Hashtbl.replace keywords spelling (kinded name))
+    kws;
+  let punct_list = Spec.puncts set in
+  let puncts = Array.make 256 [] in
+  (* Reversed insertion keeps each bucket in [Spec.puncts] order, which is
+     longest-literal first — the order longest-match needs. *)
+  List.iter
+    (fun (literal, name) ->
+      let c = Char.code literal.[0] in
+      puncts.(c) <- (literal, kinded name) :: puncts.(c))
+    (List.rev punct_list);
+  let class_kind cls = Option.map kinded (List.assoc_opt cls (Spec.classes set)) in
   {
-    keywords =
-      List.fold_left
-        (fun m (spelling, name) -> String_map.add spelling name m)
-        String_map.empty (Spec.keywords set);
-    puncts = Spec.puncts set;
+    interner;
+    keywords;
+    keyword_count = Hashtbl.length keywords;
+    puncts;
+    punct_count = List.length punct_list;
     ident_kind = class_kind Spec.Identifier;
     integer_kind = class_kind Spec.Unsigned_integer;
     decimal_kind = class_kind Spec.Decimal_number;
@@ -27,8 +68,9 @@ let create set =
     quoted_ident_kind = class_kind Spec.Quoted_identifier;
   }
 
-let keyword_count t = String_map.cardinal t.keywords
-let punct_count t = List.length t.puncts
+let interner t = t.interner
+let keyword_count t = t.keyword_count
+let punct_count t = t.punct_count
 
 type error = {
   pos : Token.position;
@@ -44,7 +86,7 @@ let is_ident_char c = is_ident_start c || is_digit c
 
 exception Lex_error of error
 
-let scan t input =
+let scan_tokens t input =
   let n = String.length input in
   let line = ref 1 and bol = ref 0 in
   let position offset =
@@ -55,8 +97,24 @@ let scan t input =
     incr line;
     bol := offset + 1
   in
-  let tokens = ref [] in
-  let emit kind text offset = tokens := { Token.kind; text; pos = position offset } :: !tokens in
+  (* Growable token buffer: tokens are produced (and later consumed) as an
+     array, so the stream is walked exactly once. *)
+  let dummy = Token.eof { Token.line = 0; column = 0; offset = 0 } in
+  let buf = ref (Array.make 64 dummy) in
+  let len = ref 0 in
+  let push tok =
+    let cap = Array.length !buf in
+    if !len = cap then begin
+      let bigger = Array.make (2 * cap) dummy in
+      Array.blit !buf 0 bigger 0 cap;
+      buf := bigger
+    end;
+    !buf.(!len) <- tok;
+    incr len
+  in
+  let emit (k : kinded) text offset =
+    push { Token.kind = k.k_name; kind_id = k.k_id; text; pos = position offset }
+  in
   let rec skip_block_comment i start =
     if i + 1 >= n then fail start "unterminated block comment"
     else if input.[i] = '*' && input.[i + 1] = '/' then i + 2
@@ -69,11 +127,11 @@ let scan t input =
     let j = ref i in
     while !j < n && is_ident_char input.[!j] do incr j done;
     let text = String.sub input i (!j - i) in
-    (match String_map.find_opt (String.lowercase_ascii text) t.keywords with
-     | Some kind -> emit kind text i
+    (match Hashtbl.find_opt t.keywords (String.lowercase_ascii text) with
+     | Some k -> emit k text i
      | None -> (
        match t.ident_kind with
-       | Some kind -> emit kind text i
+       | Some k -> emit k text i
        | None -> fail i (Printf.sprintf "unexpected word %S (identifiers not enabled)" text)));
     !j
   in
@@ -100,17 +158,17 @@ let scan t input =
     end;
     let text = String.sub input i (!j - i) in
     (match !decimal, t.decimal_kind, t.integer_kind with
-     | true, Some kind, _ -> emit kind text i
+     | true, Some k, _ -> emit k text i
      | true, None, _ -> fail i "decimal literals not enabled"
-     | false, _, Some kind -> emit kind text i
-     | false, Some kind, None -> emit kind text i
+     | false, _, Some k -> emit k text i
+     | false, Some k, None -> emit k text i
      | false, None, None -> fail i "numeric literals not enabled");
     !j
   in
   let scan_quoted i ~quote ~kind_opt ~what =
     match kind_opt with
     | None -> fail i (what ^ " not enabled")
-    | Some kind ->
+    | Some k ->
       let buf = Buffer.create 16 in
       let rec go j =
         if j >= n then fail i ("unterminated " ^ what)
@@ -120,7 +178,7 @@ let scan t input =
             go (j + 2)
           end
           else begin
-            emit kind (Buffer.contents buf) i;
+            emit k (Buffer.contents buf) i;
             j + 1
           end
         else begin
@@ -131,19 +189,25 @@ let scan t input =
       in
       go (i + 1)
   in
+  (* Literal match at [i] without allocating a substring. *)
+  let literal_at literal i =
+    let len = String.length literal in
+    i + len <= n
+    &&
+    let rec go k = k >= len || (input.[i + k] = literal.[k] && go (k + 1)) in
+    go 0
+  in
   let scan_punct i =
-    let matching =
-      List.find_opt
-        (fun (literal, _) ->
-          let len = String.length literal in
-          i + len <= n && String.equal (String.sub input i len) literal)
-        t.puncts
+    let rec probe = function
+      | [] -> fail i (Printf.sprintf "unexpected character %C" input.[i])
+      | (literal, k) :: rest ->
+        if literal_at literal i then begin
+          emit k literal i;
+          i + String.length literal
+        end
+        else probe rest
     in
-    match matching with
-    | Some (literal, kind) ->
-      emit kind literal i;
-      i + String.length literal
-    | None -> fail i (Printf.sprintf "unexpected character %C" input.[i])
+    probe t.puncts.(Char.code input.[i])
   in
   let rec loop i =
     if i >= n then ()
@@ -176,6 +240,8 @@ let scan t input =
   in
   match loop 0 with
   | () ->
-    let eof = Token.eof (position n) in
-    Ok (List.rev (eof :: !tokens))
+    push (Token.eof (position n));
+    Ok (Array.sub !buf 0 !len)
   | exception Lex_error e -> Error e
+
+let scan t input = Result.map Array.to_list (scan_tokens t input)

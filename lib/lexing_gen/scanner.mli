@@ -5,11 +5,25 @@
     ([-- ...] to end of line and [/* ... */]). Keywords are matched
     case-insensitively and only when declared in the set: in a dialect whose
     selected features never declare [WINDOW], the word [window] scans as a
-    plain identifier. *)
+    plain identifier.
+
+    The compiled scanner is interned: keyword lookup goes through a
+    pre-sized hash table, punctuation dispatch through a table indexed by
+    first character (longest match within the bucket), and every emitted
+    token carries the dense [kind_id] of its terminal in the scanner's
+    {!Interner}. Pass [?interner] to share one interner between the scanner
+    and the generated parser (as {!Core.generate} does), so token ids can be
+    trusted without re-hashing kind strings. A scanner is immutable after
+    [create] and safe to share across domains. *)
 
 type t
 
-val create : Spec.set -> t
+val create : ?interner:Interner.t -> Spec.set -> t
+(** Compile a token set. When [interner] is given it must cover every
+    terminal name of the set (raises [Invalid_argument] otherwise);
+    when omitted a fresh interner over the set's terminals is built. *)
+
+val interner : t -> Interner.t
 
 type error = {
   pos : Token.position;
@@ -18,9 +32,14 @@ type error = {
 
 val pp_error : error Fmt.t
 
+val scan_tokens : t -> string -> (Token.t array, error) result
+(** Tokenize the whole input in one pass. On success the array always ends
+    with the [EOF] token, so the statement's token count is
+    [Array.length tokens - 1]. *)
+
 val scan : t -> string -> (Token.t list, error) result
-(** Tokenize the whole input. On success the token list always ends with the
-    [EOF] token. *)
+(** List view of {!scan_tokens}, kept for call sites that consume tokens
+    incrementally. *)
 
 val keyword_count : t -> int
 val punct_count : t -> int

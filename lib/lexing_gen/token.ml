@@ -6,12 +6,15 @@ type position = {
 
 type t = {
   kind : string;
+  kind_id : int;
   text : string;
   pos : position;
 }
 
 let eof_kind = "EOF"
-let eof pos = { kind = eof_kind; text = ""; pos }
+let eof_id = Interner.eof_id
+let no_id = -1
+let eof pos = { kind = eof_kind; kind_id = eof_id; text = ""; pos }
 
 let pp_position ppf p = Fmt.pf ppf "%d:%d" p.line p.column
 

@@ -1,49 +1,94 @@
 module String_set = Grammar.Analysis.String_set
-module String_map = Grammar.Analysis.String_map
+module Interner = Lexing_gen.Interner
 
-(* Internal representation: the grammar with a prediction record attached to
-   every choice point, so the parser does set lookups only. *)
+type gen_error = Engine_types.gen_error =
+  | Grammar_problems of Grammar.Cfg.problem list
+  | Left_recursion of string list
+
+let pp_gen_error = Engine_types.pp_gen_error
+
+type parse_error = Engine_types.parse_error = {
+  pos : Lexing_gen.Token.position;
+  found : string;
+  expected : string list;
+}
+
+let pp_parse_error = Engine_types.pp_parse_error
+
+(* FIRST sets as bitsets over dense terminal ids: membership is a shift and
+   a mask instead of a balanced-tree descent over string comparisons. *)
+type bitset = Bytes.t
+
+let bitset_make n_terms : bitset = Bytes.make ((n_terms + 7) lsr 3) '\000'
+
+let bitset_add (b : bitset) id =
+  let byte = id lsr 3 in
+  Bytes.unsafe_set b byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b byte) lor (1 lsl (id land 7))))
+
+let bitset_mem (b : bitset) id =
+  id >= 0
+  && Char.code (Bytes.unsafe_get b (id lsr 3)) land (1 lsl (id land 7)) <> 0
+
+let bitset_union_into ~into:(dst : bitset) (src : bitset) =
+  for byte = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst byte)
+         lor Char.code (Bytes.unsafe_get src byte)))
+  done
+
+(* Internal representation: the grammar compiled down to integers, with a
+   prediction record attached to every choice point. Terminal occurrences
+   are interner ids, non-terminal occurrences index the [rules] array. *)
 type pred = {
-  first : String_set.t;
+  first : bitset;
   nullable : bool;
 }
 
 type iterm =
-  | ITerm of string
-  | INonterm of string
+  | ITerm of int
+  | INonterm of int
   | IOpt of iseq * pred
   | IStar of iseq * pred
   | IPlus of iseq * pred
-  | IGroup of (iseq * pred) list
+  | IGroup of (iseq * pred) array
 
-and iseq = iterm list
+and iseq = iterm array
 
 type t = {
   grammar : Grammar.Cfg.t;
+  interner : Interner.t;            (* terminal kinds, shared with the scanner *)
+  nt_names : string array;          (* non-terminal id -> name (CST labels) *)
+  nt_ids : (string, int) Hashtbl.t;
   start : string;
-  rules : (iseq * pred) array String_map.t;
+  rules : (iseq * pred) array array; (* non-terminal id -> alternatives *)
   memoize : bool;
   prune : bool;
 }
 
-type gen_error =
-  | Grammar_problems of Grammar.Cfg.problem list
-  | Left_recursion of string list
-
-let pp_gen_error ppf = function
-  | Grammar_problems ps ->
-    Fmt.pf ppf "@[<v>grammar not well-formed:@ %a@]"
-      Fmt.(list ~sep:cut Grammar.Cfg.pp_problem)
-      ps
-  | Left_recursion nts ->
-    Fmt.pf ppf "left-recursive non-terminals: %a"
-      Fmt.(list ~sep:comma string)
-      nts
-
 let grammar t = t.grammar
 let start_symbol t = t.start
+let interner t = t.interner
 
-let generate ?(memoize = true) ?(prune = true) g =
+(* Every terminal occurring anywhere in the grammar, in occurrence order. *)
+let grammar_terminals (g : Grammar.Cfg.t) =
+  let acc = ref [] in
+  let rec term = function
+    | Grammar.Production.Sym (Grammar.Symbol.Terminal n) -> acc := n :: !acc
+    | Grammar.Production.Sym (Grammar.Symbol.Nonterminal _) -> ()
+    | Grammar.Production.Opt ts
+    | Grammar.Production.Star ts
+    | Grammar.Production.Plus ts ->
+      List.iter term ts
+    | Grammar.Production.Group alts -> List.iter (List.iter term) alts
+  in
+  List.iter
+    (fun (r : Grammar.Production.t) -> List.iter (List.iter term) r.alts)
+    g.rules;
+  List.rev !acc
+
+let generate ?(memoize = true) ?(prune = true) ?interner g =
   let problems =
     (* Unreachable rules are tolerated in generated parsers (a fragment may
        define helpers only some alternatives use); undefined references and a
@@ -61,69 +106,115 @@ let generate ?(memoize = true) ?(prune = true) g =
     | _ :: _ as nts -> Error (Left_recursion nts)
     | [] ->
       let an = Grammar.Analysis.compute g in
+      (* Extending the scanner's interner preserves its ids, so tokens it
+         stamps remain trusted; terminals the token set lacks (none in a
+         coherent composition) are appended. *)
+      let interner =
+        match interner with
+        | Some i -> Interner.extend i (grammar_terminals g)
+        | None -> Interner.of_names (grammar_terminals g)
+      in
+      let n_terms = Interner.size interner in
+      let term_id name =
+        match Interner.id_opt interner name with
+        | Some id -> id
+        | None -> assert false (* interner covers grammar_terminals *)
+      in
+      let nt_names =
+        Array.of_list
+          (List.map (fun (r : Grammar.Production.t) -> r.lhs) g.rules)
+      in
+      let nt_ids = Hashtbl.create (2 * Array.length nt_names) in
+      Array.iteri (fun id name -> Hashtbl.replace nt_ids name id) nt_names;
       let pred_of_seq seq =
-        {
-          first = Grammar.Analysis.seq_first an g seq;
-          nullable = Grammar.Analysis.seq_nullable an g seq;
-        }
+        let first = bitset_make n_terms in
+        String_set.iter
+          (fun name -> bitset_add first (term_id name))
+          (Grammar.Analysis.seq_first an g seq);
+        { first; nullable = Grammar.Analysis.seq_nullable an g seq }
       in
       let rec compile_term = function
-        | Grammar.Production.Sym (Grammar.Symbol.Terminal n) -> ITerm n
-        | Grammar.Production.Sym (Grammar.Symbol.Nonterminal n) -> INonterm n
+        | Grammar.Production.Sym (Grammar.Symbol.Terminal n) -> ITerm (term_id n)
+        | Grammar.Production.Sym (Grammar.Symbol.Nonterminal n) ->
+          INonterm (Hashtbl.find nt_ids n) (* defined: checked above *)
         | Grammar.Production.Opt ts -> IOpt (compile_seq ts, pred_of_seq ts)
         | Grammar.Production.Star ts -> IStar (compile_seq ts, pred_of_seq ts)
         | Grammar.Production.Plus ts -> IPlus (compile_seq ts, pred_of_seq ts)
         | Grammar.Production.Group alts ->
-          IGroup (List.map (fun a -> (compile_seq a, pred_of_seq a)) alts)
-      and compile_seq ts = List.map compile_term ts in
+          IGroup
+            (Array.of_list
+               (List.map (fun a -> (compile_seq a, pred_of_seq a)) alts))
+      and compile_seq ts = Array.of_list (List.map compile_term ts) in
       let rules =
-        List.fold_left
-          (fun m (r : Grammar.Production.t) ->
-            let alts =
-              Array.of_list
-                (List.map (fun a -> (compile_seq a, pred_of_seq a)) r.alts)
-            in
-            String_map.add r.lhs alts m)
-          String_map.empty g.rules
+        Array.of_list
+          (List.map
+             (fun (r : Grammar.Production.t) ->
+               Array.of_list
+                 (List.map (fun a -> (compile_seq a, pred_of_seq a)) r.alts))
+             g.rules)
       in
-      Ok { grammar = g; start = g.start; rules; memoize; prune }
+      Ok { grammar = g; interner; nt_names; nt_ids; start = g.start; rules;
+           memoize; prune }
 
-type parse_error = {
-  pos : Lexing_gen.Token.position;
-  found : string;
-  expected : string list;
-}
+(* The memo is a flat array indexed by [nt_id * (n_tokens + 1) + pos]. A
+   shared physical sentinel marks empty slots, so a legitimately empty
+   result list is still a hit. The array is domain-local scratch, reused
+   across parses (grown when a statement needs more slots, cleared with a
+   single [Array.fill]): steady-state parsing allocates nothing for
+   memoization. Domain-locality keeps the sharded batch path safe — each
+   worker clears and fills only its own arena. *)
+let memo_unset : (int * Cst.t list) list = [ (min_int, []) ]
 
-let pp_parse_error ppf e =
-  Fmt.pf ppf "parse error at %a: found %s, expected %a"
-    Lexing_gen.Token.pp_position e.pos e.found
-    Fmt.(list ~sep:(any " | ") string)
-    e.expected
+let memo_arena : (int * Cst.t list) list array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
 
-let parse ?start t token_list =
-  let toks = Array.of_list token_list in
+let acquire_memo need =
+  let arena = Domain.DLS.get memo_arena in
+  if Array.length !arena < need then arena := Array.make need memo_unset
+  else Array.fill !arena 0 need memo_unset;
+  !arena
+
+let parse_tokens ?start t toks =
   let n = Array.length toks in
-  let kind i =
+  let n_terms = Interner.size t.interner in
+  (* Token kinds resolved to engine ids once, at the boundary: tokens
+     stamped by the shared scanner pass a physical-equality check; foreign
+     or unstamped tokens are re-interned; unknown kinds become [-1], which
+     matches no terminal and belongs to no bitset. *)
+  let tids =
+    Array.map
+      (fun tok ->
+        Interner.stamp_of t.interner ~kind:tok.Lexing_gen.Token.kind
+          tok.Lexing_gen.Token.kind_id)
+      toks
+  in
+  let tid i = if i < n then Array.unsafe_get tids i else Interner.eof_id in
+  let kind_name i =
     if i < n then toks.(i).Lexing_gen.Token.kind else Lexing_gen.Token.eof_kind
   in
-  (* Furthest-failure tracking for error reporting. *)
+  (* Furthest-failure tracking for error reporting: expected terminals are
+     accumulated as a bitset and rendered back through the interner only
+     when the parse actually fails. *)
   let best_pos = ref (-1) in
-  let best_expected = ref String_set.empty in
-  let expect i what =
+  let best_expected = bitset_make n_terms in
+  let advance_to i =
     if i > !best_pos then begin
       best_pos := i;
-      best_expected := what
+      Bytes.fill best_expected 0 (Bytes.length best_expected) '\000';
+      true
     end
-    else if i = !best_pos then
-      best_expected := String_set.union !best_expected what
+    else i = !best_pos
   in
-  let start = Option.value ~default:t.start start in
+  let expect_one i id = if advance_to i then bitset_add best_expected id in
+  let expect_set i set =
+    if advance_to i then bitset_union_into ~into:best_expected set
+  in
   (* With pruning disabled (ablation), every alternative is attempted. *)
   let enter_nullable (pred : pred) i =
-    (not t.prune) || pred.nullable || String_set.mem (kind i) pred.first
+    (not t.prune) || pred.nullable || bitset_mem pred.first (tid i)
   in
   let enter_strict (pred : pred) i =
-    (not t.prune) || String_set.mem (kind i) pred.first
+    (not t.prune) || bitset_mem pred.first (tid i)
   in
   (* Memoized complete-results parsing. For each (non-terminal, position) the
      full ordered set of derivations is computed once; since a continuation's
@@ -132,23 +223,27 @@ let parse ?start t token_list =
      full-backtracking semantics while avoiding the exponential re-parsing
      that naive backtracking exhibits on nested parenthesized constructs.
      Left recursion is rejected at generation time, so the memo computation
-     never re-enters its own key. *)
-  let memo : (string * int, (int * Cst.t list) list) Hashtbl.t =
-    Hashtbl.create 512
+     never re-enters its own key. The memo is a flat array indexed by
+     [nt_id * (n + 1) + pos]; a shared sentinel marks empty slots so that a
+     legitimately empty result list is still a hit. *)
+  let stride = n + 1 in
+  let memo =
+    if t.memoize then acquire_memo (Array.length t.rules * stride)
+    else [||]
   in
-  let rec p_seq seq i acc (k : int -> Cst.t list -> Cst.t option) =
-    match seq with
-    | [] -> k i acc
-    | term :: rest -> p_term term i acc (fun j acc -> p_seq rest j acc k)
+  let rec p_seq seq si i acc (k : int -> Cst.t list -> Cst.t option) =
+    if si = Array.length seq then k i acc
+    else p_term (Array.unsafe_get seq si) i acc (fun j acc -> p_seq seq (si + 1) j acc k)
   and p_term term i acc k =
     match term with
-    | ITerm name ->
-      if String.equal (kind i) name then k (i + 1) (Cst.Leaf toks.(i) :: acc)
+    | ITerm id ->
+      if tid i = id && i < n then k (i + 1) (Cst.Leaf toks.(i) :: acc)
       else begin
-        expect i (String_set.singleton name);
+        expect_one i id;
         None
       end
-    | INonterm name ->
+    | INonterm nid ->
+      let name = Array.unsafe_get t.nt_names nid in
       let rec try_results = function
         | [] -> None
         | (j, children) :: rest -> (
@@ -156,85 +251,116 @@ let parse ?start t token_list =
           | Some _ as r -> r
           | None -> try_results rest)
       in
-      try_results (nonterm_results name i)
+      try_results (nonterm_results nid i)
     | IOpt (s, pred) ->
       if enter_strict pred i then (
-        match p_seq s i acc k with
+        match p_seq s 0 i acc k with
         | Some _ as r -> r
         | None -> k i acc)
       else k i acc
     | IStar (s, pred) -> p_star s pred i acc k
-    | IPlus (s, pred) -> p_seq s i acc (fun j acc -> p_star s pred j acc k)
+    | IPlus (s, pred) -> p_seq s 0 i acc (fun j acc -> p_star s pred j acc k)
     | IGroup alts ->
-      let rec go = function
-        | [] -> None
-        | (s, pred) :: rest ->
+      let len = Array.length alts in
+      let rec go a =
+        if a = len then None
+        else
+          let s, pred = Array.unsafe_get alts a in
           if enter_nullable pred i then (
-            match p_seq s i acc k with
+            match p_seq s 0 i acc k with
             | Some _ as r -> r
-            | None -> go rest)
+            | None -> go (a + 1))
           else begin
-            expect i pred.first;
-            go rest
+            expect_set i pred.first;
+            go (a + 1)
           end
       in
-      go alts
+      go 0
   and p_star s pred i acc k =
     if enter_strict pred i then (
       match
-        p_seq s i acc (fun j acc2 ->
+        p_seq s 0 i acc (fun j acc2 ->
             (* Guard against zero-progress iterations of a nullable body. *)
             if j > i then p_star s pred j acc2 k else k j acc2)
       with
       | Some _ as r -> r
       | None -> k i acc)
     else k i acc
-  and nonterm_results name i =
-    match (if t.memoize then Hashtbl.find_opt memo (name, i) else None) with
-    | Some results -> results
-    | None ->
-      let results = ref [] in
-      (match String_map.find_opt name t.rules with
-       | None -> ()
-       | Some alts ->
-         Array.iter
-           (fun (s, pred) ->
-             if enter_nullable pred i then
-               ignore
-                 (p_seq s i [] (fun j acc ->
-                      if not (List.exists (fun (j', _) -> j' = j) !results) then
-                        results := !results @ [ (j, List.rev acc) ];
-                      (* Refuse so the enumeration continues. *)
-                      None))
-             else expect i pred.first)
-           alts);
-      if t.memoize then Hashtbl.add memo (name, i) !results;
-      !results
+  and nonterm_results nid i =
+    if t.memoize && i <= n then begin
+      let idx = (nid * stride) + i in
+      let cached = Array.unsafe_get memo idx in
+      if cached != memo_unset then cached
+      else begin
+        let results = compute_results nid i in
+        Array.unsafe_set memo idx results;
+        results
+      end
+    end
+    else compute_results nid i
+  and compute_results nid i =
+    (* Priority order is preserved by consing onto a reversed accumulator
+       and reversing once at the end — the old [!results @ [...]] rebuilt
+       the whole list per accepted candidate. The end-position membership
+       probe scans only the distinct accepted ends (almost always 0 or 1),
+       comparing unboxed ints. *)
+    let results = ref [] in
+    let rec seen j = function
+      | [] -> false
+      | (j', _) :: rest -> j = j' || seen j rest
+    in
+    Array.iter
+      (fun (s, pred) ->
+        if enter_nullable pred i then
+          ignore
+            (p_seq s 0 i [] (fun j acc ->
+                 if not (seen j !results) then
+                   results := (j, List.rev acc) :: !results;
+                 (* Refuse so the enumeration continues. *)
+                 None))
+        else expect_set i pred.first)
+      (Array.unsafe_get t.rules nid);
+    List.rev !results
   in
-  let result =
-    p_term (INonterm start) 0 []
-      (fun i acc ->
-        if String.equal (kind i) Lexing_gen.Token.eof_kind then
-          match acc with [ tree ] -> Some tree | _ -> None
-        else begin
-          expect i (String_set.singleton Lexing_gen.Token.eof_kind);
-          None
-        end)
-  in
-  match result with
-  | Some tree -> Ok tree
-  | None ->
+  let fail_result () =
     let i = max 0 (min !best_pos (n - 1)) in
     let pos =
       if n = 0 then { Lexing_gen.Token.line = 1; column = 1; offset = 0 }
       else toks.(i).Lexing_gen.Token.pos
     in
+    let expected = ref [] in
+    for id = n_terms - 1 downto 0 do
+      if bitset_mem best_expected id then
+        expected := Interner.name t.interner id :: !expected
+    done;
     Error
       {
-        pos;
-        found = kind i;
-        expected = String_set.elements !best_expected;
+        Engine_types.pos;
+        found = kind_name i;
+        expected = List.sort_uniq compare !expected;
       }
+  in
+  let start_name = Option.value ~default:t.start start in
+  match Hashtbl.find_opt t.nt_ids start_name with
+  | None ->
+    (* No rule to enter: fail at the first token with an empty expected
+       set, as the string engine did for an unknown start symbol. *)
+    fail_result ()
+  | Some sid -> (
+    let result =
+      p_term (INonterm sid) 0 [] (fun i acc ->
+          if tid i = Interner.eof_id then
+            match acc with [ tree ] -> Some tree | _ -> None
+          else begin
+            expect_one i Interner.eof_id;
+            None
+          end)
+    in
+    match result with
+    | Some tree -> Ok tree
+    | None -> fail_result ())
+
+let parse ?start t token_list = parse_tokens ?start t (Array.of_list token_list)
 
 let accepts ?start t tokens =
   match parse ?start t tokens with Ok _ -> true | Error _ -> false

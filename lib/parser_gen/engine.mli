@@ -3,17 +3,29 @@
     This module stands in for the paper's use of the ANTLR parser generator:
     {!generate} turns a composed grammar into a parser value (rejecting
     grammars an LL(k) generator would reject — undefined non-terminals, left
-    recursion); {!parse} runs it over a token stream, producing a CST.
+    recursion); {!parse_tokens} runs it over a token stream, producing a CST.
 
     The execution strategy is recursive descent with ordered alternatives,
     FIRST-set prediction (the LL(k) fast path) and full backtracking as
     fallback (standing in for ANTLR's syntactic predicates). Optional and
     repeated groups match greedily but are backtracked into when the
-    continuation fails. *)
+    continuation fails.
+
+    The generated parser is {e interned}: every terminal kind and every
+    non-terminal of the composed grammar is compiled down to a dense
+    integer id at generation time. Terminal matching is an [int] compare
+    against the token's {!Lexing_gen.Token.kind_id}, FIRST-set prediction
+    is a bitset probe, rules live in an int-indexed array, and the
+    backtracking memo is a flat array indexed by
+    [nt_id * (n_tokens + 1) + pos]. String names survive only at the edges:
+    CST node labels and parse-error expected sets (rendered back through
+    the interner). A generated parser is immutable and safe to share
+    across domains; {!Reference} keeps the original string-keyed engine as
+    the executable specification the differential tests compare against. *)
 
 type t
 
-type gen_error =
+type gen_error = Engine_types.gen_error =
   | Grammar_problems of Grammar.Cfg.problem list
       (** the grammar is not well-formed (typically an incoherent feature
           selection) *)
@@ -23,9 +35,20 @@ type gen_error =
 val pp_gen_error : gen_error Fmt.t
 
 val generate :
-  ?memoize:bool -> ?prune:bool -> Grammar.Cfg.t -> (t, gen_error) result
+  ?memoize:bool ->
+  ?prune:bool ->
+  ?interner:Lexing_gen.Interner.t ->
+  Grammar.Cfg.t ->
+  (t, gen_error) result
 (** Compile a grammar to a parser. Prediction sets are precomputed here so
     that parsing does no grammar analysis.
+
+    [interner] is the scanner's terminal interner: passing it (as
+    {!Core.generate} does) makes the parser trust the [kind_id] stamped on
+    tokens without re-hashing kind strings. It is extended — existing ids
+    preserved — with any grammar terminal it does not cover; when omitted, a
+    fresh interner over the grammar's terminals is built and every token is
+    re-interned at the parse boundary.
 
     The two flags exist for the ablation benchmarks and default to [true]:
     [memoize] caches each non-terminal's complete derivation set per input
@@ -37,7 +60,11 @@ val generate :
 val grammar : t -> Grammar.Cfg.t
 val start_symbol : t -> string
 
-type parse_error = {
+val interner : t -> Lexing_gen.Interner.t
+(** The terminal interner the parser matches against (the scanner's,
+    possibly extended). *)
+
+type parse_error = Engine_types.parse_error = {
   pos : Lexing_gen.Token.position;  (** position of the furthest failure *)
   found : string;                   (** token kind found there *)
   expected : string list;           (** token kinds that would have allowed
@@ -46,10 +73,17 @@ type parse_error = {
 
 val pp_parse_error : parse_error Fmt.t
 
+val parse_tokens :
+  ?start:string -> t -> Lexing_gen.Token.t array -> (Cst.t, parse_error) result
+(** [parse_tokens p tokens] parses a complete token stream (ending in [EOF])
+    from the grammar's start symbol (or [start]). The whole input must be
+    consumed. This is the hot entry point: {!Lexing_gen.Scanner.scan_tokens}
+    output flows in without conversion, and tokens stamped by the shared
+    interner are trusted by id. *)
+
 val parse :
   ?start:string -> t -> Lexing_gen.Token.t list -> (Cst.t, parse_error) result
-(** [parse p tokens] parses a complete token stream (ending in [EOF]) from
-    the grammar's start symbol (or [start]). The whole input must be
-    consumed. *)
+(** List view of {!parse_tokens}. Tokens carrying {!Lexing_gen.Token.no_id}
+    (built by hand rather than by a scanner) are re-interned by kind. *)
 
 val accepts : ?start:string -> t -> Lexing_gen.Token.t list -> bool

@@ -1,0 +1,25 @@
+type gen_error =
+  | Grammar_problems of Grammar.Cfg.problem list
+  | Left_recursion of string list
+
+let pp_gen_error ppf = function
+  | Grammar_problems ps ->
+    Fmt.pf ppf "@[<v>grammar not well-formed:@ %a@]"
+      Fmt.(list ~sep:cut Grammar.Cfg.pp_problem)
+      ps
+  | Left_recursion nts ->
+    Fmt.pf ppf "left-recursive non-terminals: %a"
+      Fmt.(list ~sep:comma string)
+      nts
+
+type parse_error = {
+  pos : Lexing_gen.Token.position;
+  found : string;
+  expected : string list;
+}
+
+let pp_parse_error ppf e =
+  Fmt.pf ppf "parse error at %a: found %s, expected %a"
+    Lexing_gen.Token.pp_position e.pos e.found
+    Fmt.(list ~sep:(any " | ") string)
+    e.expected

@@ -1,0 +1,21 @@
+(** Error types shared by the interned {!Engine} and the string-path
+    {!Reference} engine, so the differential test suite can compare the two
+    implementations' results structurally. *)
+
+type gen_error =
+  | Grammar_problems of Grammar.Cfg.problem list
+      (** the grammar is not well-formed (typically an incoherent feature
+          selection) *)
+  | Left_recursion of string list
+      (** non-terminals involved in left recursion *)
+
+val pp_gen_error : gen_error Fmt.t
+
+type parse_error = {
+  pos : Lexing_gen.Token.position;  (** position of the furthest failure *)
+  found : string;                   (** token kind found there *)
+  expected : string list;           (** token kinds that would have allowed
+                                        progress, sorted *)
+}
+
+val pp_parse_error : parse_error Fmt.t

@@ -1,0 +1,24 @@
+(** The string-keyed parsing engine the interned {!Engine} replaced.
+
+    Retained verbatim as the executable specification of the parsing
+    semantics: terminals match by [String.equal], prediction sets are
+    balanced-tree string sets, and the memo is a polymorphic-hashed
+    [(string * int)] hashtable. The differential test suite checks
+    {!Engine} against this module on the conformance corpus, and bench E16
+    measures the interned engine's speedup over it. Keep it simple, not
+    fast. *)
+
+type t
+
+val generate :
+  ?memoize:bool -> ?prune:bool -> Grammar.Cfg.t ->
+  (t, Engine_types.gen_error) result
+
+val grammar : t -> Grammar.Cfg.t
+val start_symbol : t -> string
+
+val parse :
+  ?start:string -> t -> Lexing_gen.Token.t list ->
+  (Cst.t, Engine_types.parse_error) result
+
+val accepts : ?start:string -> t -> Lexing_gen.Token.t list -> bool

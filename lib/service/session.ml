@@ -58,6 +58,11 @@ let rates ~statements ~tokens elapsed =
   if elapsed > 1e-9 then (float statements /. elapsed, float tokens /. elapsed)
   else (0., 0.)
 
+(* Wall-clock timing: [Sys.time] reports processor time, which misstates
+   throughput and sums over workers when the batch is sharded across
+   domains. *)
+let now () = Unix.gettimeofday ()
+
 let pp_stats ppf s =
   let pp_furthest ppf = function
     | None -> Fmt.string ppf "none"
@@ -70,27 +75,59 @@ let pp_stats ppf s =
     s.statements s.accepted s.rejected s.tokens (s.elapsed *. 1e3)
     s.statements_per_second s.tokens_per_second pp_furthest s.furthest_error
 
-let parse_batch t sqls =
-  let t0 = Sys.time () in
-  let _, items =
-    List.fold_left
-      (fun (index, acc) sql ->
-        let token_count, result =
-          match Core.scan t.front_end sql with
-          | Error e -> (0, Error e)
-          | Ok tokens -> (
-            (* Drop the EOF sentinel from the count. *)
-            let token_count = List.length tokens - 1 in
-            match Parser_gen.Engine.parse t.front_end.Core.parser tokens with
-            | Ok cst -> (token_count, Ok cst)
-            | Error e -> (token_count, Error (Core.Parse_error e)))
-        in
-        (index + 1, { index; sql; token_count; result } :: acc))
-      (0, []) sqls
+(* Scan and parse one statement against the pinned front-end. The scanner's
+   token array is threaded straight into the parser and its length gives
+   the token count, so the stream is never re-walked. *)
+let parse_one front_end index sql =
+  let token_count, result =
+    match Core.scan_tokens front_end sql with
+    | Error e -> (0, Error e)
+    | Ok tokens -> (
+      (* Drop the EOF sentinel from the count. *)
+      let token_count = Array.length tokens - 1 in
+      match Parser_gen.Engine.parse_tokens front_end.Core.parser tokens with
+      | Ok cst -> (token_count, Ok cst)
+      | Error e -> (token_count, Error (Core.Parse_error e)))
   in
-  let items = List.rev items in
-  let elapsed = Sys.time () -. t0 in
-  let statements = List.length items in
+  { index; sql; token_count; result }
+
+(* Shard statements across [domains] workers. The front-end is immutable
+   after generation (interner, scanner tables and compiled rules are never
+   written post-[create]), so sharing it across domains is safe. Indices
+   are dealt round-robin for balance; each worker returns its own results
+   and the merge reassembles original order, so the outcome is identical
+   to the single-domain run. *)
+let run_sharded front_end domains stmts =
+  let n = Array.length stmts in
+  let shard d =
+    let rec go i acc = if i >= n then List.rev acc else go (i + domains) (parse_one front_end i stmts.(i) :: acc) in
+    go d []
+  in
+  let workers =
+    List.init (domains - 1) (fun d -> Domain.spawn (fun () -> shard (d + 1)))
+  in
+  let mine = shard 0 in
+  let shards = mine :: List.map Domain.join workers in
+  let out = Array.make n None in
+  List.iter
+    (List.iter (fun (it : item) -> out.(it.index) <- Some (it)))
+    shards;
+  Array.to_list
+    (Array.map
+       (function Some it -> it | None -> assert false (* every index dealt *))
+       out)
+
+let parse_batch ?(domains = 1) t sqls =
+  let stmts = Array.of_list sqls in
+  let n = Array.length stmts in
+  let t0 = now () in
+  let items =
+    if domains <= 1 || n < 2 then
+      List.init n (fun i -> parse_one t.front_end i stmts.(i))
+    else run_sharded t.front_end (min domains n) stmts
+  in
+  let elapsed = now () -. t0 in
+  let statements = n in
   let accepted =
     List.length (List.filter (fun i -> Result.is_ok i.result) items)
   in
@@ -123,7 +160,8 @@ let parse_batch t sqls =
   t.acc_furthest <- further t.acc_furthest furthest_error;
   { items; batch_stats }
 
-let parse_script t script = parse_batch t (Core.split_statements script)
+let parse_script ?domains t script =
+  parse_batch ?domains t (Core.split_statements script)
 
 let totals t =
   let statements_per_second, tokens_per_second =

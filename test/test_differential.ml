@@ -1,0 +1,158 @@
+(* Differential suite: the interned {!Parser_gen.Engine} against the
+   string-keyed {!Parser_gen.Reference} engine it replaced.
+
+   The reference engine is kept as the executable specification of the
+   parsing semantics. For every shipped dialect, both engines run over the
+   shared accept/reject corpora plus a grammar-sampled corpus, and must
+   produce identical outcomes end to end: the same CST on acceptance
+   (priority-ordered alternatives, greedy-but-backtrackable repetition),
+   and the same furthest-failure position, found token, and sorted
+   expected set on rejection. The comparison is repeated with memoization
+   and FIRST-set pruning disabled, which must change performance only,
+   never a single result. *)
+
+let check_bool = Alcotest.(check bool)
+
+let generated =
+  lazy
+    (List.map
+       (fun (d : Dialects.Dialect.t) ->
+         match Core.generate_dialect d with
+         | Ok g -> (d.Dialects.Dialect.name, g)
+         | Error e ->
+           Alcotest.failf "generate %s: %a" d.Dialects.Dialect.name Core.pp_error e)
+       Dialects.Dialect.all)
+
+let front_end name = List.assoc name (Lazy.force generated)
+
+(* The same per-dialect workload the cache-equivalence test uses: static
+   accept/reject lists, universally rejected statements, and the dialect's
+   unselected-feature probes. *)
+let corpus_for name =
+  let static =
+    match name with
+    | "minimal" -> Corpus.minimal_accept @ Corpus.minimal_reject
+    | "scql" -> Corpus.scql_accept @ Corpus.scql_reject
+    | "tinysql" -> Corpus.tinysql_accept @ Corpus.tinysql_reject
+    | "embedded" -> Corpus.embedded_accept @ Corpus.embedded_reject
+    | "analytics" -> Corpus.analytics_accept @ Corpus.analytics_reject
+    | _ -> Corpus.full_accept
+  in
+  static @ Corpus.always_reject
+  @ (try List.assoc name Corpus.unselected with Not_found -> [])
+
+let sampled name =
+  Service.Sentences.sample ~count:40
+    ~seed:(6007 + (Hashtbl.hash name mod 1000))
+    (front_end name)
+
+let reference_of ?memoize ?prune (g : Core.generated) =
+  match Parser_gen.Reference.generate ?memoize ?prune g.Core.grammar with
+  | Ok r -> r
+  | Error e ->
+    Alcotest.failf "reference generate: %a" Parser_gen.Engine.pp_gen_error e
+
+let interned_of ?memoize ?prune (g : Core.generated) =
+  match
+    Parser_gen.Engine.generate ?memoize ?prune
+      ~interner:(Lexing_gen.Scanner.interner g.Core.scanner)
+      g.Core.grammar
+  with
+  | Ok p -> p
+  | Error e ->
+    Alcotest.failf "interned generate: %a" Parser_gen.Engine.pp_gen_error e
+
+(* Full structural equality: CSTs leaf-for-leaf, errors field-for-field
+   (position, found token, sorted expected set). *)
+let result_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Ok cst -> Fmt.pf ppf "Ok %a" Parser_gen.Cst.pp cst
+      | Error e -> Fmt.pf ppf "Error (%a)" Parser_gen.Engine.pp_parse_error e)
+    (fun a b ->
+      match (a, b) with
+      | Ok c1, Ok c2 -> c1 = c2
+      | Error e1, Error e2 -> e1 = e2
+      | _ -> false)
+
+let check_agree ~msg refp eng toks =
+  Alcotest.check result_testable msg
+    (Parser_gen.Reference.parse refp (Array.to_list toks))
+    (Parser_gen.Engine.parse_tokens eng toks)
+
+let test_default_agreement name () =
+  let g = front_end name in
+  let refp = reference_of g in
+  List.iter
+    (fun sql ->
+      match Core.scan_tokens g sql with
+      | Error _ -> () (* lexical rejection: no token stream to disagree on *)
+      | Ok toks ->
+        check_agree ~msg:(Printf.sprintf "%s: %s" name sql) refp
+          g.Core.parser toks)
+    (corpus_for name @ sampled name)
+
+let test_ablation_agreement name () =
+  let g = front_end name in
+  List.iter
+    (fun (label, memoize, prune) ->
+      let refp = reference_of ~memoize ~prune g in
+      let eng = interned_of ~memoize ~prune g in
+      List.iter
+        (fun sql ->
+          match Core.scan_tokens g sql with
+          | Error _ -> ()
+          | Ok toks ->
+            check_agree
+              ~msg:(Printf.sprintf "%s (%s): %s" name label sql)
+              refp eng toks;
+            (* The flags are pure optimizations: the ablated engine must
+               also agree with the fully optimized one on acceptance. *)
+            check_bool
+              (Printf.sprintf "%s (%s) language unchanged: %s" name label sql)
+              (Result.is_ok (Parser_gen.Engine.parse_tokens g.Core.parser toks))
+              (Result.is_ok (Parser_gen.Engine.parse_tokens eng toks)))
+        (corpus_for name))
+    [ ("no memoization", false, true); ("no pruning", true, false) ]
+
+let test_reinterning_boundary () =
+  (* Tokens that never went through the shared scanner (hand-built, or from
+     a foreign scanner) carry [no_id] or a foreign stamp; the engine must
+     re-intern them by kind and still agree with the reference. *)
+  let g = front_end "embedded" in
+  let refp = reference_of g in
+  List.iter
+    (fun sql ->
+      match Core.scan_tokens g sql with
+      | Error _ -> ()
+      | Ok toks ->
+        let stripped =
+          Array.map
+            (fun (t : Lexing_gen.Token.t) ->
+              { t with Lexing_gen.Token.kind_id = Lexing_gen.Token.no_id })
+            toks
+        in
+        check_agree
+          ~msg:(Printf.sprintf "embedded (unstamped tokens): %s" sql)
+          refp g.Core.parser stripped)
+    (Corpus.embedded_accept @ Corpus.embedded_reject)
+
+let suite =
+  List.concat_map
+    (fun (d : Dialects.Dialect.t) ->
+      let name = d.Dialects.Dialect.name in
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s: interned = reference (corpus + sampled)" name)
+          `Quick
+          (test_default_agreement name);
+        Alcotest.test_case
+          (Printf.sprintf "%s: ablations change nothing but speed" name)
+          `Quick
+          (test_ablation_agreement name);
+      ])
+    Dialects.Dialect.all
+  @ [
+      Alcotest.test_case "unstamped tokens are re-interned" `Quick
+        test_reinterning_boundary;
+    ]

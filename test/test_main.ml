@@ -18,6 +18,7 @@ let () =
       ("lint", Test_lint.suite);
       ("service", Test_service.suite);
       ("conformance", Test_conformance.suite);
+      ("differential", Test_differential.suite);
       ("negative", Test_negative.suite);
       ("properties", Test_properties.suite);
       ("printer", Test_printer.suite);

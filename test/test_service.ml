@@ -215,6 +215,55 @@ let test_session_totals_accumulate () =
     (totals.Service.Session.elapsed
     >= b1.Service.Session.batch_stats.Service.Session.elapsed)
 
+let test_batch_domains_deterministic () =
+  (* Domain sharding is a pure scheduling decision: a 4-domain batch must
+     be indistinguishable from the sequential run — same per-statement
+     results in submission order, same aggregate counts, same furthest
+     error — on a workload mixing accepts, rejects, and sampled
+     sentences. *)
+  let sequential = session_for "embedded" in
+  let sharded = session_for "embedded" in
+  let stmts =
+    Corpus.embedded_accept @ Corpus.embedded_reject @ Corpus.always_reject
+    @ Service.Sentences.sample ~count:30 ~seed:99
+        (Service.Session.front_end sequential)
+  in
+  let b1 = Service.Session.parse_batch ~domains:1 sequential stmts in
+  let b4 = Service.Session.parse_batch ~domains:4 sharded stmts in
+  List.iter2
+    (fun (i1 : Service.Session.item) (i4 : Service.Session.item) ->
+      check_int "same index" i1.Service.Session.index i4.Service.Session.index;
+      Alcotest.(check string)
+        "same statement" i1.Service.Session.sql i4.Service.Session.sql;
+      check_int
+        (Printf.sprintf "same token count: %s" i1.Service.Session.sql)
+        i1.Service.Session.token_count i4.Service.Session.token_count;
+      check_bool
+        (Printf.sprintf "same result: %s" i1.Service.Session.sql)
+        true
+        (i1.Service.Session.result = i4.Service.Session.result))
+    b1.Service.Session.items b4.Service.Session.items;
+  let s1 = b1.Service.Session.batch_stats
+  and s4 = b4.Service.Session.batch_stats in
+  check_int "same statements" s1.Service.Session.statements
+    s4.Service.Session.statements;
+  check_int "same accepted" s1.Service.Session.accepted
+    s4.Service.Session.accepted;
+  check_int "same rejected" s1.Service.Session.rejected
+    s4.Service.Session.rejected;
+  check_int "same tokens" s1.Service.Session.tokens s4.Service.Session.tokens;
+  check_bool "same furthest error" true
+    (s1.Service.Session.furthest_error = s4.Service.Session.furthest_error);
+  (* More domains than statements: workers are capped at the batch size. *)
+  let b_over =
+    Service.Session.parse_batch ~domains:16 sharded
+      [ "SELECT name FROM items"; "SELECT a FROM"; "DROP TABLE items" ]
+  in
+  check_int "oversubscribed batch parses everything" 3
+    b_over.Service.Session.batch_stats.Service.Session.statements;
+  check_int "oversubscribed batch accepts" 2
+    b_over.Service.Session.batch_stats.Service.Session.accepted
+
 let test_session_script_split () =
   let session = session_for "minimal" in
   let batch =
@@ -241,6 +290,8 @@ let suite =
     Alcotest.test_case "batch stats" `Quick test_session_batch_stats;
     Alcotest.test_case "session totals accumulate" `Quick
       test_session_totals_accumulate;
+    Alcotest.test_case "domain-sharded batches are deterministic" `Quick
+      test_batch_domains_deterministic;
     Alcotest.test_case "script batches split on semicolons" `Quick
       test_session_script_split;
   ]
