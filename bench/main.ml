@@ -385,9 +385,13 @@ let e16_row ~smoke ~domain_counts name =
   let domain_rows =
     List.map
       (fun domains ->
+        (* ~clamp:false: the series deliberately measures oversharding
+           (including its collapse on small hosts), so the session's
+           default clamp must not rewrite the requested count. *)
         let t =
           time_avg (fun () ->
-              Service.Session.parse_batch ~domains session shard_statements)
+              Service.Session.parse_batch ~clamp:false ~domains session
+                shard_statements)
         in
         (domains, float shard_n /. t, float shard_tokens /. t))
       domain_counts
@@ -481,6 +485,190 @@ let report_e16 ?(smoke = false) () =
   if not smoke then begin
     write_e16_json rows;
     pf "(wrote BENCH_e16.json)\n"
+  end
+
+(* Reduced E15 for the @bench-smoke alias: exercises the config cache and
+   the batched session end-to-end without timing-dependent assertions. *)
+let report_e15_smoke () =
+  pf "\n== E15 (smoke): config cache + batched session ==\n";
+  let d, g = dialect "embedded" in
+  let cache = Service.Cache.create () in
+  List.iter
+    (fun _ ->
+      match Service.Cache.generate_dialect cache d with
+      | Ok _ -> ()
+      | Error e -> Fmt.failwith "cache %s: %a" d.name Core.pp_error e)
+    [ (); (); () ];
+  let session = Service.Session.create g in
+  let batch =
+    Service.Session.parse_batch session (Workloads.queries_for "embedded")
+  in
+  pf "embedded: %s\n"
+    (Fmt.str "%a" Service.Session.pp_stats batch.Service.Session.batch_stats)
+
+(* ------------------------------------------------------------------ *)
+(* E17 — committed LL(k) dispatch: the prediction-compiled engine vs.  *)
+(* the same engine with dispatch disabled (exactly the E16 interned    *)
+(* engine) vs. the string-path Reference, parse-only (tokens are       *)
+(* pre-scanned), plus the committed-point coverage per dialect.        *)
+(* Emits BENCH_e17.json.                                               *)
+(* ------------------------------------------------------------------ *)
+
+type e17_row = {
+  e17_dialect : string;
+  e17_statements : int;
+  e17_tokens : int;
+  e17_ref_sps : float;   (* reference engine, statements/s *)
+  e17_ref_tps : float;
+  e17_memo_sps : float;  (* interned engine, dispatch off = E16 engine *)
+  e17_memo_tps : float;
+  e17_com_sps : float;   (* committed-dispatch engine (the default) *)
+  e17_com_tps : float;
+  e17_summary : Parser_gen.Engine.summary;
+}
+
+let e17_row ~smoke name =
+  let d, g = dialect name in
+  let statements = e16_workload ~smoke g d in
+  let n = List.length statements in
+  (* Parse-only comparison: scanning is identical for all three engines, so
+     the workload is pre-scanned once and only [parse] is timed. *)
+  let token_arrays =
+    List.map
+      (fun sql ->
+        match Core.scan_tokens g sql with
+        | Ok toks -> toks
+        | Error e -> Fmt.failwith "scan %S: %a" sql Core.pp_error e)
+      statements
+  in
+  let token_lists = List.map Array.to_list token_arrays in
+  let token_total =
+    List.fold_left (fun acc a -> acc + Array.length a - 1) 0 token_arrays
+  in
+  (* The committed engine is the shipped parser: left-factored grammar,
+     prediction-compiled dispatch. The memoized baseline is the same
+     generator with ~dispatch:false on the *composed* grammar — exactly the
+     engine E16 measured. The reference runs the composed grammar too. *)
+  let committed = g.Core.parser in
+  let memo =
+    match
+      Parser_gen.Engine.generate ~dispatch:false
+        ~interner:(Lexing_gen.Scanner.interner g.Core.scanner)
+        g.Core.grammar
+    with
+    | Ok p -> p
+    | Error e -> Fmt.failwith "%a" Parser_gen.Engine.pp_gen_error e
+  in
+  let refp =
+    match Parser_gen.Reference.generate g.Core.grammar with
+    | Ok p -> p
+    | Error e -> Fmt.failwith "%a" Parser_gen.Engine.pp_gen_error e
+  in
+  let engine_time p =
+    time_avg (fun () ->
+        List.iter
+          (fun toks ->
+            ignore (Sys.opaque_identity (Parser_gen.Engine.parse_tokens p toks)))
+          token_arrays)
+  in
+  let com_time = engine_time committed in
+  let memo_time = engine_time memo in
+  let ref_time =
+    time_avg (fun () ->
+        List.iter
+          (fun toks ->
+            ignore (Sys.opaque_identity (Parser_gen.Reference.parse refp toks)))
+          token_lists)
+  in
+  {
+    e17_dialect = name;
+    e17_statements = n;
+    e17_tokens = token_total;
+    e17_ref_sps = float n /. ref_time;
+    e17_ref_tps = float token_total /. ref_time;
+    e17_memo_sps = float n /. memo_time;
+    e17_memo_tps = float token_total /. memo_time;
+    e17_com_sps = float n /. com_time;
+    e17_com_tps = float token_total /. com_time;
+    e17_summary = Parser_gen.Engine.summary committed;
+  }
+
+let write_e17_json rows =
+  let oc = open_out "BENCH_e17.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"e17\",\n";
+  p "  \"basis\": \"parse-only (tokens pre-scanned once)\",\n";
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      let s = row.e17_summary in
+      p
+        "    {\"dialect\": %S, \"statements\": %d, \"tokens\": %d,\n\
+        \     \"reference_stmts_per_s\": %.0f, \"reference_tokens_per_s\": \
+         %.0f,\n\
+        \     \"memoized_stmts_per_s\": %.0f, \"memoized_tokens_per_s\": \
+         %.0f,\n\
+        \     \"committed_stmts_per_s\": %.0f, \"committed_tokens_per_s\": \
+         %.0f,\n\
+        \     \"speedup_tokens_vs_memoized\": %.2f, \
+         \"speedup_tokens_vs_reference\": %.2f,\n\
+        \     \"committed_points\": %d, \"k1_points\": %d, \"k2_points\": \
+         %d, \"ambiguous_points\": %d,\n\
+        \     \"committed_nonterminals\": %d, \"total_nonterminals\": %d,\n\
+        \     \"coverage\": %.4f}%s\n"
+        row.e17_dialect row.e17_statements row.e17_tokens row.e17_ref_sps
+        row.e17_ref_tps row.e17_memo_sps row.e17_memo_tps row.e17_com_sps
+        row.e17_com_tps
+        (if row.e17_memo_tps > 0. then row.e17_com_tps /. row.e17_memo_tps
+         else 0.)
+        (if row.e17_ref_tps > 0. then row.e17_com_tps /. row.e17_ref_tps
+         else 0.)
+        s.Parser_gen.Engine.committed_points s.Parser_gen.Engine.k1_points
+        s.Parser_gen.Engine.k2_points s.Parser_gen.Engine.ambiguous_points
+        s.Parser_gen.Engine.committed_nts s.Parser_gen.Engine.total_nts
+        (Parser_gen.Engine.coverage s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let report_e17 ?(smoke = false) () =
+  pf "\n== E17: committed LL(k) dispatch vs. memoized backtracking ==\n";
+  let names =
+    if smoke then [ "embedded"; "analytics" ]
+    else
+      List.map
+        (fun ((d : Dialects.Dialect.t), _) -> d.name)
+        generated_dialects
+  in
+  let rows = List.map (e17_row ~smoke) names in
+  pf "%-10s %6s %8s %13s %13s %13s %8s %9s\n" "dialect" "stmts" "tokens"
+    "ref tok/s" "memo tok/s" "commit tok/s" "vs memo" "coverage";
+  List.iter
+    (fun row ->
+      pf "%-10s %6d %8d %11.0f/s %11.0f/s %11.0f/s %7.2fx %8.1f%%\n"
+        row.e17_dialect row.e17_statements row.e17_tokens row.e17_ref_tps
+        row.e17_memo_tps row.e17_com_tps
+        (if row.e17_memo_tps > 0. then row.e17_com_tps /. row.e17_memo_tps
+         else 0.)
+        (100. *. Parser_gen.Engine.coverage row.e17_summary))
+    rows;
+  pf "\nper-dialect classification:\n";
+  List.iter
+    (fun row ->
+      let s = row.e17_summary in
+      pf "%-10s %s\n" row.e17_dialect
+        (Fmt.str "%a" Parser_gen.Engine.pp_summary s);
+      List.iter
+        (fun (c : Parser_gen.Engine.nt_class) ->
+          if c.Parser_gen.Engine.nt_fallbacks > 0 then
+            pf "           fallback: <%s> (%d ambiguous point(s))\n"
+              c.Parser_gen.Engine.nt_name c.Parser_gen.Engine.nt_fallbacks)
+        s.Parser_gen.Engine.classes)
+    rows;
+  if not smoke then begin
+    write_e17_json rows;
+    pf "(wrote BENCH_e17.json)\n"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -678,13 +866,16 @@ let () =
     report_e7_sweep ()
   | Some "e14" -> report_e14 ()
   | Some "e15" -> report_e15 ()
+  | Some "e15-smoke" -> report_e15_smoke ()
   | Some "e16" -> report_e16 ()
   | Some "e16-smoke" ->
     (* Reduced E16 wired into `dune runtest`: exercises the domain-sharded
        batch path end-to-end without timing-dependent assertions. *)
     report_e16 ~smoke:true ()
+  | Some "e17" -> report_e17 ()
+  | Some "e17-smoke" -> report_e17 ~smoke:true ()
   | Some other ->
-    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16)" other
+    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17)" other
   | None ->
     report_e1 ();
     report_e6 ();
@@ -693,6 +884,7 @@ let () =
     report_e14 ();
     report_e15 ();
     report_e16 ();
+    report_e17 ();
     pf "\n== E8-E13: timed series ==\n";
     run_benchmarks
       (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

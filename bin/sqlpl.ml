@@ -249,9 +249,28 @@ let parse_cmd =
       "Shard a $(b,--batch) run across $(docv) OCaml domains (parallel \
        workers sharing the one generated front-end). Results and statistics \
        are identical to a single-domain run; only the wall time changes. \
-       Useful values are at most the machine's core count."
+       Requests beyond the runtime's recommended domain count are clamped \
+       with a warning."
     in
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let engine_arg =
+    let doc =
+      "Parsing engine: $(b,committed) (prediction-compiled LL(k) dispatch on \
+       the normalized grammar — the default), $(b,memo) (memoized \
+       backtracking on the composed grammar, no dispatch tables) or \
+       $(b,reference) (the executable-specification engine; single \
+       statements only). All three accept the same language and build the \
+       same trees; they differ in speed."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("committed", `Committed); ("memo", `Memo);
+               ("reference", `Reference) ])
+          `Committed
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
   let run_batch g path domains =
     if domains < 1 then fail "--domains must be at least 1"
@@ -276,27 +295,63 @@ let parse_cmd =
         stats.Service.Session.statements
     end
   in
-  let run dialect features config_file ast batch domains sql =
+  (* [memo] swaps the session's parser for one generated without dispatch
+     tables from the composed (unnormalized) grammar — exactly the previous
+     engine, and the E17 baseline. *)
+  let with_memo_engine g =
+    match
+      Parser_gen.Engine.generate ~dispatch:false
+        ~interner:(Lexing_gen.Scanner.interner g.Core.scanner)
+        g.Core.grammar
+    with
+    | Ok parser -> Ok { g with Core.parser }
+    | Error e -> Error (Fmt.str "%a" Parser_gen.Engine.pp_gen_error e)
+  in
+  let run_reference g sql =
+    match Parser_gen.Reference.generate g.Core.grammar with
+    | Error e -> fail "%s" (Fmt.str "%a" Parser_gen.Engine.pp_gen_error e)
+    | Ok refp -> (
+      match Core.scan_tokens g sql with
+      | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e)
+      | Ok toks -> (
+        match Parser_gen.Reference.parse refp (Array.to_list toks) with
+        | Ok cst ->
+          Fmt.pr "%a@." Parser_gen.Cst.pp cst;
+          `Ok ()
+        | Error e -> fail "%s" (Fmt.str "%a" Parser_gen.Engine.pp_parse_error e)))
+  in
+  let run dialect features config_file ast batch domains engine sql =
     match generate_front_end dialect features config_file with
     | Error msg -> fail "%s" msg
     | Ok g -> (
-      match (batch, sql) with
-      | Some path, None -> run_batch g path domains
-      | Some _, Some _ -> fail "--batch and a SQL argument are exclusive"
-      | None, None -> fail "a SQL statement (or --batch FILE) is required"
-      | None, Some sql ->
-        if ast then (
-          match Core.parse_statement g sql with
-          | Ok stmt ->
-            print_endline (Sql_ast.Sql_printer.statement stmt);
-            `Ok ()
-          | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
-        else (
-          match Core.parse_cst g sql with
-          | Ok cst ->
-            Fmt.pr "%a@." Parser_gen.Cst.pp cst;
-            `Ok ()
-          | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e)))
+      let g =
+        match engine with `Memo -> with_memo_engine g | _ -> Ok g
+      in
+      match g with
+      | Error msg -> fail "%s" msg
+      | Ok g -> (
+        match (batch, sql) with
+        | Some _, _ when engine = `Reference ->
+          fail "--engine reference parses single statements only"
+        | Some path, None -> run_batch g path domains
+        | Some _, Some _ -> fail "--batch and a SQL argument are exclusive"
+        | None, None -> fail "a SQL statement (or --batch FILE) is required"
+        | None, Some sql when engine = `Reference ->
+          if ast then fail "--engine reference prints the CST only"
+          else run_reference g sql
+        | None, Some sql ->
+          if ast then (
+            match Core.parse_statement g sql with
+            | Ok stmt ->
+              print_endline (Sql_ast.Sql_printer.statement stmt);
+              `Ok ()
+            | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
+          else (
+            match Core.parse_cst g sql with
+            | Ok cst ->
+              Fmt.pr "%a@." Parser_gen.Cst.pp cst;
+              `Ok ()
+            | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))))
   in
   Cmd.v
     (Cmd.info "parse"
@@ -305,7 +360,7 @@ let parse_cmd =
     Term.(
       ret
         (const run $ dialect_arg $ features_arg $ config_file_arg $ ast_flag
-        $ batch_arg $ domains_arg $ sql_arg))
+        $ batch_arg $ domains_arg $ engine_arg $ sql_arg))
 
 (* --- emit --------------------------------------------------------------------- *)
 
@@ -370,7 +425,25 @@ let lint_cmd =
          | `Text ->
            Printf.printf "lint %s (%d features)\n" label
              (Feature.Config.cardinal config);
-           Fmt.pr "%a@." Lint.pp_report diags
+           Fmt.pr "%a@." Lint.pp_report diags;
+           (* Where the generated parser will actually backtrack: classify
+              the choice points of the normalized grammar, as generation
+              does, and name the rules whose conflicts force fallback. *)
+           let factored, _ =
+             Grammar.Factor.normalize out.Compose.Composer.grammar
+           in
+           (match Parser_gen.Engine.generate factored with
+            | Error _ -> ()
+            | Ok parser ->
+              let s = Parser_gen.Engine.summary parser in
+              Fmt.pr "dispatch: %a@." Parser_gen.Engine.pp_summary s;
+              List.iter
+                (fun (c : Parser_gen.Engine.nt_class) ->
+                  if c.Parser_gen.Engine.nt_fallbacks > 0 then
+                    Fmt.pr "  backtracks: <%s> (%d ambiguous point(s))@."
+                      c.Parser_gen.Engine.nt_name
+                      c.Parser_gen.Engine.nt_fallbacks)
+                s.Parser_gen.Engine.classes)
          | `Json -> print_string (Lint.to_json_lines diags));
         if Lint.Diagnostic.has_errors diags then
           fail "%s: lint found %d error(s)" label

@@ -33,12 +33,16 @@ let generate ?(label = "custom") config =
   (* One interner spans scanner and parser, so the parser trusts the
      [kind_id] stamped on every token without re-hashing kind strings. *)
   let scanner = Lexing_gen.Scanner.create out.Compose.Composer.tokens in
+  (* The engine runs on the left-factored grammar (same language, same
+     CSTs, more committed dispatch points); the composed grammar is what
+     [grammar] exposes for reports, printing and code emission. *)
+  let factored, _ = Grammar.Factor.normalize out.Compose.Composer.grammar in
   let* parser =
     Result.map_error
       (fun e -> Generation_error e)
       (Parser_gen.Engine.generate
          ~interner:(Lexing_gen.Scanner.interner scanner)
-         out.Compose.Composer.grammar)
+         factored)
   in
   Ok
     {
@@ -73,6 +77,7 @@ let parse_statement g sql =
   Result.map_error (fun e -> Lowering_error e) (Lower.statement cst)
 
 let accepts g sql = Result.is_ok (parse_cst g sql)
+let dispatch_summary g = Parser_gen.Engine.summary g.parser
 
 let emit_ocaml_parser g =
   Parser_gen.Codegen.emit

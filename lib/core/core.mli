@@ -19,10 +19,12 @@
 type generated = {
   label : string;                      (** dialect or configuration name *)
   config : Feature.Config.t;
-  grammar : Grammar.Cfg.t;
+  grammar : Grammar.Cfg.t;             (** the composed grammar, as written *)
   tokens : Lexing_gen.Spec.set;
   scanner : Lexing_gen.Scanner.t;
   parser : Parser_gen.Engine.t;
+      (** generated from {!Grammar.Factor.normalize} of [grammar]: same
+          language, same CSTs, more committed dispatch points *)
   sequence : string list;              (** composition sequence used *)
 }
 
@@ -60,6 +62,11 @@ val parse_statement : generated -> string -> (Sql_ast.Ast.statement, error) resu
 val accepts : generated -> string -> bool
 (** Does the tailored parser accept the statement? (Lexical errors count as
     rejection: an unknown keyword simply is no keyword in the dialect.) *)
+
+val dispatch_summary : generated -> Parser_gen.Engine.summary
+(** Choice-point classification of the generated parser: how much of the
+    (left-factored) grammar parses on committed LL(1)/LL(2) dispatch and
+    which rules still need backtracking. *)
 
 val emit_ocaml_parser : generated -> string
 (** Source text of a standalone OCaml parser for the composed grammar

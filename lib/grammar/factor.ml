@@ -1,0 +1,168 @@
+type stats = {
+  factored_runs : int;
+  factored_rules : int;
+  inlined_refs : int;
+  inlined_rules : int;
+}
+
+let no_stats =
+  { factored_runs = 0; factored_rules = 0; inlined_refs = 0; inlined_rules = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Left factoring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let head_terminal = function
+  | Production.Sym (Symbol.Terminal t) :: _ -> Some t
+  | _ -> None
+
+(* Longest common prefix of plain terminal symbols over a run of
+   alternatives that is already known to share its first terminal. *)
+let rec common_terminal_prefix alts =
+  let heads = List.map head_terminal alts in
+  match heads with
+  | Some t :: rest when List.for_all (function Some u -> String.equal u t | None -> false) rest
+    -> t :: common_terminal_prefix (List.map List.tl alts)
+  | _ -> []
+
+let rec drop k xs = if k = 0 then xs else drop (k - 1) (List.tl xs)
+
+(* Factor one ordered alternative list. Only maximal runs of *adjacent*
+   alternatives with the same leading terminal are merged: a terminal
+   prefix has a single derivation, so pulling it out cannot reorder the
+   derivation enumeration, and [Group] introduces no CST node, so the
+   child list under the rule's node is unchanged. *)
+let rec factor_alts runs alts =
+  match alts with
+  | [] -> []
+  | a :: rest -> (
+    match head_terminal a with
+    | None -> a :: factor_alts runs rest
+    | Some t ->
+      let run, others =
+        let rec take acc = function
+          | b :: more when head_terminal b = Some t -> take (b :: acc) more
+          | more -> (List.rev acc, more)
+        in
+        take [ a ] rest
+      in
+      if List.length run < 2 then a :: factor_alts runs others
+      else begin
+        incr runs;
+        let prefix = common_terminal_prefix run in
+        let np = List.length prefix in
+        let suffixes = factor_alts runs (List.map (drop np) run) in
+        let tail =
+          match suffixes with
+          | [ s ] -> s (* inner factoring merged the whole run: no choice left *)
+          | _ -> [ Production.Group suffixes ]
+        in
+        let head =
+          List.map (fun u -> Production.Sym (Symbol.Terminal u)) prefix
+        in
+        (head @ tail) :: factor_alts runs others
+      end)
+
+(* Recurse into nested constructs so groups produced by composition (and by
+   factoring itself) are normalized too. *)
+let rec factor_term runs = function
+  | Production.Sym _ as s -> s
+  | Production.Opt ts -> Production.Opt (factor_seq runs ts)
+  | Production.Star ts -> Production.Star (factor_seq runs ts)
+  | Production.Plus ts -> Production.Plus (factor_seq runs ts)
+  | Production.Group alts ->
+    Production.Group (factor_alts runs (List.map (factor_seq runs) alts))
+
+and factor_seq runs ts = List.map (factor_term runs) ts
+
+let left_factor (g : Cfg.t) =
+  let total_runs = ref 0 in
+  let touched = ref 0 in
+  let rules =
+    List.map
+      (fun (r : Production.t) ->
+        let runs = ref 0 in
+        let alts = factor_alts runs (List.map (factor_seq runs) r.alts) in
+        if !runs > 0 then begin
+          incr touched;
+          total_runs := !total_runs + !runs
+        end;
+        Production.make r.lhs alts)
+      g.rules
+  in
+  ( Cfg.make ~start:g.start rules,
+    { no_stats with factored_runs = !total_runs; factored_rules = !touched } )
+
+(* ------------------------------------------------------------------ *)
+(* Unit-rule inlining (opt-in: removes the unit rule's CST node)       *)
+(* ------------------------------------------------------------------ *)
+
+let inline_trivial (g : Cfg.t) =
+  let unit_body (r : Production.t) =
+    match r.alts with
+    | [ [ Production.Sym s ] ] when not (String.equal r.lhs g.start) -> Some s
+    | _ -> None
+  in
+  let units =
+    List.filter_map
+      (fun r -> Option.map (fun s -> (r.Production.lhs, s)) (unit_body r))
+      g.rules
+  in
+  (* Resolve chains (a : b, b : c => a maps to c); a cycle of unit rules
+     derives nothing useful and is left untouched. *)
+  let rec resolve seen s =
+    match s with
+    | Symbol.Terminal _ -> Some s
+    | Symbol.Nonterminal n -> (
+      if List.mem n seen then None
+      else
+        match List.assoc_opt n units with
+        | None -> Some s
+        | Some next -> resolve (n :: seen) next)
+  in
+  let resolved =
+    List.filter_map
+      (fun (lhs, s) -> Option.map (fun s' -> (lhs, s')) (resolve [ lhs ] s))
+      units
+  in
+  let refs = ref 0 in
+  let subst = function
+    | Symbol.Nonterminal n as s -> (
+      match List.assoc_opt n resolved with
+      | Some s' ->
+        incr refs;
+        s'
+      | None -> s)
+    | s -> s
+  in
+  let rec subst_term = function
+    | Production.Sym s -> Production.Sym (subst s)
+    | Production.Opt ts -> Production.Opt (subst_seq ts)
+    | Production.Star ts -> Production.Star (subst_seq ts)
+    | Production.Plus ts -> Production.Plus (subst_seq ts)
+    | Production.Group alts -> Production.Group (List.map subst_seq alts)
+  and subst_seq ts = List.map subst_term ts in
+  let rules =
+    List.filter_map
+      (fun (r : Production.t) ->
+        if List.mem_assoc r.lhs resolved then None
+        else
+          Some (Production.make r.lhs (List.map subst_seq r.alts)))
+      g.rules
+  in
+  ( Cfg.make ~start:g.start rules,
+    { no_stats with inlined_refs = !refs; inlined_rules = List.length resolved }
+  )
+
+let normalize ?(inline = false) g =
+  let g, si =
+    if inline then inline_trivial g else (g, no_stats)
+  in
+  let g, sf = left_factor g in
+  ( g,
+    {
+      factored_runs = sf.factored_runs;
+      factored_rules = sf.factored_rules;
+      inlined_refs = si.inlined_refs;
+      inlined_rules = si.inlined_rules;
+    } )

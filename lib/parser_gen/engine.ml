@@ -40,7 +40,10 @@ let bitset_union_into ~into:(dst : bitset) (src : bitset) =
 
 (* Internal representation: the grammar compiled down to integers, with a
    prediction record attached to every choice point. Terminal occurrences
-   are interner ids, non-terminal occurrences index the [rules] array. *)
+   are interner ids, non-terminal occurrences index the [rules] array.
+   Every choice point additionally carries its {!Predict.decision}: the
+   dense LL(1)/LL(2) dispatch table when the branch prediction sets are
+   disjoint, [Fallback] when only backtracking can decide. *)
 type pred = {
   first : bitset;
   nullable : bool;
@@ -49,12 +52,31 @@ type pred = {
 type iterm =
   | ITerm of int
   | INonterm of int
-  | IOpt of iseq * pred
-  | IStar of iseq * pred
-  | IPlus of iseq * pred
-  | IGroup of (iseq * pred) array
+  | IOpt of iseq * pred * Predict.decision
+  | IStar of iseq * pred * Predict.decision
+  | IPlus of iseq * pred * Predict.decision
+      (* decision of the repetition continuing *after* the mandatory first
+         iteration — the same enter-vs-skip choice as [IStar] *)
+  | IGroup of (iseq * pred) array * Predict.decision
 
 and iseq = iterm array
+
+type nt_class = {
+  nt_name : string;
+  nt_committed : bool;
+  nt_k : int;
+  nt_fallbacks : int;
+}
+
+type summary = {
+  committed_points : int;
+  k1_points : int;
+  k2_points : int;
+  ambiguous_points : int;
+  committed_nts : int;
+  total_nts : int;
+  classes : nt_class list;
+}
 
 type t = {
   grammar : Grammar.Cfg.t;
@@ -63,6 +85,16 @@ type t = {
   nt_ids : (string, int) Hashtbl.t;
   start : string;
   rules : (iseq * pred) array array; (* non-terminal id -> alternatives *)
+  alt_dispatch : Predict.decision array; (* nt id -> rule-level decision *)
+  nt_fast : bool array;
+      (* every choice point of this non-terminal's own rule is committed, so
+         its body runs on the dispatch loop — dropping into the memoized
+         engine only at references to non-[nt_fast] non-terminals *)
+  nt_committed : bool array;
+      (* transitively committed: this non-terminal's whole subtree parses on
+         the direct dispatch loop, no memo, no backtracking *)
+  dispatch : bool;
+  summary : summary;
   memoize : bool;
   prune : bool;
 }
@@ -70,6 +102,23 @@ type t = {
 let grammar t = t.grammar
 let start_symbol t = t.start
 let interner t = t.interner
+let summary t = t.summary
+let dispatch_enabled t = t.dispatch
+
+let coverage s =
+  let total = s.committed_points + s.ambiguous_points in
+  if total = 0 then 1.0
+  else float_of_int s.committed_points /. float_of_int total
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "%d/%d choice points committed (k=1: %d, k=2: %d), %.1f%% coverage; %d/%d \
+     non-terminals fully committed"
+    s.committed_points
+    (s.committed_points + s.ambiguous_points)
+    s.k1_points s.k2_points
+    (100. *. coverage s)
+    s.committed_nts s.total_nts
 
 (* Every terminal occurring anywhere in the grammar, in occurrence order. *)
 let grammar_terminals (g : Grammar.Cfg.t) =
@@ -88,7 +137,8 @@ let grammar_terminals (g : Grammar.Cfg.t) =
     g.rules;
   List.rev !acc
 
-let generate ?(memoize = true) ?(prune = true) ?interner g =
+let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner g =
+  let all_problems = Grammar.Cfg.check g in
   let problems =
     (* Unreachable rules are tolerated in generated parsers (a fragment may
        define helpers only some alternatives use); undefined references and a
@@ -98,7 +148,7 @@ let generate ?(memoize = true) ?(prune = true) ?interner g =
         | Grammar.Cfg.Unreachable_rule _ -> false
         | Grammar.Cfg.Undefined_nonterminal _ | Grammar.Cfg.Undefined_start ->
           true)
-      (Grammar.Cfg.check g)
+      all_problems
   in
   if problems <> [] then Error (Grammar_problems problems)
   else
@@ -133,28 +183,185 @@ let generate ?(memoize = true) ?(prune = true) ?interner g =
           (Grammar.Analysis.seq_first an g seq);
         { first; nullable = Grammar.Analysis.seq_nullable an g seq }
       in
-      let rec compile_term = function
-        | Grammar.Production.Sym (Grammar.Symbol.Terminal n) -> ITerm (term_id n)
-        | Grammar.Production.Sym (Grammar.Symbol.Nonterminal n) ->
+      (* Choice-point classification. The lookahead tables are only built
+         when dispatch is on ([~dispatch:false] is exactly the previous
+         backtracking-everywhere engine, used as the E17 baseline).
+         Unreachable rules are classified [Fallback] without analysis:
+         their FOLLOW sets are empty, so prediction there is meaningless —
+         and they are excluded from the summary for the same reason. *)
+      let unreachable =
+        List.filter_map
+          (function Grammar.Cfg.Unreachable_rule nt -> Some nt | _ -> None)
+          all_problems
+      in
+      let reachable lhs = not (List.mem lhs unreachable) in
+      let pctx =
+        lazy (Predict.make ~term_id:(Interner.id_opt interner) ~n_terms g)
+      in
+      let k1_points = ref 0 and k2_points = ref 0 and ambiguous = ref 0 in
+      let nt_k : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let nt_fb : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let bump tbl lhs f =
+        Hashtbl.replace tbl lhs
+          (f (Option.value ~default:0 (Hashtbl.find_opt tbl lhs)))
+      in
+      let classify lhs branches =
+        match branches with
+        | [] | [ _ ] -> Predict.Always
+        | _ ->
+          if dispatch && reachable lhs then begin
+            let d = Predict.decide (Lazy.force pctx) ~lhs branches in
+            (match d with
+            | Predict.Always -> ()
+            | Predict.Commit1 _ ->
+              incr k1_points;
+              bump nt_k lhs (max 1)
+            | Predict.Commit2 _ ->
+              incr k2_points;
+              bump nt_k lhs (max 2)
+            | Predict.Fallback ->
+              incr ambiguous;
+              bump nt_fb lhs (fun c -> c + 1));
+            d
+          end
+          else Predict.Fallback
+      in
+      (* [cont] is the rest of the enclosing alternative after the term
+         being compiled — the branch phrases handed to [classify] must
+         extend to the end of the alternative so that
+         [Lookahead.predict lhs] (which appends FOLLOW(lhs)) covers the
+         complete right context of the choice. *)
+      let module P = Grammar.Production in
+      let rec compile_term lhs cont = function
+        | P.Sym (Grammar.Symbol.Terminal n) -> ITerm (term_id n)
+        | P.Sym (Grammar.Symbol.Nonterminal n) ->
           INonterm (Hashtbl.find nt_ids n) (* defined: checked above *)
-        | Grammar.Production.Opt ts -> IOpt (compile_seq ts, pred_of_seq ts)
-        | Grammar.Production.Star ts -> IStar (compile_seq ts, pred_of_seq ts)
-        | Grammar.Production.Plus ts -> IPlus (compile_seq ts, pred_of_seq ts)
-        | Grammar.Production.Group alts ->
+        | P.Opt ts ->
+          IOpt
+            ( compile_seq lhs cont ts,
+              pred_of_seq ts,
+              classify lhs [ ts @ cont; cont ] )
+        | P.Star ts ->
+          IStar
+            ( compile_seq lhs (P.Star ts :: cont) ts,
+              pred_of_seq ts,
+              classify lhs [ ts @ (P.Star ts :: cont); cont ] )
+        | P.Plus ts ->
+          IPlus
+            ( compile_seq lhs (P.Star ts :: cont) ts,
+              pred_of_seq ts,
+              classify lhs [ ts @ (P.Star ts :: cont); cont ] )
+        | P.Group alts ->
           IGroup
-            (Array.of_list
-               (List.map (fun a -> (compile_seq a, pred_of_seq a)) alts))
-      and compile_seq ts = Array.of_list (List.map compile_term ts) in
+            ( Array.of_list
+                (List.map
+                   (fun a -> (compile_seq lhs cont a, pred_of_seq a))
+                   alts),
+              classify lhs (List.map (fun a -> a @ cont) alts) )
+      and compile_seq lhs cont ts =
+        let rec go = function
+          | [] -> []
+          | term :: rest -> compile_term lhs (rest @ cont) term :: go rest
+        in
+        Array.of_list (go ts)
+      in
       let rules =
         Array.of_list
           (List.map
-             (fun (r : Grammar.Production.t) ->
+             (fun (r : P.t) ->
                Array.of_list
-                 (List.map (fun a -> (compile_seq a, pred_of_seq a)) r.alts))
+                 (List.map
+                    (fun a -> (compile_seq r.lhs [] a, pred_of_seq a))
+                    r.alts))
              g.rules)
       in
-      Ok { grammar = g; interner; nt_names; nt_ids; start = g.start; rules;
-           memoize; prune }
+      let alt_dispatch =
+        Array.of_list (List.map (fun (r : P.t) -> classify r.lhs r.alts) g.rules)
+      in
+      (* A non-terminal runs on the dispatch loop only when every choice
+         point of its own rule is committed *and* every rule it references
+         (transitively) is too: greatest fixpoint, demoting on any
+         uncommitted reference. Reachability is closed under reference, so
+         committed rules never point into the unreachable (Fallback)
+         region. *)
+      let nt_fast =
+        Array.map
+          (fun name ->
+            dispatch && reachable name
+            && Option.value ~default:0 (Hashtbl.find_opt nt_fb name) = 0)
+          nt_names
+      in
+      let nt_committed = Array.copy nt_fast in
+      let refs =
+        Array.of_list
+          (List.map
+             (fun (r : P.t) ->
+               List.map (Hashtbl.find nt_ids) (P.mentioned_nonterminals r))
+             g.rules)
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Array.iteri
+          (fun id ok ->
+            if
+              ok
+              && List.exists
+                   (fun r -> not (Array.unsafe_get nt_committed r))
+                   refs.(id)
+            then begin
+              nt_committed.(id) <- false;
+              changed := true
+            end)
+          nt_committed
+      done;
+      let classes =
+        List.concat
+          (List.mapi
+             (fun id (r : P.t) ->
+               if not (reachable r.lhs) then []
+               else
+                 [
+                   {
+                     nt_name = r.lhs;
+                     nt_committed = nt_committed.(id);
+                     nt_k =
+                       Option.value ~default:0 (Hashtbl.find_opt nt_k r.lhs);
+                     nt_fallbacks =
+                       Option.value ~default:0 (Hashtbl.find_opt nt_fb r.lhs);
+                   };
+                 ])
+             g.rules)
+      in
+      let summary =
+        {
+          committed_points = !k1_points + !k2_points;
+          k1_points = !k1_points;
+          k2_points = !k2_points;
+          ambiguous_points = !ambiguous;
+          committed_nts =
+            List.length
+              (List.filter (fun (c : nt_class) -> c.nt_committed) classes);
+          total_nts = List.length classes;
+          classes;
+        }
+      in
+      Ok
+        {
+          grammar = g;
+          interner;
+          nt_names;
+          nt_ids;
+          start = g.start;
+          rules;
+          alt_dispatch;
+          nt_fast;
+          nt_committed;
+          dispatch;
+          summary;
+          memoize;
+          prune;
+        }
 
 (* The memo is a flat array indexed by [nt_id * (n_tokens + 1) + pos]. A
    shared physical sentinel marks empty slots, so a legitimately empty
@@ -174,6 +381,15 @@ let acquire_memo need =
   else Array.fill !arena 0 need memo_unset;
   !arena
 
+(* CST child arena for the committed dispatch loop: a domain-local stack of
+   completed subtrees, reused across parses. A rule pushes its children as
+   they complete and pops them into a [Node] when it finishes; on failure
+   the saved stack mark is restored and the slots are simply abandoned. *)
+let dummy_cst = Cst.Node ("", [])
+
+let cst_arena : Cst.t array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Array.make 256 dummy_cst))
+
 let parse_tokens ?start t toks =
   let n = Array.length toks in
   let n_terms = Interner.size t.interner in
@@ -192,173 +408,407 @@ let parse_tokens ?start t toks =
   let kind_name i =
     if i < n then toks.(i).Lexing_gen.Token.kind else Lexing_gen.Token.eof_kind
   in
-  (* Furthest-failure tracking for error reporting: expected terminals are
-     accumulated as a bitset and rendered back through the interner only
-     when the parse actually fails. *)
-  let best_pos = ref (-1) in
-  let best_expected = bitset_make n_terms in
-  let advance_to i =
-    if i > !best_pos then begin
-      best_pos := i;
-      Bytes.fill best_expected 0 (Bytes.length best_expected) '\000';
-      true
-    end
-    else i = !best_pos
-  in
-  let expect_one i id = if advance_to i then bitset_add best_expected id in
-  let expect_set i set =
-    if advance_to i then bitset_union_into ~into:best_expected set
-  in
-  (* With pruning disabled (ablation), every alternative is attempted. *)
-  let enter_nullable (pred : pred) i =
-    (not t.prune) || pred.nullable || bitset_mem pred.first (tid i)
-  in
-  let enter_strict (pred : pred) i =
-    (not t.prune) || bitset_mem pred.first (tid i)
-  in
-  (* Memoized complete-results parsing. For each (non-terminal, position) the
-     full ordered set of derivations is computed once; since a continuation's
-     success depends only on where a derivation ends, derivations are deduped
-     by end position (first — highest-priority — tree wins). This keeps the
-     full-backtracking semantics while avoiding the exponential re-parsing
-     that naive backtracking exhibits on nested parenthesized constructs.
-     Left recursion is rejected at generation time, so the memo computation
-     never re-enters its own key. The memo is a flat array indexed by
-     [nt_id * (n + 1) + pos]; a shared sentinel marks empty slots so that a
-     legitimately empty result list is still a hit. *)
   let stride = n + 1 in
-  let memo =
-    if t.memoize then acquire_memo (Array.length t.rules * stride)
-    else [||]
+  (* ---------------------------------------------------------------- *)
+  (* The two engines are one mutually recursive group.                 *)
+  (*                                                                   *)
+  (* Committed dispatch loop (c_ functions): runs wherever an own-      *)
+  (* committed non-terminal's choice points all commit ([nt_fast]) —    *)
+  (* one or two [tid]                                                   *)
+  (* probes select the only branch that can possibly succeed, so        *)
+  (* parsing is a direct int-returning recursion: no continuation       *)
+  (* closures, no memo traffic, children on the stack arena. At a       *)
+  (* reference to a non-[nt_fast] non-terminal it drops into the        *)
+  (* memoized engine for that subtree and tries each derivation end in  *)
+  (* priority order — backtracking stays scoped to the ambiguous        *)
+  (* subtree. No expectation tracking happens on this path; any         *)
+  (* failure of a dispatching run is re-derived on the pure memoized    *)
+  (* path, which reproduces the backtracking engine's error exactly.    *)
+  (*                                                                   *)
+  (* Memoized backtracking engine (p_ functions): the previous engine,  *)
+  (* with two                                                           *)
+  (* hooks active when [use_dispatch] is on — a transitively committed  *)
+  (* non-terminal's complete derivation set is the single derivation    *)
+  (* the dispatch loop produces, and every committed choice point       *)
+  (* (even inside non-terminals that are not committed) explores only   *)
+  (* the branch its table selects: branches outside the prediction set  *)
+  (* cannot take part in any successful parse, whatever the context,    *)
+  (* because FOLLOW is the union over all contexts.                     *)
+  (* ---------------------------------------------------------------- *)
+  let stack = Domain.DLS.get cst_arena in
+  let sp = ref 0 in
+  let push c =
+    let s = !stack in
+    let len = Array.length s in
+    if !sp = len then begin
+      let s' = Array.make (2 * len) dummy_cst in
+      Array.blit s 0 s' 0 len;
+      stack := s'
+    end;
+    Array.unsafe_set !stack !sp c;
+    incr sp
   in
-  let rec p_seq seq si i acc (k : int -> Cst.t list -> Cst.t option) =
-    if si = Array.length seq then k i acc
-    else p_term (Array.unsafe_get seq si) i acc (fun j acc -> p_seq seq (si + 1) j acc k)
-  and p_term term i acc k =
+  let select d i =
+    match d with
+    | Predict.Always -> 0
+    | Predict.Fallback -> -1 (* never reached inside a committed subtree *)
+    | Predict.Commit1 table ->
+      let k = tid i in
+      if k < 0 then -1 else Array.unsafe_get table k
+    | Predict.Commit2 (table, second) -> (
+      let k1 = tid i in
+      if k1 < 0 then -1
+      else
+        match Array.unsafe_get table k1 with
+        | -2 -> (
+          match Hashtbl.find_opt second k1 with
+          | None -> -1
+          | Some row ->
+            let k2 = tid (i + 1) in
+            if k2 < 0 then -1 else Array.unsafe_get row k2)
+        | b -> b)
+  in
+  let run ~use_dispatch start_name =
+    (* The memo is acquired (and its O(rules × tokens) clear paid) only
+       when a fallback boundary is actually reached: a fully committed
+       parse never touches it. *)
+    let memo = lazy (acquire_memo (Array.length t.rules * stride)) in
+    (* Furthest-failure tracking for error reporting: expected terminals are
+       accumulated as a bitset and rendered back through the interner only
+       when the parse actually fails. *)
+    let best_pos = ref (-1) in
+    let best_expected = bitset_make n_terms in
+    let advance_to i =
+      if i > !best_pos then begin
+        best_pos := i;
+        Bytes.fill best_expected 0 (Bytes.length best_expected) '\000';
+        true
+      end
+      else i = !best_pos
+    in
+    let expect_one i id = if advance_to i then bitset_add best_expected id in
+    let expect_set i set =
+      if advance_to i then bitset_union_into ~into:best_expected set
+    in
+    (* With pruning disabled (ablation), every alternative is attempted. *)
+    let enter_nullable (pred : pred) i =
+      (not t.prune) || pred.nullable || bitset_mem pred.first (tid i)
+    in
+    let enter_strict (pred : pred) i =
+      (not t.prune) || bitset_mem pred.first (tid i)
+    in
+    let rec c_seq seq si i =
+    if si = Array.length seq then i
+    else
+      match Array.unsafe_get seq si with
+      | INonterm nid when not (Array.unsafe_get t.nt_fast nid) ->
+        (* Fallback boundary: this rule has an ambiguous point of its own,
+           so its derivations come from the memoized engine; each end
+           position is tried against the rest of this sequence in priority
+           order. The backtracking is scoped: once the rest of the sequence
+           succeeds the choice is final (should the parse fail further out,
+           the run aborts and the pure path re-derives the statement). *)
+        let name = Array.unsafe_get t.nt_names nid in
+        let rec try_ends = function
+          | [] -> -1
+          | (j, children) :: rest ->
+            let sp0 = !sp in
+            push (Cst.Node (name, children));
+            let r = c_seq seq (si + 1) j in
+            if r >= 0 then r
+            else begin
+              sp := sp0;
+              try_ends rest
+            end
+        in
+        try_ends (nonterm_results nid i)
+      | term ->
+        let j = c_term term i in
+        if j < 0 then -1 else c_seq seq (si + 1) j
+  and c_term term i =
     match term with
     | ITerm id ->
-      if tid i = id && i < n then k (i + 1) (Cst.Leaf toks.(i) :: acc)
-      else begin
-        expect_one i id;
-        None
+      if i < n && tid i = id then begin
+        push (Cst.Leaf (Array.unsafe_get toks i));
+        i + 1
       end
-    | INonterm nid ->
-      let name = Array.unsafe_get t.nt_names nid in
-      let rec try_results = function
-        | [] -> None
-        | (j, children) :: rest -> (
-          match k j (Cst.Node (name, children) :: acc) with
+      else -1
+    | INonterm nid -> c_nt nid i
+    | IOpt (s, _, d) -> if select d i = 0 then c_seq s 0 i else i
+    | IStar (s, _, d) -> c_star s d i
+    | IPlus (s, _, d) ->
+      let j = c_seq s 0 i in
+      if j < 0 then -1 else c_star s d j
+    | IGroup (alts, d) ->
+      let b = select d i in
+      if b < 0 then -1 else c_seq (fst (Array.unsafe_get alts b)) 0 i
+  and c_star s d i =
+    if select d i = 0 then begin
+      let j = c_seq s 0 i in
+      if j < 0 then -1
+        (* A committed loop body cannot be nullable (its enter set would
+           contain the skip set), so [j > i] always — kept as a guard. *)
+      else if j > i then c_star s d j
+      else i
+    end
+    else i
+  and c_nt nid i =
+    let sp0 = !sp in
+    let b =
+      select (Array.unsafe_get t.alt_dispatch nid) i
+    in
+    if b < 0 then -1
+    else
+      let alt, _ = Array.unsafe_get (Array.unsafe_get t.rules nid) b in
+      let j = c_seq alt 0 i in
+      if j < 0 then begin
+        sp := sp0;
+        -1
+      end
+      else begin
+        let s = !stack in
+        let rec collect k acc =
+          if k < sp0 then acc else collect (k - 1) (Array.unsafe_get s k :: acc)
+        in
+        let children = collect (!sp - 1) [] in
+        sp := sp0;
+        push (Cst.Node (Array.unsafe_get t.nt_names nid, children));
+        j
+      end
+    (* Memoized complete-results parsing. For each (non-terminal, position)
+       the full ordered set of derivations is computed once; since a
+       continuation's success depends only on where a derivation ends,
+       derivations are deduped by end position (first — highest-priority —
+       tree wins). This keeps the full-backtracking semantics while avoiding
+       the exponential re-parsing that naive backtracking exhibits on nested
+       parenthesized constructs. Left recursion is rejected at generation
+       time, so the memo computation never re-enters its own key. *)
+    and p_seq seq si i acc (k : int -> Cst.t list -> Cst.t option) =
+      if si = Array.length seq then k i acc
+      else
+        p_term (Array.unsafe_get seq si) i acc (fun j acc ->
+            p_seq seq (si + 1) j acc k)
+    and p_term term i acc k =
+      match term with
+      | ITerm id ->
+        if tid i = id && i < n then k (i + 1) (Cst.Leaf toks.(i) :: acc)
+        else begin
+          expect_one i id;
+          None
+        end
+      | INonterm nid ->
+        let name = Array.unsafe_get t.nt_names nid in
+        let rec try_results = function
+          | [] -> None
+          | (j, children) :: rest -> (
+            match k j (Cst.Node (name, children) :: acc) with
+            | Some _ as r -> r
+            | None -> try_results rest)
+        in
+        try_results (nonterm_results nid i)
+      | IOpt (s, pred, d) ->
+        if use_dispatch && d <> Predict.Fallback then (
+          (* Committed enter-vs-skip: the non-selected side cannot belong to
+             any successful parse, so neither it nor a backtrack into it is
+             tried. -1 (foreign token / no viable side) fails the point. *)
+          match select d i with
+          | 0 -> p_seq s 0 i acc k
+          | 1 -> k i acc
+          | _ -> None)
+        else if enter_strict pred i then (
+          match p_seq s 0 i acc k with
           | Some _ as r -> r
-          | None -> try_results rest)
-      in
-      try_results (nonterm_results nid i)
-    | IOpt (s, pred) ->
-      if enter_strict pred i then (
-        match p_seq s 0 i acc k with
+          | None -> k i acc)
+        else k i acc
+      | IStar (s, pred, d) -> p_star s pred d i acc k
+      | IPlus (s, pred, d) ->
+        p_seq s 0 i acc (fun j acc -> p_star s pred d j acc k)
+      | IGroup (alts, d) ->
+        if use_dispatch && d <> Predict.Fallback then (
+          match select d i with
+          | b when b >= 0 -> p_seq (fst (Array.unsafe_get alts b)) 0 i acc k
+          | _ -> None)
+        else
+          let len = Array.length alts in
+          let rec go a =
+            if a = len then None
+            else
+              let s, pred = Array.unsafe_get alts a in
+              if enter_nullable pred i then (
+                match p_seq s 0 i acc k with
+                | Some _ as r -> r
+                | None -> go (a + 1))
+              else begin
+                expect_set i pred.first;
+                go (a + 1)
+              end
+          in
+          go 0
+    and p_star s pred d i acc k =
+      if use_dispatch && d <> Predict.Fallback then (
+        (* Committed loop: each enter-vs-stop choice is decided by lookahead,
+           so a failed iteration fails the loop — no backtracking into a
+           shorter repetition. *)
+        match select d i with
+        | 0 ->
+          p_seq s 0 i acc (fun j acc2 ->
+              if j > i then p_star s pred d j acc2 k else k j acc2)
+        | 1 -> k i acc
+        | _ -> None)
+      else if enter_strict pred i then (
+        match
+          p_seq s 0 i acc (fun j acc2 ->
+              (* Guard against zero-progress iterations of a nullable body. *)
+              if j > i then p_star s pred d j acc2 k else k j acc2)
+        with
         | Some _ as r -> r
         | None -> k i acc)
       else k i acc
-    | IStar (s, pred) -> p_star s pred i acc k
-    | IPlus (s, pred) -> p_seq s 0 i acc (fun j acc -> p_star s pred j acc k)
-    | IGroup alts ->
-      let len = Array.length alts in
-      let rec go a =
-        if a = len then None
-        else
-          let s, pred = Array.unsafe_get alts a in
-          if enter_nullable pred i then (
-            match p_seq s 0 i acc k with
-            | Some _ as r -> r
-            | None -> go (a + 1))
-          else begin
-            expect_set i pred.first;
-            go (a + 1)
-          end
-      in
-      go 0
-  and p_star s pred i acc k =
-    if enter_strict pred i then (
-      match
-        p_seq s 0 i acc (fun j acc2 ->
-            (* Guard against zero-progress iterations of a nullable body. *)
-            if j > i then p_star s pred j acc2 k else k j acc2)
-      with
-      | Some _ as r -> r
-      | None -> k i acc)
-    else k i acc
-  and nonterm_results nid i =
-    if t.memoize && i <= n then begin
-      let idx = (nid * stride) + i in
-      let cached = Array.unsafe_get memo idx in
-      if cached != memo_unset then cached
-      else begin
-        let results = compute_results nid i in
-        Array.unsafe_set memo idx results;
-        results
+    and nonterm_results nid i =
+      if t.memoize && i <= n then begin
+        let memo = Lazy.force memo in
+        let idx = (nid * stride) + i in
+        let cached = Array.unsafe_get memo idx in
+        if cached != memo_unset then cached
+        else begin
+          let results = compute_results nid i in
+          Array.unsafe_set memo idx results;
+          results
+        end
       end
-    end
-    else compute_results nid i
-  and compute_results nid i =
-    (* Priority order is preserved by consing onto a reversed accumulator
-       and reversing once at the end — the old [!results @ [...]] rebuilt
-       the whole list per accepted candidate. The end-position membership
-       probe scans only the distinct accepted ends (almost always 0 or 1),
-       comparing unboxed ints. *)
-    let results = ref [] in
-    let rec seen j = function
-      | [] -> false
-      | (j', _) :: rest -> j = j' || seen j rest
+      else compute_results nid i
+    and compute_results nid i =
+      if use_dispatch && Array.unsafe_get t.nt_committed nid then begin
+        (* Committed subtree: its derivation is the unique one the dispatch
+           loop computes (every choice inside is decided by lookahead), so
+           the complete result set is that single derivation — or nothing. *)
+        let sp0 = !sp in
+        let j = c_nt nid i in
+        if j < 0 then []
+        else begin
+          let children =
+            match Array.unsafe_get !stack (!sp - 1) with
+            | Cst.Node (_, cs) -> cs
+            | Cst.Leaf _ -> assert false
+          in
+          sp := sp0;
+          [ (j, children) ]
+        end
+      end
+      else begin
+        (* Priority order is preserved by consing onto a reversed accumulator
+           and reversing once at the end — the old [!results @ [...]] rebuilt
+           the whole list per accepted candidate. The end-position membership
+           probe scans only the distinct accepted ends (almost always 0 or 1),
+           comparing unboxed ints. *)
+        let results = ref [] in
+        let rec seen j = function
+          | [] -> false
+          | (j', _) :: rest -> j = j' || seen j rest
+        in
+        let collect (s, (pred : pred)) =
+          if enter_nullable pred i then
+            ignore
+              (p_seq s 0 i [] (fun j acc ->
+                   if not (seen j !results) then
+                     results := (j, List.rev acc) :: !results;
+                   (* Refuse so the enumeration continues. *)
+                   None))
+          else expect_set i pred.first
+        in
+        let alts = Array.unsafe_get t.rules nid in
+        let d = Array.unsafe_get t.alt_dispatch nid in
+        (if use_dispatch && d <> Predict.Fallback && d <> Predict.Always then
+           (* Committed rule inside an uncommitted subtree (some *referenced*
+              non-terminal backtracks, but this rule's own alternatives are
+              lookahead-disjoint): only the selected alternative can yield a
+              derivation that survives into any successful parse. *)
+           let b = select d i in
+           if b >= 0 then collect (Array.unsafe_get alts b) else ()
+         else Array.iter collect alts);
+        List.rev !results
+      end
     in
-    Array.iter
-      (fun (s, pred) ->
-        if enter_nullable pred i then
-          ignore
-            (p_seq s 0 i [] (fun j acc ->
-                 if not (seen j !results) then
-                   results := (j, List.rev acc) :: !results;
-                 (* Refuse so the enumeration continues. *)
-                 None))
-        else expect_set i pred.first)
-      (Array.unsafe_get t.rules nid);
-    List.rev !results
-  in
-  let fail_result () =
-    let i = max 0 (min !best_pos (n - 1)) in
-    let pos =
-      if n = 0 then { Lexing_gen.Token.line = 1; column = 1; offset = 0 }
-      else toks.(i).Lexing_gen.Token.pos
+    let fail_result () =
+      let bp = max 0 !best_pos in
+      let pos =
+        if n = 0 then { Lexing_gen.Token.line = 1; column = 1; offset = 0 }
+        else if bp >= n then begin
+          (* Failure past the last token: report the position just past its
+             span (scanner streams end in an EOF sentinel of width 0, whose
+             own position this reproduces; the fix is visible only on
+             hand-built streams without one. The reference engine keeps the
+             historical clamp to the last token's start). *)
+          let last = toks.(n - 1) in
+          let len = String.length last.Lexing_gen.Token.text in
+          {
+            Lexing_gen.Token.line = last.Lexing_gen.Token.pos.line;
+            column = last.Lexing_gen.Token.pos.column + len;
+            offset = last.Lexing_gen.Token.pos.offset + len;
+          }
+        end
+        else toks.(bp).Lexing_gen.Token.pos
+      in
+      let expected = ref [] in
+      for id = n_terms - 1 downto 0 do
+        if bitset_mem best_expected id then
+          expected := Interner.name t.interner id :: !expected
+      done;
+      Error
+        {
+          Engine_types.pos;
+          found = kind_name bp;
+          expected = List.sort_uniq compare !expected;
+        }
     in
-    let expected = ref [] in
-    for id = n_terms - 1 downto 0 do
-      if bitset_mem best_expected id then
-        expected := Interner.name t.interner id :: !expected
-    done;
-    Error
-      {
-        Engine_types.pos;
-        found = kind_name i;
-        expected = List.sort_uniq compare !expected;
-      }
+    match Hashtbl.find_opt t.nt_ids start_name with
+    | None ->
+      (* No rule to enter: fail at the first token with an empty expected
+         set, as the string engine did for an unknown start symbol. *)
+      fail_result ()
+    | Some sid ->
+      if use_dispatch && Array.unsafe_get t.nt_fast sid then begin
+        sp := 0;
+        let j = c_nt sid 0 in
+        if j >= 0 && tid j = Interner.eof_id then begin
+          let tree = Array.unsafe_get !stack (!sp - 1) in
+          sp := 0;
+          Ok tree
+        end
+        else begin
+          sp := 0;
+          (* Error payload discarded: the caller re-derives on the pure
+             path, which tracks expectations. *)
+          fail_result ()
+        end
+      end
+      else (
+        let result =
+          p_term (INonterm sid) 0 [] (fun i acc ->
+              if tid i = Interner.eof_id then
+                match acc with [ tree ] -> Some tree | _ -> None
+              else begin
+                expect_one i Interner.eof_id;
+                None
+              end)
+        in
+        match result with
+        | Some tree -> Ok tree
+        | None -> fail_result ())
   in
   let start_name = Option.value ~default:t.start start in
-  match Hashtbl.find_opt t.nt_ids start_name with
-  | None ->
-    (* No rule to enter: fail at the first token with an empty expected
-       set, as the string engine did for an unknown start symbol. *)
-    fail_result ()
-  | Some sid -> (
-    let result =
-      p_term (INonterm sid) 0 [] (fun i acc ->
-          if tid i = Interner.eof_id then
-            match acc with [ tree ] -> Some tree | _ -> None
-          else begin
-            expect_one i Interner.eof_id;
-            None
-          end)
-    in
-    match result with
-    | Some tree -> Ok tree
-    | None -> fail_result ())
+  (* Prediction tables bake in FOLLOW sets computed for the grammar's own
+     start symbol, so an overridden entry point parses on the pure memoized
+     path. Any failure of a dispatching run is re-derived without dispatch:
+     the fast paths track no expectations, and re-running the (rare)
+     rejected statement reproduces the backtracking engine's error
+     exactly. *)
+  if not (t.dispatch && String.equal start_name t.start) then
+    run ~use_dispatch:false start_name
+  else
+    match run ~use_dispatch:true start_name with
+    | Ok _ as ok -> ok
+    | Error _ -> run ~use_dispatch:false start_name
 
 let parse ?start t token_list = parse_tokens ?start t (Array.of_list token_list)
 

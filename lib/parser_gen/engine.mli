@@ -5,11 +5,22 @@
     grammars an LL(k) generator would reject — undefined non-terminals, left
     recursion); {!parse_tokens} runs it over a token stream, producing a CST.
 
-    The execution strategy is recursive descent with ordered alternatives,
-    FIRST-set prediction (the LL(k) fast path) and full backtracking as
-    fallback (standing in for ANTLR's syntactic predicates). Optional and
-    repeated groups match greedily but are backtracked into when the
-    continuation fails.
+    The execution strategy is {e prediction-compiled} recursive descent:
+    at generation time every choice point (a rule's alternatives, a nested
+    group, an optional/repetition enter-vs-skip) is classified through
+    {!Lint.Lookahead} prediction sets. Points whose branches are LL(1)- or
+    LL(2)-disjoint become {e committed} — a dense [token id -> branch]
+    table picks the only branch that can succeed — and a non-terminal all
+    of whose points (transitively) commit parses on a direct dispatch
+    loop: no continuation closures, no memo traffic, no derivation lists,
+    CST children accumulated in a reusable stack arena. Points that stay
+    ambiguous at k = 2 retain memoized backtracking with ordered
+    alternatives and FIRST-set pruning (standing in for ANTLR's syntactic
+    predicates), scoped to the enclosing non-terminal's subtree. Both
+    paths produce identical CSTs; parse errors are always derived by the
+    backtracking path (a failed dispatching parse is re-run without
+    dispatch), so error positions and expected sets are those of the
+    backtracking engine, exactly.
 
     The generated parser is {e interned}: every terminal kind and every
     non-terminal of the composed grammar is compiled down to a dense
@@ -37,11 +48,12 @@ val pp_gen_error : gen_error Fmt.t
 val generate :
   ?memoize:bool ->
   ?prune:bool ->
+  ?dispatch:bool ->
   ?interner:Lexing_gen.Interner.t ->
   Grammar.Cfg.t ->
   (t, gen_error) result
-(** Compile a grammar to a parser. Prediction sets are precomputed here so
-    that parsing does no grammar analysis.
+(** Compile a grammar to a parser. Prediction sets and dispatch tables are
+    precomputed here so that parsing does no grammar analysis.
 
     [interner] is the scanner's terminal interner: passing it (as
     {!Core.generate} does) makes the parser trust the [kind_id] stamped on
@@ -50,12 +62,51 @@ val generate :
     fresh interner over the grammar's terminals is built and every token is
     re-interned at the parse boundary.
 
-    The two flags exist for the ablation benchmarks and default to [true]:
+    The three flags exist for ablation benchmarks and default to [true]:
     [memoize] caches each non-terminal's complete derivation set per input
     position (without it, nested constructs re-parse exponentially); [prune]
-    skips alternatives whose FIRST set excludes the lookahead token (the
-    LL(k) fast path). Disabling either only affects performance, never the
-    accepted language. *)
+    skips alternatives whose FIRST set excludes the lookahead token;
+    [dispatch] classifies choice points against LL(1)/LL(2) prediction sets
+    and commits without backtracking wherever they are disjoint
+    ([~dispatch:false] skips the lookahead analysis entirely and is the
+    previous backtracking-everywhere engine). Disabling any flag only
+    affects performance, never a parse result. *)
+
+(** {2 Choice-point classification} *)
+
+type nt_class = {
+  nt_name : string;
+  nt_committed : bool;
+      (** the whole subtree below this non-terminal parses on the committed
+          dispatch loop *)
+  nt_k : int;  (** max lookahead its own committed points consume (0–2) *)
+  nt_fallbacks : int;
+      (** its own choice points that stayed ambiguous at k = 2 — exactly
+          the rules lint reports as conflicted *)
+}
+
+type summary = {
+  committed_points : int;  (** choice points with disjoint prediction sets *)
+  k1_points : int;         (** of those, decided by one token *)
+  k2_points : int;         (** of those, needing a second token *)
+  ambiguous_points : int;  (** choice points retaining backtracking *)
+  committed_nts : int;
+  total_nts : int;         (** reachable non-terminals *)
+  classes : nt_class list; (** reachable non-terminals, grammar order *)
+}
+
+val summary : t -> summary
+(** The classification computed at {!generate} time. All zeros (and no
+    committed non-terminals) when the parser was generated with
+    [~dispatch:false]. Single-branch pseudo-choices are not counted. *)
+
+val coverage : summary -> float
+(** Committed fraction of real choice points, in [0, 1]; [1.0] when the
+    grammar has none. *)
+
+val pp_summary : summary Fmt.t
+
+val dispatch_enabled : t -> bool
 
 val grammar : t -> Grammar.Cfg.t
 val start_symbol : t -> string
@@ -79,7 +130,13 @@ val parse_tokens :
     from the grammar's start symbol (or [start]). The whole input must be
     consumed. This is the hot entry point: {!Lexing_gen.Scanner.scan_tokens}
     output flows in without conversion, and tokens stamped by the shared
-    interner are trusted by id. *)
+    interner are trusted by id.
+
+    A parse failing past the last token reports the position just past that
+    token's span and [EOF] as the found kind. On scanner streams this is
+    the trailing [EOF] sentinel's own position; it differs from
+    {!Reference} (which clamps to the last token's start) only on
+    hand-built streams without the sentinel. *)
 
 val parse :
   ?start:string -> t -> Lexing_gen.Token.t list -> (Cst.t, parse_error) result

@@ -43,7 +43,10 @@ let front_end t = t.front_end
 type batch = {
   items : item list;
   batch_stats : stats;
+  shards : int;
 }
+
+let dispatch_summary t = Parser_gen.Engine.summary t.front_end.Core.parser
 
 let further (a : (int * Parser_gen.Engine.parse_error) option) b =
   match (a, b) with
@@ -117,14 +120,29 @@ let run_sharded front_end domains stmts =
        (function Some it -> it | None -> assert false (* every index dealt *))
        out)
 
-let parse_batch ?(domains = 1) t sqls =
+let parse_batch ?(clamp = true) ?(domains = 1) t sqls =
   let stmts = Array.of_list sqls in
   let n = Array.length stmts in
+  (* Oversharding a small host is strictly counterproductive (E16 recorded
+     a 0.04x collapse at 4 domains on 1 core): unless the caller opts out,
+     the requested shard count is clamped to what the runtime recommends. *)
+  let domains =
+    let available = Domain.recommended_domain_count () in
+    if clamp && domains > available then begin
+      Printf.eprintf
+        "sqlpl: warning: %d domain(s) requested but the runtime recommends \
+         %d; clamping\n\
+         %!"
+        domains available;
+      available
+    end
+    else domains
+  in
+  let shards = if domains <= 1 || n < 2 then 1 else min domains n in
   let t0 = now () in
   let items =
-    if domains <= 1 || n < 2 then
-      List.init n (fun i -> parse_one t.front_end i stmts.(i))
-    else run_sharded t.front_end (min domains n) stmts
+    if shards = 1 then List.init n (fun i -> parse_one t.front_end i stmts.(i))
+    else run_sharded t.front_end shards stmts
   in
   let elapsed = now () -. t0 in
   let statements = n in
@@ -158,10 +176,10 @@ let parse_batch ?(domains = 1) t sqls =
   t.acc_tokens <- t.acc_tokens + tokens;
   t.acc_elapsed <- t.acc_elapsed +. elapsed;
   t.acc_furthest <- further t.acc_furthest furthest_error;
-  { items; batch_stats }
+  { items; batch_stats; shards }
 
-let parse_script ?domains t script =
-  parse_batch ?domains t (Core.split_statements script)
+let parse_script ?clamp ?domains t script =
+  parse_batch ?clamp ?domains t (Core.split_statements script)
 
 let totals t =
   let statements_per_second, tokens_per_second =

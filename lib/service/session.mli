@@ -52,19 +52,31 @@ val pp_stats : stats Fmt.t
 type batch = {
   items : item list;
   batch_stats : stats;
+  shards : int;  (** domains the batch actually ran on, after clamping *)
 }
 
-val parse_batch : ?domains:int -> t -> string list -> batch
+val parse_batch : ?clamp:bool -> ?domains:int -> t -> string list -> batch
 (** Scan and parse each statement with the pinned front-end. Failures don't
     stop the batch; they are recorded per item and aggregated.
 
     [domains] (default [1]) shards the statements round-robin across that
     many domains ([Domain.spawn] workers, capped at the batch size). Items
     come back in submission order with results identical to the sequential
-    run; [elapsed] and the derived rates measure the sharded wall time. *)
+    run; [elapsed] and the derived rates measure the sharded wall time.
 
-val parse_script : ?domains:int -> t -> string -> batch
+    By default a request exceeding [Domain.recommended_domain_count ()] is
+    clamped to it with a warning on stderr — oversharding only adds spawn
+    and contention cost. [~clamp:false] restores the unclamped behavior
+    (used by the benchmark harness to measure that collapse honestly);
+    [shards] in the result records what actually ran. *)
+
+val parse_script : ?clamp:bool -> ?domains:int -> t -> string -> batch
 (** [parse_batch] over {!Core.split_statements} of a script. *)
+
+val dispatch_summary : t -> Parser_gen.Engine.summary
+(** Choice-point classification of the pinned front-end's parser (see
+    {!Parser_gen.Engine.summary}): how much of each batch parses on
+    committed dispatch rather than backtracking. *)
 
 val totals : t -> stats
 (** Statistics accumulated over every batch run in this session. *)

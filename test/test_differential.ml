@@ -1,15 +1,25 @@
-(* Differential suite: the interned {!Parser_gen.Engine} against the
-   string-keyed {!Parser_gen.Reference} engine it replaced.
+(* Differential suite: the prediction-compiled {!Parser_gen.Engine} against
+   the string-keyed {!Parser_gen.Reference} engine it replaced.
 
    The reference engine is kept as the executable specification of the
-   parsing semantics. For every shipped dialect, both engines run over the
-   shared accept/reject corpora plus a grammar-sampled corpus, and must
-   produce identical outcomes end to end: the same CST on acceptance
-   (priority-ordered alternatives, greedy-but-backtrackable repetition),
-   and the same furthest-failure position, found token, and sorted
-   expected set on rejection. The comparison is repeated with memoization
-   and FIRST-set pruning disabled, which must change performance only,
-   never a single result. *)
+   parsing semantics. For every shipped dialect, three engines run over the
+   shared accept/reject corpora plus a grammar-sampled corpus and must
+   produce identical outcomes end to end: the {e committed} engine (the
+   default — prediction-compiled dispatch over the left-factored grammar),
+   the {e memoized} engine (same grammar, dispatch disabled: the pure
+   backtracker), and the {e reference}. Identical means the same CST on
+   acceptance (priority-ordered alternatives, greedy-but-backtrackable
+   repetition) and the same furthest-failure position, found token, and
+   sorted expected set on rejection. The comparison is repeated with
+   memoization and FIRST-set pruning disabled, and with the opt-in
+   unit-rule inlining normalization, which must change performance (or tree
+   labels, for inlining) only, never acceptance.
+
+   Left-factoring is additionally checked directly: the factored grammar
+   must yield the same CSTs and the same failure positions as the composed
+   grammar it came from, with expected sets allowed to widen to supersets
+   (a pruned group records the whole FIRST set of a residual suffix where
+   the unfactored grammar skipped an optional prefix of it silently). *)
 
 let check_bool = Alcotest.(check bool)
 
@@ -46,21 +56,25 @@ let sampled name =
     ~seed:(6007 + (Hashtbl.hash name mod 1000))
     (front_end name)
 
-let reference_of ?memoize ?prune (g : Core.generated) =
-  match Parser_gen.Reference.generate ?memoize ?prune g.Core.grammar with
+(* The grammar the shipped parser actually runs on: the left-factored form
+   of the composed grammar. *)
+let engine_grammar (g : Core.generated) = Parser_gen.Engine.grammar g.Core.parser
+
+let reference_on ?memoize ?prune grammar =
+  match Parser_gen.Reference.generate ?memoize ?prune grammar with
   | Ok r -> r
   | Error e ->
     Alcotest.failf "reference generate: %a" Parser_gen.Engine.pp_gen_error e
 
-let interned_of ?memoize ?prune (g : Core.generated) =
+let engine_on ?memoize ?prune ?dispatch (g : Core.generated) grammar =
   match
-    Parser_gen.Engine.generate ?memoize ?prune
+    Parser_gen.Engine.generate ?memoize ?prune ?dispatch
       ~interner:(Lexing_gen.Scanner.interner g.Core.scanner)
-      g.Core.grammar
+      grammar
   with
   | Ok p -> p
   | Error e ->
-    Alcotest.failf "interned generate: %a" Parser_gen.Engine.pp_gen_error e
+    Alcotest.failf "engine generate: %a" Parser_gen.Engine.pp_gen_error e
 
 (* Full structural equality: CSTs leaf-for-leaf, errors field-for-field
    (position, found token, sorted expected set). *)
@@ -80,24 +94,70 @@ let check_agree ~msg refp eng toks =
     (Parser_gen.Reference.parse refp (Array.to_list toks))
     (Parser_gen.Engine.parse_tokens eng toks)
 
-let test_default_agreement name () =
+let check_engines_agree ~msg a b toks =
+  Alcotest.check result_testable msg
+    (Parser_gen.Engine.parse_tokens a toks)
+    (Parser_gen.Engine.parse_tokens b toks)
+
+(* Three-way: committed (the shipped parser) = memoized (same factored
+   grammar, dispatch off) = reference (executable spec on that grammar). *)
+let test_three_way_agreement name () =
   let g = front_end name in
-  let refp = reference_of g in
+  let refp = reference_on (engine_grammar g) in
+  let memop = engine_on ~dispatch:false g (engine_grammar g) in
   List.iter
     (fun sql ->
       match Core.scan_tokens g sql with
       | Error _ -> () (* lexical rejection: no token stream to disagree on *)
       | Ok toks ->
-        check_agree ~msg:(Printf.sprintf "%s: %s" name sql) refp
-          g.Core.parser toks)
+        check_agree ~msg:(Printf.sprintf "%s (ref vs committed): %s" name sql)
+          refp g.Core.parser toks;
+        check_engines_agree
+          ~msg:(Printf.sprintf "%s (memo vs committed): %s" name sql)
+          memop g.Core.parser toks)
+    (corpus_for name @ sampled name)
+
+(* Factoring itself: same CSTs and failure positions as the composed
+   grammar, expected sets allowed to widen. *)
+let test_factoring_preserves name () =
+  let g = front_end name in
+  let composed = reference_on g.Core.grammar in
+  let factored = reference_on (engine_grammar g) in
+  List.iter
+    (fun sql ->
+      match Core.scan_tokens g sql with
+      | Error _ -> ()
+      | Ok toks -> (
+        let a = Parser_gen.Reference.parse composed (Array.to_list toks) in
+        let b = Parser_gen.Reference.parse factored (Array.to_list toks) in
+        match (a, b) with
+        | Ok c1, Ok c2 ->
+          Alcotest.check
+            (Alcotest.testable Parser_gen.Cst.pp ( = ))
+            (Printf.sprintf "%s factored CST: %s" name sql)
+            c1 c2
+        | Error e1, Error e2 ->
+          check_bool
+            (Printf.sprintf "%s factored failure position: %s" name sql)
+            true
+            (e1.Parser_gen.Engine.pos = e2.Parser_gen.Engine.pos
+            && e1.found = e2.found);
+          check_bool
+            (Printf.sprintf "%s factored expected superset: %s" name sql)
+            true
+            (List.for_all
+               (fun t -> List.mem t e2.Parser_gen.Engine.expected)
+               e1.Parser_gen.Engine.expected)
+        | _ ->
+          Alcotest.failf "%s factoring changed acceptance of: %s" name sql))
     (corpus_for name @ sampled name)
 
 let test_ablation_agreement name () =
   let g = front_end name in
   List.iter
     (fun (label, memoize, prune) ->
-      let refp = reference_of ~memoize ~prune g in
-      let eng = interned_of ~memoize ~prune g in
+      let refp = reference_on ~memoize ~prune (engine_grammar g) in
+      let eng = engine_on ~memoize ~prune g (engine_grammar g) in
       List.iter
         (fun sql ->
           match Core.scan_tokens g sql with
@@ -115,12 +175,33 @@ let test_ablation_agreement name () =
         (corpus_for name))
     [ ("no memoization", false, true); ("no pruning", true, false) ]
 
+(* The opt-in inlining normalization relabels trees, so the three engines
+   are compared with all of them running the same inlined grammar. *)
+let test_inlined_agreement name () =
+  let g = front_end name in
+  let inlined, _ = Grammar.Factor.normalize ~inline:true g.Core.grammar in
+  let refp = reference_on inlined in
+  let committed = engine_on g inlined in
+  let memop = engine_on ~dispatch:false g inlined in
+  List.iter
+    (fun sql ->
+      match Core.scan_tokens g sql with
+      | Error _ -> ()
+      | Ok toks ->
+        check_agree
+          ~msg:(Printf.sprintf "%s inlined (ref vs committed): %s" name sql)
+          refp committed toks;
+        check_engines_agree
+          ~msg:(Printf.sprintf "%s inlined (memo vs committed): %s" name sql)
+          memop committed toks)
+    (corpus_for name @ sampled name)
+
 let test_reinterning_boundary () =
   (* Tokens that never went through the shared scanner (hand-built, or from
      a foreign scanner) carry [no_id] or a foreign stamp; the engine must
      re-intern them by kind and still agree with the reference. *)
   let g = front_end "embedded" in
-  let refp = reference_of g in
+  let refp = reference_on (engine_grammar g) in
   List.iter
     (fun sql ->
       match Core.scan_tokens g sql with
@@ -137,22 +218,95 @@ let test_reinterning_boundary () =
           refp g.Core.parser stripped)
     (Corpus.embedded_accept @ Corpus.embedded_reject)
 
+(* Classification unit tests: lookahead strength maps to the right
+   decision, and fallback rules still parse (on the memoized path). *)
+
+let build_engine g =
+  match Parser_gen.Engine.generate g with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "generate: %a" Parser_gen.Engine.pp_gen_error e
+
+let tok kind =
+  { Lexing_gen.Token.kind; kind_id = Lexing_gen.Token.no_id; text = kind;
+    pos = { Lexing_gen.Token.line = 1; column = 1; offset = 0 } }
+
+let test_k2_commits () =
+  (* [s : A B | A C] conflicts at k = 1 (both predict A) and resolves at
+     k = 2: the whole grammar must classify committed. *)
+  let open Grammar.Builder in
+  let g =
+    grammar ~start:"s" [ rule "s" [ [ t "A"; t "B" ]; [ t "A"; t "C" ] ] ]
+  in
+  let p = build_engine g in
+  let s = Parser_gen.Engine.summary p in
+  Alcotest.(check int) "k2 points" 1 s.Parser_gen.Engine.k2_points;
+  Alcotest.(check int) "ambiguous points" 0 s.Parser_gen.Engine.ambiguous_points;
+  Alcotest.(check int) "committed nts" 1 s.Parser_gen.Engine.committed_nts;
+  check_bool "parses A C" true
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "C" ]);
+  check_bool "rejects A A" false
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "A" ])
+
+let test_ambiguous_falls_back () =
+  (* FIRST_2 of both alternatives is {A B}: no bounded lookahead separates
+     them, so the rule must keep backtracking — and still parse. *)
+  let open Grammar.Builder in
+  let g =
+    grammar ~start:"s"
+      [
+        rule "s" [ [ nt "x"; t "D" ]; [ nt "y"; t "E" ] ];
+        rule "x" [ [ t "A"; t "B" ] ];
+        rule "y" [ [ t "A"; t "B"; t "C" ] ];
+      ]
+  in
+  let p = build_engine g in
+  let s = Parser_gen.Engine.summary p in
+  Alcotest.(check int) "ambiguous points" 1 s.Parser_gen.Engine.ambiguous_points;
+  let cls =
+    List.find
+      (fun c -> c.Parser_gen.Engine.nt_name = "s")
+      s.Parser_gen.Engine.classes
+  in
+  check_bool "s not committed" false cls.Parser_gen.Engine.nt_committed;
+  Alcotest.(check int) "s fallback points" 1 cls.Parser_gen.Engine.nt_fallbacks;
+  (* x and y commit on their own; s consumes them through the memo path. *)
+  check_bool "parses A B D" true
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "B"; tok "D" ]);
+  check_bool "parses A B C E" true
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "B"; tok "C"; tok "E" ]);
+  check_bool "rejects A B C D" false
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "B"; tok "C"; tok "D" ])
+
 let suite =
   List.concat_map
     (fun (d : Dialects.Dialect.t) ->
       let name = d.Dialects.Dialect.name in
       [
         Alcotest.test_case
-          (Printf.sprintf "%s: interned = reference (corpus + sampled)" name)
+          (Printf.sprintf
+             "%s: committed = memoized = reference (corpus + sampled)" name)
           `Quick
-          (test_default_agreement name);
+          (test_three_way_agreement name);
+        Alcotest.test_case
+          (Printf.sprintf "%s: left-factoring preserves CSTs and positions"
+             name)
+          `Quick
+          (test_factoring_preserves name);
         Alcotest.test_case
           (Printf.sprintf "%s: ablations change nothing but speed" name)
           `Quick
           (test_ablation_agreement name);
+        Alcotest.test_case
+          (Printf.sprintf "%s: inlined grammar agrees across engines" name)
+          `Quick
+          (test_inlined_agreement name);
       ])
     Dialects.Dialect.all
   @ [
       Alcotest.test_case "unstamped tokens are re-interned" `Quick
         test_reinterning_boundary;
+      Alcotest.test_case "k=2-resolvable grammar classifies committed" `Quick
+        test_k2_commits;
+      Alcotest.test_case "ambiguous grammar falls back to backtracking" `Quick
+        test_ambiguous_falls_back;
     ]

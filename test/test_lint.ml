@@ -340,6 +340,25 @@ let test_dialects_lint_clean_at_error () =
           (D.errors diags))
     (all_dialects ())
 
+let test_dialects_dispatch_coverage () =
+  (* The product-line gate behind E17: any dialect that lints clean at
+     Error must parse almost entirely on committed dispatch — at least 90%
+     of its choice points decided by k <= 2 lookahead tables. A dialect
+     falling under the floor means a newly introduced conflict demoted a
+     whole region of the grammar to backtracking. *)
+  List.iter
+    (fun (d : Dialects.Dialect.t) ->
+      match Core.generate_dialect d with
+      | Error _ -> Alcotest.failf "%s must generate" d.Dialects.Dialect.name
+      | Ok g ->
+        let s = Core.dispatch_summary g in
+        let coverage = Parser_gen.Engine.coverage s in
+        check_bool
+          (Printf.sprintf "%s: %.1f%% of choice points committed (floor 90%%)"
+             d.Dialects.Dialect.name (100. *. coverage))
+          true (coverage >= 0.9))
+    (all_dialects ())
+
 let test_ll2_covers_every_ll1_conflict () =
   (* Every conflict ll1_conflicts reports must resurface as a lint
      diagnostic carrying a concrete 1-2 token witness sequence. *)
@@ -453,6 +472,8 @@ let suite =
       test_broken_selection_has_error_witness;
     Alcotest.test_case "dialects lint clean at Error" `Quick
       test_dialects_lint_clean_at_error;
+    Alcotest.test_case "dialects >=90% committed dispatch" `Quick
+      test_dialects_dispatch_coverage;
     Alcotest.test_case "LL(2) covers every LL(1) conflict" `Quick
       test_ll2_covers_every_ll1_conflict;
     Alcotest.test_case "lookahead k1 parity on dialects" `Quick

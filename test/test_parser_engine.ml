@@ -134,6 +134,33 @@ let test_error_at_eof () =
   | Ok _ -> Alcotest.fail "must fail"
   | Error e -> Alcotest.(check string) "found EOF" "EOF" e.Engine.found
 
+let test_error_past_last_token () =
+  (* A failure past the last token of a hand-built stream (no EOF
+     sentinel) reports the position just past that token's span — not the
+     token's own start, which the engine historically (and the reference
+     engine still) clamps to. On scanner streams the two agree because the
+     sentinel itself sits past the last real token. *)
+  let p =
+    gen
+      (grammar ~start:"s"
+         [ rule "s" [ [ t "SELECT"; t "IDENT" ] ] ])
+  in
+  let tok =
+    {
+      Lexing_gen.Token.kind = "SELECT";
+      kind_id = Lexing_gen.Token.no_id;
+      text = "SELECT";
+      pos = { Lexing_gen.Token.line = 1; column = 1; offset = 0 };
+    }
+  in
+  match Engine.parse p [ tok ] with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error e ->
+    Alcotest.(check string) "found EOF" "EOF" e.Engine.found;
+    check_int "column past SELECT" 7 e.Engine.pos.Lexing_gen.Token.column;
+    check_int "offset past SELECT" 6 e.Engine.pos.Lexing_gen.Token.offset;
+    check_bool "expected IDENT" true (List.mem "IDENT" e.Engine.expected)
+
 let test_trailing_input_rejected () =
   match parse arith "1 2" with
   | Ok _ -> Alcotest.fail "must fail"
@@ -200,6 +227,8 @@ let suite =
     Alcotest.test_case "error position and expected set" `Quick
       test_error_position_and_expected;
     Alcotest.test_case "error at EOF" `Quick test_error_at_eof;
+    Alcotest.test_case "error past last token" `Quick
+      test_error_past_last_token;
     Alcotest.test_case "trailing input rejected" `Quick test_trailing_input_rejected;
     Alcotest.test_case "reject left recursion" `Quick test_generate_rejects_left_recursion;
     Alcotest.test_case "reject undefined nonterminal" `Quick test_generate_rejects_undefined;

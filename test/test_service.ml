@@ -228,8 +228,11 @@ let test_batch_domains_deterministic () =
     @ Service.Sentences.sample ~count:30 ~seed:99
         (Service.Session.front_end sequential)
   in
+  (* [~clamp:false] so the sharded path is genuinely exercised even on a
+     single-core host, where the default clamp would collapse it to one
+     domain. *)
   let b1 = Service.Session.parse_batch ~domains:1 sequential stmts in
-  let b4 = Service.Session.parse_batch ~domains:4 sharded stmts in
+  let b4 = Service.Session.parse_batch ~clamp:false ~domains:4 sharded stmts in
   List.iter2
     (fun (i1 : Service.Session.item) (i4 : Service.Session.item) ->
       check_int "same index" i1.Service.Session.index i4.Service.Session.index;
@@ -256,13 +259,45 @@ let test_batch_domains_deterministic () =
     (s1.Service.Session.furthest_error = s4.Service.Session.furthest_error);
   (* More domains than statements: workers are capped at the batch size. *)
   let b_over =
-    Service.Session.parse_batch ~domains:16 sharded
+    Service.Session.parse_batch ~clamp:false ~domains:16 sharded
       [ "SELECT name FROM items"; "SELECT a FROM"; "DROP TABLE items" ]
   in
   check_int "oversubscribed batch parses everything" 3
     b_over.Service.Session.batch_stats.Service.Session.statements;
   check_int "oversubscribed batch accepts" 2
     b_over.Service.Session.batch_stats.Service.Session.accepted
+
+let test_batch_domains_clamped () =
+  (* By default a request for more domains than the runtime recommends is
+     clamped (oversharding a small host only adds spawn and contention
+     cost): the batch still parses everything, in submission order, with
+     results identical to the sequential run, and [shards] records what
+     actually ran. *)
+  let reference = session_for "embedded" in
+  let clamped = session_for "embedded" in
+  let stmts = Corpus.embedded_accept @ Corpus.embedded_reject in
+  let b1 = Service.Session.parse_batch ~domains:1 reference stmts in
+  let b8 = Service.Session.parse_batch ~domains:8 clamped stmts in
+  check_bool "shards never exceed the recommendation" true
+    (b8.Service.Session.shards <= Domain.recommended_domain_count ());
+  check_int "clamped batch parses everything"
+    b1.Service.Session.batch_stats.Service.Session.statements
+    b8.Service.Session.batch_stats.Service.Session.statements;
+  List.iter2
+    (fun (i1 : Service.Session.item) (i8 : Service.Session.item) ->
+      check_int "order unchanged" i1.Service.Session.index
+        i8.Service.Session.index;
+      check_bool
+        (Printf.sprintf "same result: %s" i1.Service.Session.sql)
+        true
+        (i1.Service.Session.result = i8.Service.Session.result))
+    b1.Service.Session.items b8.Service.Session.items;
+  (* Opting out keeps the requested shard count (capped by batch size). *)
+  let unclamped =
+    Service.Session.parse_batch ~clamp:false ~domains:8 clamped stmts
+  in
+  check_int "clamp:false honors the request" (min 8 (List.length stmts))
+    unclamped.Service.Session.shards
 
 let test_session_script_split () =
   let session = session_for "minimal" in
@@ -292,6 +327,8 @@ let suite =
       test_session_totals_accumulate;
     Alcotest.test_case "domain-sharded batches are deterministic" `Quick
       test_batch_domains_deterministic;
+    Alcotest.test_case "domain requests are clamped by default" `Quick
+      test_batch_domains_clamped;
     Alcotest.test_case "script batches split on semicolons" `Quick
       test_session_script_split;
   ]
