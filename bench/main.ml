@@ -363,9 +363,11 @@ let e16_row ~smoke ~domain_counts name =
     time_avg (fun () ->
         List.iter
           (fun sql ->
-            match Core.scan g sql with
+            match Core.scan_tokens g sql with
             | Ok toks ->
-              ignore (Sys.opaque_identity (Parser_gen.Reference.parse refp toks))
+              ignore
+                (Sys.opaque_identity
+                   (Parser_gen.Reference.parse refp (Array.to_list toks)))
             | Error e -> Fmt.failwith "%a" Core.pp_error e)
           statements)
   in
@@ -672,6 +674,142 @@ let report_e17 ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E18: bytecode VM + SoA token stream vs. the committed loop.         *)
+(* End-to-end (scan + parse), since the SoA stream's zero-allocation   *)
+(* scan is half the point. Emits BENCH_e18.json.                       *)
+(* ------------------------------------------------------------------ *)
+
+type e18_row = {
+  e18_dialect : string;
+  e18_statements : int;
+  e18_tokens : int;
+  e18_com_sps : float;   (* committed loop over materialized tokens *)
+  e18_com_tps : float;
+  e18_vm_sps : float;    (* bytecode VM over the SoA stream, building CSTs *)
+  e18_vm_tps : float;
+  e18_rec_sps : float;   (* VM recognition: no tokens, no CST *)
+  e18_rec_tps : float;
+  e18_program_size : int;
+  e18_compiled_nts : int;
+  e18_total_nts : int;
+}
+
+let e18_row ~smoke name =
+  let d, g = dialect name in
+  let statements = e16_workload ~smoke g d in
+  let n = List.length statements in
+  let token_total = e16_token_total g statements in
+  (* End-to-end timing: every engine pays its own scan. The committed
+     baseline is exactly the shipped [Core.parse_cst] pipeline
+     (materialized token array into the dispatch loop); the VM rows run
+     [Core.parse_cst_vm] (SoA stream, lazily materialized leaves) and
+     [Core.recognize] (SoA stream, no CST — the zero-allocation path). *)
+  let pipeline_time parse =
+    time_avg (fun () ->
+        List.iter
+          (fun sql -> ignore (Sys.opaque_identity (parse g sql)))
+          statements)
+  in
+  let com_time = pipeline_time Core.parse_cst in
+  let vm_time = pipeline_time Core.parse_cst_vm in
+  let rec_time = pipeline_time Core.recognize in
+  let program_size, compiled_nts =
+    match Parser_gen.Engine.program g.Core.parser with
+    | Some p -> (Parser_gen.Program.size p, Parser_gen.Program.compiled_nts p)
+    | None -> (0, 0)
+  in
+  {
+    e18_dialect = name;
+    e18_statements = n;
+    e18_tokens = token_total;
+    e18_com_sps = float n /. com_time;
+    e18_com_tps = float token_total /. com_time;
+    e18_vm_sps = float n /. vm_time;
+    e18_vm_tps = float token_total /. vm_time;
+    e18_rec_sps = float n /. rec_time;
+    e18_rec_tps = float token_total /. rec_time;
+    e18_program_size = program_size;
+    e18_compiled_nts = compiled_nts;
+    e18_total_nts =
+      (Parser_gen.Engine.summary g.Core.parser).Parser_gen.Engine.total_nts;
+  }
+
+let write_e18_json rows =
+  let oc = open_out "BENCH_e18.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"e18\",\n";
+  p "  \"basis\": \"end-to-end (scan + parse per engine)\",\n";
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      p
+        "    {\"dialect\": %S, \"statements\": %d, \"tokens\": %d,\n\
+        \     \"committed_stmts_per_s\": %.0f, \"committed_tokens_per_s\": \
+         %.0f,\n\
+        \     \"vm_stmts_per_s\": %.0f, \"vm_tokens_per_s\": %.0f,\n\
+        \     \"vm_recognize_stmts_per_s\": %.0f, \
+         \"vm_recognize_tokens_per_s\": %.0f,\n\
+        \     \"speedup_vm_vs_committed\": %.2f, \
+         \"speedup_recognize_vs_committed\": %.2f,\n\
+        \     \"program_size_ints\": %d, \"compiled_nonterminals\": %d, \
+         \"total_nonterminals\": %d}%s\n"
+        row.e18_dialect row.e18_statements row.e18_tokens row.e18_com_sps
+        row.e18_com_tps row.e18_vm_sps row.e18_vm_tps row.e18_rec_sps
+        row.e18_rec_tps
+        (if row.e18_com_tps > 0. then row.e18_vm_tps /. row.e18_com_tps
+         else 0.)
+        (if row.e18_com_tps > 0. then row.e18_rec_tps /. row.e18_com_tps
+         else 0.)
+        row.e18_program_size row.e18_compiled_nts row.e18_total_nts
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let report_e18 ?(smoke = false) () =
+  pf "\n== E18: bytecode VM + SoA stream vs. committed loop (end-to-end) ==\n";
+  let names =
+    if smoke then [ "embedded"; "analytics" ]
+    else
+      List.map
+        (fun ((d : Dialects.Dialect.t), _) -> d.name)
+        generated_dialects
+  in
+  let rows = List.map (e18_row ~smoke) names in
+  pf "%-10s %6s %8s %13s %13s %13s %8s %8s %9s\n" "dialect" "stmts" "tokens"
+    "commit tok/s" "vm tok/s" "recog tok/s" "vm x" "recog x" "program";
+  List.iter
+    (fun row ->
+      pf "%-10s %6d %8d %11.0f/s %11.0f/s %11.0f/s %7.2fx %7.2fx %6d ints\n"
+        row.e18_dialect row.e18_statements row.e18_tokens row.e18_com_tps
+        row.e18_vm_tps row.e18_rec_tps
+        (if row.e18_com_tps > 0. then row.e18_vm_tps /. row.e18_com_tps
+         else 0.)
+        (if row.e18_com_tps > 0. then row.e18_rec_tps /. row.e18_com_tps
+         else 0.)
+        row.e18_program_size)
+    rows;
+  (* The smoke run doubles as a correctness gate for the harness itself:
+     every statement must agree across the three pipelines. *)
+  List.iter
+    (fun name ->
+      let d, g = dialect name in
+      List.iter
+        (fun sql ->
+          let a = Result.is_ok (Core.parse_cst g sql) in
+          let b = Result.is_ok (Core.parse_cst_vm g sql) in
+          let c = Result.is_ok (Core.recognize g sql) in
+          if a <> b || a <> c then
+            Fmt.failwith "engines disagree on %S (%s)" sql
+              d.Dialects.Dialect.name)
+        (e16_workload ~smoke:true g d))
+    names;
+  if not smoke then begin
+    write_e18_json rows;
+    pf "(wrote BENCH_e18.json)\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Timed series (Bechamel)                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -716,8 +854,8 @@ let bench_e9 =
 (* E10: scanner throughput, tailored vs. full token set. *)
 let bench_e10 =
   let scan scanner () =
-    match Lexing_gen.Scanner.scan scanner Workloads.scanner_input with
-    | Ok tokens -> ignore (Sys.opaque_identity (List.length tokens))
+    match Lexing_gen.Scanner.scan_tokens scanner Workloads.scanner_input with
+    | Ok tokens -> ignore (Sys.opaque_identity (Array.length tokens))
     | Error e -> Fmt.failwith "%a" Lexing_gen.Scanner.pp_error e
   in
   let tailored = Lexing_gen.Scanner.create (snd (dialect "embedded")).Core.tokens in
@@ -801,8 +939,8 @@ let bench_e13 =
   let tokens =
     List.map
       (fun sql ->
-        match Lexing_gen.Scanner.scan scanner sql with
-        | Ok ts -> ts
+        match Lexing_gen.Scanner.scan_tokens scanner sql with
+        | Ok ts -> Array.to_list ts
         | Error e -> Fmt.failwith "%a" Lexing_gen.Scanner.pp_error e)
       workload
   in
@@ -874,8 +1012,11 @@ let () =
     report_e16 ~smoke:true ()
   | Some "e17" -> report_e17 ()
   | Some "e17-smoke" -> report_e17 ~smoke:true ()
+  | Some "e18" -> report_e18 ()
+  | Some "e18-smoke" -> report_e18 ~smoke:true ()
   | Some other ->
-    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17)" other
+    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17 e18)"
+      other
   | None ->
     report_e1 ();
     report_e6 ();
@@ -885,6 +1026,7 @@ let () =
     report_e15 ();
     report_e16 ();
     report_e17 ();
+    report_e18 ();
     pf "\n== E8-E13: timed series ==\n";
     run_benchmarks
       (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

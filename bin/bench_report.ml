@@ -1,0 +1,324 @@
+(* [sqlpl bench report]: merge the checked-in BENCH_*.json artifacts into
+   one markdown trajectory — per experiment, per dialect, the throughput of
+   every engine that experiment measured, plus a cross-experiment frontier
+   table showing how the fastest engine moved as the pipeline grew
+   (reference -> interned -> committed dispatch -> bytecode VM).
+
+   The artifacts are written by [bench/main.ml] with plain [Printf], so the
+   reader below is a deliberately small recursive-descent JSON parser — no
+   dependency is worth pulling in for files we generate ourselves. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+(* --- parsing ------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+let skip_ws s =
+  while
+    s.pos < String.length s.src
+    && (match s.src.[s.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    s.pos <- s.pos + 1
+  done
+
+let expect s c =
+  skip_ws s;
+  match peek s with
+  | Some d when d = c -> s.pos <- s.pos + 1
+  | Some d -> raise (Bad (Printf.sprintf "expected %C, found %C at %d" c d s.pos))
+  | None -> raise (Bad (Printf.sprintf "expected %C, found end of input" c))
+
+let parse_string s =
+  expect s '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if s.pos >= String.length s.src then raise (Bad "unterminated string")
+    else
+      match s.src.[s.pos] with
+      | '"' -> s.pos <- s.pos + 1
+      | '\\' ->
+        if s.pos + 1 >= String.length s.src then raise (Bad "bad escape");
+        (match s.src.[s.pos + 1] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          (* Artifacts we write are ASCII; map the escape to '?' rather than
+             decode surrogate pairs. *)
+          if s.pos + 5 >= String.length s.src then raise (Bad "bad \\u");
+          s.pos <- s.pos + 4;
+          Buffer.add_char b '?'
+        | c -> raise (Bad (Printf.sprintf "bad escape \\%C" c)));
+        s.pos <- s.pos + 2;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        s.pos <- s.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number s =
+  let start = s.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while s.pos < String.length s.src && is_num_char s.src.[s.pos] do
+    s.pos <- s.pos + 1
+  done;
+  match float_of_string_opt (String.sub s.src start (s.pos - start)) with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "bad number at %d" start))
+
+let literal s word v =
+  let n = String.length word in
+  if
+    s.pos + n <= String.length s.src
+    && String.sub s.src s.pos n = word
+  then begin
+    s.pos <- s.pos + n;
+    v
+  end
+  else raise (Bad (Printf.sprintf "bad literal at %d" s.pos))
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | Some '{' ->
+    s.pos <- s.pos + 1;
+    skip_ws s;
+    if peek s = Some '}' then begin
+      s.pos <- s.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws s;
+        let key = parse_string s in
+        expect s ':';
+        let v = parse_value s in
+        skip_ws s;
+        match peek s with
+        | Some ',' ->
+          s.pos <- s.pos + 1;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          s.pos <- s.pos + 1;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> raise (Bad "expected , or } in object")
+      in
+      members []
+    end
+  | Some '[' ->
+    s.pos <- s.pos + 1;
+    skip_ws s;
+    if peek s = Some ']' then begin
+      s.pos <- s.pos + 1;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value s in
+        skip_ws s;
+        match peek s with
+        | Some ',' ->
+          s.pos <- s.pos + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          s.pos <- s.pos + 1;
+          Arr (List.rev (v :: acc))
+        | _ -> raise (Bad "expected , or ] in array")
+      in
+      elements []
+    end
+  | Some '"' -> Str (parse_string s)
+  | Some 't' -> literal s "true" (Bool true)
+  | Some 'f' -> literal s "false" (Bool false)
+  | Some 'n' -> literal s "null" Null
+  | Some _ -> Num (parse_number s)
+  | None -> raise (Bad "unexpected end of input")
+
+let parse_file path =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let s = { src; pos = 0 } in
+  let v = parse_value s in
+  skip_ws s;
+  v
+
+(* --- extraction --------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let as_str = function Some (Str s) -> Some s | _ -> None
+let as_num = function Some (Num f) -> Some f | _ -> None
+let as_arr = function Some (Arr l) -> l | _ -> []
+
+(* One throughput measurement: experiment, dialect, engine label, rates. *)
+type point = {
+  experiment : string;
+  dialect : string;
+  engine : string;
+  stmts_per_s : float option;
+  tokens_per_s : float option;
+}
+
+let strip_suffix ~suffix s =
+  if String.length s > String.length suffix
+     && String.sub s (String.length s - String.length suffix)
+          (String.length suffix)
+        = suffix
+  then Some (String.sub s 0 (String.length s - String.length suffix))
+  else None
+
+(* An engine is any field family [<engine>_tokens_per_s] /
+   [<engine>_stmts_per_s] in a row object — the artifacts name engines in
+   the fields, so new experiments join the report without code changes. *)
+let points_of_row experiment row =
+  match as_str (member "dialect" row) with
+  | None -> []
+  | Some dialect ->
+    let fields = match row with Obj kvs -> kvs | _ -> [] in
+    let engines =
+      List.filter_map
+        (fun (k, _) -> strip_suffix ~suffix:"_tokens_per_s" k)
+        fields
+    in
+    List.map
+      (fun engine ->
+        {
+          experiment;
+          dialect;
+          engine;
+          stmts_per_s = as_num (member (engine ^ "_stmts_per_s") row);
+          tokens_per_s = as_num (member (engine ^ "_tokens_per_s") row);
+        })
+      engines
+
+let points_of_file path =
+  match parse_file path with
+  | exception Bad msg ->
+    Printf.eprintf "sqlpl: warning: skipping %s: %s\n%!" path msg;
+    (None, [])
+  | j ->
+    let experiment =
+      match as_str (member "experiment" j) with
+      | Some e -> e
+      | None -> Filename.remove_extension (Filename.basename path)
+    in
+    let rows = as_arr (member "rows" j) in
+    (Some experiment, List.concat_map (points_of_row experiment) rows)
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let rate ppf = function
+  | None -> Fmt.pf ppf "—"
+  | Some f -> Fmt.pf ppf "%.0f" f
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let render ppf ~sources ~experiments points =
+  Fmt.pf ppf "# Benchmark trajectory@\n@\n";
+  Fmt.pf ppf
+    "Generated by `sqlpl bench report` from %s. Rates are end-of-run@\n\
+     throughputs as recorded by each experiment; experiments measure on@\n\
+     different bases (parse-only vs scan+parse), so compare engines within@\n\
+     a row's experiment, and read a dialect's row across experiments as the@\n\
+     trajectory of the shipped configuration.@\n@\n"
+    (String.concat ", " (List.map Filename.basename sources));
+  (* Per-experiment tables. *)
+  List.iter
+    (fun experiment ->
+      let mine = List.filter (fun p -> p.experiment = experiment) points in
+      if mine <> [] then begin
+        Fmt.pf ppf "## %s@\n@\n" experiment;
+        Fmt.pf ppf "| dialect | engine | stmts/s | tokens/s |@\n";
+        Fmt.pf ppf "|---|---|---:|---:|@\n";
+        List.iter
+          (fun p ->
+            Fmt.pf ppf "| %s | %s | %a | %a |@\n" p.dialect p.engine rate
+              p.stmts_per_s rate p.tokens_per_s)
+          mine;
+        Fmt.pf ppf "@\n"
+      end)
+    experiments;
+  (* Frontier: per dialect, the best tokens/s any engine reached in each
+     experiment. *)
+  let dialects = dedup (List.map (fun p -> p.dialect) points) in
+  let with_rows =
+    List.filter
+      (fun e -> List.exists (fun p -> p.experiment = e) points)
+      experiments
+  in
+  if dialects <> [] && with_rows <> [] then begin
+    Fmt.pf ppf "## Frontier (best tokens/s per experiment)@\n@\n";
+    Fmt.pf ppf "| dialect |%s@\n"
+      (String.concat ""
+         (List.map (fun e -> Printf.sprintf " %s |" e) with_rows));
+    Fmt.pf ppf "|---|%s@\n"
+      (String.concat "" (List.map (fun _ -> "---:|") with_rows));
+    List.iter
+      (fun dialect ->
+        Fmt.pf ppf "| %s |" dialect;
+        List.iter
+          (fun e ->
+            let best =
+              List.fold_left
+                (fun acc p ->
+                  if p.experiment = e && p.dialect = dialect then
+                    match (p.tokens_per_s, acc) with
+                    | Some f, Some b -> Some (max f b)
+                    | Some f, None -> Some f
+                    | None, _ -> acc
+                  else acc)
+                None points
+            in
+            Fmt.pf ppf " %a |" rate best)
+          with_rows;
+        Fmt.pf ppf "@\n")
+      dialects;
+    Fmt.pf ppf "@\n"
+  end
+
+let run ~dir ~output =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then Error (Printf.sprintf "no BENCH_*.json files in %s" dir)
+  else begin
+    let parsed = List.map points_of_file files in
+    let experiments = List.filter_map fst parsed in
+    let points = List.concat_map snd parsed in
+    let doc =
+      Fmt.str "%a" (fun ppf () -> render ppf ~sources:files ~experiments points) ()
+    in
+    (match output with
+    | None -> print_string doc
+    | Some path -> Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc doc));
+    Ok ()
+  end

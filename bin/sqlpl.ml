@@ -257,25 +257,31 @@ let parse_cmd =
   let engine_arg =
     let doc =
       "Parsing engine: $(b,committed) (prediction-compiled LL(k) dispatch on \
-       the normalized grammar — the default), $(b,memo) (memoized \
-       backtracking on the composed grammar, no dispatch tables) or \
-       $(b,reference) (the executable-specification engine; single \
-       statements only). All three accept the same language and build the \
-       same trees; they differ in speed."
+       the normalized grammar — the default), $(b,vm) (the committed region \
+       compiled further, to flat bytecode executed over the zero-allocation \
+       struct-of-arrays token stream), $(b,memo) (memoized backtracking on \
+       the composed grammar, no dispatch tables) or $(b,reference) (the \
+       executable-specification engine; single statements only). All four \
+       accept the same language and build the same trees; they differ in \
+       speed."
     in
     Arg.(
       value
       & opt
           (enum
-             [ ("committed", `Committed); ("memo", `Memo);
+             [ ("committed", `Committed); ("vm", `Vm); ("memo", `Memo);
                ("reference", `Reference) ])
           `Committed
       & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
-  let run_batch g path domains =
+  let run_batch g engine path domains =
     if domains < 1 then fail "--domains must be at least 1"
     else begin
-    let session = Service.Session.create g in
+    let session =
+      Service.Session.create
+        ~engine:(match engine with `Vm -> `Vm | _ -> `Committed)
+        g
+    in
     let script = In_channel.with_open_text path In_channel.input_all in
     let batch = Service.Session.parse_script ~domains session script in
     List.iter
@@ -333,7 +339,7 @@ let parse_cmd =
         match (batch, sql) with
         | Some _, _ when engine = `Reference ->
           fail "--engine reference parses single statements only"
-        | Some path, None -> run_batch g path domains
+        | Some path, None -> run_batch g engine path domains
         | Some _, Some _ -> fail "--batch and a SQL argument are exclusive"
         | None, None -> fail "a SQL statement (or --batch FILE) is required"
         | None, Some sql when engine = `Reference ->
@@ -347,7 +353,10 @@ let parse_cmd =
               `Ok ()
             | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
           else (
-            match Core.parse_cst g sql with
+            let parse =
+              match engine with `Vm -> Core.parse_cst_vm | _ -> Core.parse_cst
+            in
+            match parse g sql with
             | Ok cst ->
               Fmt.pr "%a@." Parser_gen.Cst.pp cst;
               `Ok ()
@@ -570,6 +579,40 @@ let cache_cmd =
              hit/miss statistics")
     [ cache_stats_cmd; cache_key_cmd ]
 
+(* --- bench -------------------------------------------------------------------- *)
+
+let bench_report_cmd =
+  let dir_arg =
+    let doc =
+      "Directory holding the $(b,BENCH_*.json) artifacts (the repository \
+       root by default)."
+    in
+    Arg.(value & opt dir "." & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the markdown report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run dir output =
+    match Bench_report.run ~dir ~output with
+    | Ok () -> `Ok ()
+    | Error msg -> fail "%s" msg
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Merge every checked-in BENCH_*.json benchmark artifact into one \
+             markdown trajectory: per experiment and dialect, each measured \
+             engine's throughput, plus the cross-experiment frontier")
+    Term.(ret (const run $ dir_arg $ output_arg))
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Benchmark artifacts: the measurement runs live in bench/main \
+             (dune exec bench/main.exe -- eNN); this group reads their \
+             recorded results")
+    [ bench_report_cmd ]
+
 (* --- configure ----------------------------------------------------------------- *)
 
 let configure_cmd =
@@ -658,5 +701,5 @@ let () =
           [
             dialects_cmd; features_cmd; diagram_cmd; validate_cmd; grammar_cmd;
             tokens_cmd; parse_cmd; emit_cmd; report_cmd; lint_cmd; diff_cmd;
-            cache_cmd; configure_cmd; run_cmd;
+            cache_cmd; bench_cmd; configure_cmd; run_cmd;
           ]))

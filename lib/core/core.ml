@@ -58,19 +58,33 @@ let generate ?(label = "custom") config =
 let generate_dialect (d : Dialects.Dialect.t) =
   generate ~label:d.Dialects.Dialect.name d.Dialects.Dialect.config
 
-let scan g sql =
-  Result.map_error (fun e -> Lex_error e) (Lexing_gen.Scanner.scan g.scanner sql)
-
 let scan_tokens g sql =
   Result.map_error
     (fun e -> Lex_error e)
     (Lexing_gen.Scanner.scan_tokens g.scanner sql)
+
+let scan_soa g sql =
+  Result.map_error
+    (fun e -> Lex_error e)
+    (Lexing_gen.Scanner.scan_soa g.scanner sql)
 
 let parse_cst g sql =
   let* tokens = scan_tokens g sql in
   Result.map_error
     (fun e -> Parse_error e)
     (Parser_gen.Engine.parse_tokens g.parser tokens)
+
+let parse_cst_vm g sql =
+  let* soa = scan_soa g sql in
+  Result.map_error
+    (fun e -> Parse_error e)
+    (Parser_gen.Engine.parse_soa g.parser ~scanner:g.scanner soa)
+
+let recognize g sql =
+  let* soa = scan_soa g sql in
+  Result.map_error
+    (fun e -> Parse_error e)
+    (Parser_gen.Engine.recognize_soa g.parser ~scanner:g.scanner soa)
 
 let parse_statement g sql =
   let* cst = parse_cst g sql in

@@ -43,18 +43,30 @@ val generate : ?label:string -> Feature.Config.t -> (generated, error) result
 
 val generate_dialect : Dialects.Dialect.t -> (generated, error) result
 
-val scan :
-  generated -> string -> (Lexing_gen.Token.t list, error) result
-
 val scan_tokens :
   generated -> string -> (Lexing_gen.Token.t array, error) result
-(** Array view of {!scan}: the scanner's native output, consumed without
-    conversion by {!Parser_gen.Engine.parse_tokens}. The array ends with
-    the [EOF] sentinel, so the statement's token count is
+(** Tokenize one statement into materialized [Token.t] records. The array
+    ends with the [EOF] sentinel, so the statement's token count is
     [Array.length tokens - 1]. *)
 
+val scan_soa :
+  generated -> string -> (Lexing_gen.Scanner.soa, error) result
+(** Tokenize into the scanner's per-domain struct-of-arrays arena: zero
+    per-token allocation, invalidated by the next scan on the same domain.
+    See {!Lexing_gen.Scanner.scan_soa}. *)
+
 val parse_cst : generated -> string -> (Parser_gen.Cst.t, error) result
-(** Scan and parse one statement to a concrete syntax tree. *)
+(** Scan and parse one statement to a concrete syntax tree (committed
+    dispatch engine). *)
+
+val parse_cst_vm : generated -> string -> (Parser_gen.Cst.t, error) result
+(** As {!parse_cst}, on the bytecode VM over the SoA token stream: same
+    CSTs, same errors, byte for byte. *)
+
+val recognize : generated -> string -> (unit, error) result
+(** Accept/reject one statement on the VM without building a CST — the
+    zero-allocation accept path (no token records, no tree). Errors are
+    identical to {!parse_cst}'s. *)
 
 val parse_statement : generated -> string -> (Sql_ast.Ast.statement, error) result
 (** Scan, parse and lower one statement. *)

@@ -1,0 +1,81 @@
+(* Open-addressing hash table keyed by ASCII-case-insensitive strings,
+   probed directly against a substring of the scanner's input. The point is
+   the probe: [find_sub t input i j] hashes and compares [input[i..j)]
+   in place, so the scanner's identifier hot loop allocates neither the
+   [String.sub] nor the [String.lowercase_ascii] copy the previous
+   [Hashtbl] probe needed. *)
+
+type 'a t = {
+  mask : int;                 (* capacity - 1, capacity a power of two *)
+  keys : string array;        (* lowercased keys; "" marks an empty slot *)
+  values : 'a array;
+  count : int;
+}
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+(* FNV-1a over case-folded bytes. *)
+let fnv_prime = 0x01000193
+let fnv_seed = 0x811c9dc5
+
+(* The probing helpers take every variable as an argument: closure-free, so
+   a keyword probe in the scanner's hot loop allocates nothing at all. *)
+let rec hash_fold s k j h =
+  if k = j then h land max_int
+  else
+    hash_fold s (k + 1) j
+      ((h lxor Char.code (lower (String.unsafe_get s k))) * fnv_prime)
+
+let hash_sub s i j = hash_fold s i j fnv_seed
+
+let rec equal_from key s i j k =
+  k = j - i
+  || lower (String.unsafe_get s (i + k)) = String.unsafe_get key k
+     && equal_from key s i j (k + 1)
+
+let equal_sub key s i j = String.length key = j - i && equal_from key s i j 0
+
+let rec next_pow2 n c = if c >= n then c else next_pow2 n (2 * c)
+
+let of_list bindings =
+  match bindings with
+  | [] -> { mask = 7; keys = Array.make 8 ""; values = [||]; count = 0 }
+  | (_, filler) :: _ ->
+      (* Load factor <= 0.5 keeps probe chains short. *)
+      let cap = next_pow2 (max 8 (2 * List.length bindings)) 8 in
+      let mask = cap - 1 in
+      let keys = Array.make cap "" in
+      (* Slots whose key stays "" are never read by [find_sub]. *)
+      let values = Array.make cap filler in
+      List.iter
+        (fun (key, v) ->
+          let key = String.lowercase_ascii key in
+          if key = "" then invalid_arg "Ci_map.of_list: empty key";
+          let rec place slot =
+            if keys.(slot) = "" || String.equal keys.(slot) key then begin
+              keys.(slot) <- key;
+              values.(slot) <- v (* last binding wins, as Hashtbl.replace *)
+            end
+            else place ((slot + 1) land mask)
+          in
+          place (hash_sub key 0 (String.length key) land mask))
+        bindings;
+      let count =
+        Array.fold_left (fun n k -> if k = "" then n else n + 1) 0 keys
+      in
+      { mask; keys; values; count }
+
+let rec probe_idx keys mask s i j slot =
+  let key = Array.unsafe_get keys slot in
+  if key = "" then -1
+  else if equal_sub key s i j then slot
+  else probe_idx keys mask s i j ((slot + 1) land mask)
+
+let find_idx t s i j = probe_idx t.keys t.mask s i j (hash_sub s i j land t.mask)
+let value t slot = Array.unsafe_get t.values slot
+
+let find_sub t s i j =
+  match find_idx t s i j with -1 -> None | slot -> Some (value t slot)
+
+let find t s = find_sub t s 0 (String.length s)
+let length t = t.count

@@ -1,0 +1,33 @@
+(** Immutable hash table keyed by ASCII-case-insensitive strings, designed
+    to be probed against a substring of a larger string without allocating.
+
+    The scanner uses this for its keyword table: classifying an identifier
+    used to cost a [String.sub] plus a [String.lowercase_ascii] per token;
+    [find_sub] folds the case conversion into the hash/equality functions so
+    the probe touches only the input bytes in place. *)
+
+type 'a t
+
+val of_list : (string * 'a) list -> 'a t
+(** [of_list bindings] builds a table from [(key, value)] pairs. Keys are
+    case-folded; when two keys collide case-insensitively the last binding
+    wins (mirroring [Hashtbl.replace]). Empty keys are rejected. *)
+
+val find_sub : 'a t -> string -> int -> int -> 'a option
+(** [find_sub t s i j] looks up the substring [s[i..j)] (case-insensitively)
+    without copying it. Performs no allocation beyond the returned option. *)
+
+val find_idx : 'a t -> string -> int -> int -> int
+(** As {!find_sub}, but returns a slot index ([-1] when absent) instead of
+    an option: the fully allocation-free probe the scanner's hot loop uses.
+    The index is only meaningful as an argument to {!value}. *)
+
+val value : 'a t -> int -> 'a
+(** The value stored at a slot index returned by {!find_idx} (which must
+    not have been [-1]). *)
+
+val find : 'a t -> string -> 'a option
+(** [find t key] is [find_sub t key 0 (String.length key)]. *)
+
+val length : 'a t -> int
+(** Number of distinct (case-folded) keys. *)

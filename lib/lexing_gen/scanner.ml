@@ -5,8 +5,7 @@ type kinded = {
 
 type t = {
   interner : Interner.t;
-  keywords : (string, kinded) Hashtbl.t; (* lowercase spelling -> kind *)
-  keyword_count : int;
+  keywords : kinded Ci_map.t; (* case-insensitive, probed on input substrings *)
   (* Punct dispatch: literals bucketed by first character, longest first
      within a bucket, so matching probes only literals that can start here
      instead of scanning the whole punct list. *)
@@ -40,11 +39,10 @@ let create ?interner set =
     | Some k_id -> { k_name = name; k_id }
     | None -> assert false (* covered above / by construction *)
   in
-  let kws = Spec.keywords set in
-  let keywords = Hashtbl.create (2 * List.length kws + 1) in
-  List.iter
-    (fun (spelling, name) -> Hashtbl.replace keywords spelling (kinded name))
-    kws;
+  let keywords =
+    Ci_map.of_list
+      (List.map (fun (spelling, name) -> (spelling, kinded name)) (Spec.keywords set))
+  in
   let punct_list = Spec.puncts set in
   let puncts = Array.make 256 [] in
   (* Reversed insertion keeps each bucket in [Spec.puncts] order, which is
@@ -58,7 +56,6 @@ let create ?interner set =
   {
     interner;
     keywords;
-    keyword_count = Hashtbl.length keywords;
     puncts;
     punct_count = List.length punct_list;
     ident_kind = class_kind Spec.Identifier;
@@ -69,7 +66,7 @@ let create ?interner set =
   }
 
 let interner t = t.interner
-let keyword_count t = t.keyword_count
+let keyword_count t = Ci_map.length t.keywords
 let punct_count t = t.punct_count
 
 type error = {
@@ -86,34 +83,88 @@ let is_ident_char c = is_ident_start c || is_digit c
 
 exception Lex_error of error
 
-let scan_tokens t input =
+(* Struct-of-arrays token stream. One scan fills three parallel int arrays
+   (kind id, start offset, stop offset) plus a newline-offset index; no
+   [Token.t] record, no [text] string, no position arithmetic happens until a
+   token is actually materialized (at a CST leaf or an error edge). The
+   arrays live in a per-domain arena (below) and are reused scan after scan,
+   so the accept path performs zero per-token allocation. *)
+type soa = {
+  mutable src : string;
+  mutable kind_ids : int array; (* slot [count] holds the EOF sentinel *)
+  mutable starts : int array;
+  mutable stops : int array;
+  mutable count : int;          (* number of real tokens, excluding EOF *)
+  mutable newlines : int array; (* offsets of every '\n', ascending *)
+  mutable nl_count : int;
+}
+
+let soa_count soa = soa.count
+
+let fresh_soa () =
+  {
+    src = "";
+    kind_ids = Array.make 64 0;
+    starts = Array.make 64 0;
+    stops = Array.make 64 0;
+    count = 0;
+    newlines = Array.make 16 0;
+    nl_count = 0;
+  }
+
+(* Arena: the SoA buffers plus the scratch buffer shared by every
+   string-literal materialization on this domain (one [Buffer] total instead
+   of a [Buffer.create 16] per literal). Reused across scans; a scan
+   invalidates the previous [soa] of the same domain. *)
+let arena : (soa * Buffer.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (fresh_soa (), Buffer.create 64))
+
+let scan_soa t input =
+  let soa, _scratch = Domain.DLS.get arena in
   let n = String.length input in
-  let line = ref 1 and bol = ref 0 in
-  let position offset =
-    { Token.line = !line; column = offset - !bol + 1; offset }
+  soa.src <- input;
+  soa.count <- 0;
+  soa.nl_count <- 0;
+  (* Error positions mirror the historical scanner exactly: the line/bol
+     counters as of the failure point, even when the reported offset lies
+     before newlines already consumed (e.g. an unterminated block comment
+     reports the comment's start offset with the line count of its end). *)
+  let fail offset message =
+    let bol =
+      if soa.nl_count = 0 then 0 else soa.newlines.(soa.nl_count - 1) + 1
+    in
+    let pos =
+      { Token.line = soa.nl_count + 1; column = offset - bol + 1; offset }
+    in
+    raise (Lex_error { pos; message })
   in
-  let fail offset message = raise (Lex_error { pos = position offset; message }) in
   let newline offset =
-    incr line;
-    bol := offset + 1
-  in
-  (* Growable token buffer: tokens are produced (and later consumed) as an
-     array, so the stream is walked exactly once. *)
-  let dummy = Token.eof { Token.line = 0; column = 0; offset = 0 } in
-  let buf = ref (Array.make 64 dummy) in
-  let len = ref 0 in
-  let push tok =
-    let cap = Array.length !buf in
-    if !len = cap then begin
-      let bigger = Array.make (2 * cap) dummy in
-      Array.blit !buf 0 bigger 0 cap;
-      buf := bigger
+    let cap = Array.length soa.newlines in
+    if soa.nl_count = cap then begin
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit soa.newlines 0 bigger 0 cap;
+      soa.newlines <- bigger
     end;
-    !buf.(!len) <- tok;
-    incr len
+    soa.newlines.(soa.nl_count) <- offset;
+    soa.nl_count <- soa.nl_count + 1
   in
-  let emit (k : kinded) text offset =
-    push { Token.kind = k.k_name; kind_id = k.k_id; text; pos = position offset }
+  let emit (k : kinded) start stop =
+    let cap = Array.length soa.kind_ids in
+    (* Keep one slot of headroom for the EOF sentinel. *)
+    if soa.count + 1 >= cap then begin
+      let grow a =
+        let bigger = Array.make (2 * cap) 0 in
+        Array.blit a 0 bigger 0 cap;
+        bigger
+      in
+      soa.kind_ids <- grow soa.kind_ids;
+      soa.starts <- grow soa.starts;
+      soa.stops <- grow soa.stops
+    end;
+    soa.kind_ids.(soa.count) <- k.k_id;
+    soa.starts.(soa.count) <- start;
+    soa.stops.(soa.count) <- stop;
+    soa.count <- soa.count + 1
   in
   let rec skip_block_comment i start =
     if i + 1 >= n then fail start "unterminated block comment"
@@ -123,17 +174,27 @@ let scan_tokens t input =
       skip_block_comment (i + 1) start
     end
   in
+  (* Hot paths below avoid per-token allocation: extents are found by
+     tail-recursive scans over argument ints (no refs), keyword probes go
+     through the index-returning [Ci_map.find_idx] (no option), and the
+     probing loops live at this level so their closures are built once per
+     scan, not once per token. *)
+  let rec ident_end j =
+    if j < n && is_ident_char (String.unsafe_get input j) then ident_end (j + 1)
+    else j
+  in
   let scan_ident i =
-    let j = ref i in
-    while !j < n && is_ident_char input.[!j] do incr j done;
-    let text = String.sub input i (!j - i) in
-    (match Hashtbl.find_opt t.keywords (String.lowercase_ascii text) with
-     | Some k -> emit k text i
-     | None -> (
+    let j = ident_end (i + 1) in
+    (match Ci_map.find_idx t.keywords input i j with
+     | -1 -> (
        match t.ident_kind with
-       | Some k -> emit k text i
-       | None -> fail i (Printf.sprintf "unexpected word %S (identifiers not enabled)" text)));
-    !j
+       | Some k -> emit k i j
+       | None ->
+         fail i
+           (Printf.sprintf "unexpected word %S (identifiers not enabled)"
+              (String.sub input i (j - i))))
+     | slot -> emit (Ci_map.value t.keywords slot) i j);
+    j
   in
   let scan_number i =
     let j = ref i in
@@ -156,59 +217,50 @@ let scan_tokens t input =
       if input.[!j] = '+' || input.[!j] = '-' then incr j;
       while !j < n && is_digit input.[!j] do incr j done
     end;
-    let text = String.sub input i (!j - i) in
     (match !decimal, t.decimal_kind, t.integer_kind with
-     | true, Some k, _ -> emit k text i
+     | true, Some k, _ -> emit k i !j
      | true, None, _ -> fail i "decimal literals not enabled"
-     | false, _, Some k -> emit k text i
-     | false, Some k, None -> emit k text i
+     | false, _, Some k -> emit k i !j
+     | false, Some k, None -> emit k i !j
      | false, None, None -> fail i "numeric literals not enabled");
     !j
+  in
+  let rec quoted_end quote what i j =
+    if j >= n then fail i ("unterminated " ^ what)
+    else if String.unsafe_get input j = quote then
+      if j + 1 < n && input.[j + 1] = quote then quoted_end quote what i (j + 2)
+      else j + 1
+    else begin
+      if String.unsafe_get input j = '\n' then newline j;
+      quoted_end quote what i (j + 1)
+    end
   in
   let scan_quoted i ~quote ~kind_opt ~what =
     match kind_opt with
     | None -> fail i (what ^ " not enabled")
     | Some k ->
-      let buf = Buffer.create 16 in
-      let rec go j =
-        if j >= n then fail i ("unterminated " ^ what)
-        else if input.[j] = quote then
-          if j + 1 < n && input.[j + 1] = quote then begin
-            Buffer.add_char buf quote;
-            go (j + 2)
-          end
-          else begin
-            emit k (Buffer.contents buf) i;
-            j + 1
-          end
-        else begin
-          if input.[j] = '\n' then newline j;
-          Buffer.add_char buf input.[j];
-          go (j + 1)
-        end
-      in
-      go (i + 1)
+      let j = quoted_end quote what i (i + 1) in
+      emit k i j;
+      j
   in
   (* Literal match at [i] without allocating a substring. *)
+  let rec literal_from literal len i k =
+    k >= len || (input.[i + k] = literal.[k] && literal_from literal len i (k + 1))
+  in
   let literal_at literal i =
     let len = String.length literal in
-    i + len <= n
-    &&
-    let rec go k = k >= len || (input.[i + k] = literal.[k] && go (k + 1)) in
-    go 0
+    i + len <= n && literal_from literal len i 0
   in
-  let scan_punct i =
-    let rec probe = function
-      | [] -> fail i (Printf.sprintf "unexpected character %C" input.[i])
-      | (literal, k) :: rest ->
-        if literal_at literal i then begin
-          emit k literal i;
-          i + String.length literal
-        end
-        else probe rest
-    in
-    probe t.puncts.(Char.code input.[i])
+  let rec punct_probe i = function
+    | [] -> fail i (Printf.sprintf "unexpected character %C" input.[i])
+    | (literal, (k : kinded)) :: rest ->
+      if literal_at literal i then begin
+        emit k i (i + String.length literal);
+        i + String.length literal
+      end
+      else punct_probe i rest
   in
+  let scan_punct i = punct_probe i t.puncts.(Char.code input.[i]) in
   let rec loop i =
     if i >= n then ()
     else
@@ -240,8 +292,101 @@ let scan_tokens t input =
   in
   match loop 0 with
   | () ->
-    push (Token.eof (position n));
-    Ok (Array.sub !buf 0 !len)
+    soa.kind_ids.(soa.count) <- Interner.eof_id;
+    soa.starts.(soa.count) <- n;
+    soa.stops.(soa.count) <- n;
+    Ok soa
   | exception Lex_error e -> Error e
 
-let scan t input = Result.map Array.to_list (scan_tokens t input)
+(* ------------------------------------------------------------------ *)
+(* On-demand materialization                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Number of '\n' offsets strictly below [off]. *)
+let newlines_before soa off =
+  let lo = ref 0 and hi = ref soa.nl_count in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if soa.newlines.(mid) < off then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let position_at soa off =
+  let k = newlines_before soa off in
+  let bol = if k = 0 then 0 else soa.newlines.(k - 1) + 1 in
+  { Token.line = k + 1; column = off - bol + 1; offset = off }
+
+(* Quoted-literal text: the bytes between the delimiters, with doubled
+   delimiters collapsed — exactly what the scanner used to build eagerly.
+   Allocation-free scan when the literal contains no doubled quote; a shared
+   scratch buffer otherwise. *)
+let quoted_text ~scratch src start stop ~quote =
+  let lo = start + 1 and hi = stop - 1 in
+  let rec has_doubled j =
+    j < hi && (String.unsafe_get src j = quote || has_doubled (j + 1))
+  in
+  if not (has_doubled lo) then String.sub src lo (hi - lo)
+  else begin
+    Buffer.clear scratch;
+    let rec go j =
+      if j < hi then
+        if src.[j] = quote then begin
+          (* A quote char inside the literal body is always doubled. *)
+          Buffer.add_char scratch quote;
+          go (j + 2)
+        end
+        else begin
+          Buffer.add_char scratch src.[j];
+          go (j + 1)
+        end
+    in
+    go lo;
+    Buffer.contents scratch
+  end
+
+let text_at ?scratch t soa i =
+  if i >= soa.count then "" (* EOF *)
+  else
+    let start = soa.starts.(i) and stop = soa.stops.(i) in
+    let quoted quote =
+      let scratch =
+        match scratch with Some b -> b | None -> snd (Domain.DLS.get arena)
+      in
+      quoted_text ~scratch soa.src start stop ~quote
+    in
+    match t.string_kind, t.quoted_ident_kind with
+    | Some k, _ when k.k_id = soa.kind_ids.(i) -> quoted '\''
+    | _, Some k when k.k_id = soa.kind_ids.(i) -> quoted '"'
+    | _ -> String.sub soa.src start (stop - start)
+
+let token_of_soa t soa i =
+  if i >= soa.count then Token.eof (position_at soa soa.starts.(soa.count))
+  else
+    {
+      Token.kind = Interner.name t.interner soa.kind_ids.(i);
+      kind_id = soa.kind_ids.(i);
+      text = text_at t soa i;
+      pos = position_at soa soa.starts.(i);
+    }
+
+let tokens_of_soa t soa =
+  let _soa0, scratch = Domain.DLS.get arena in
+  (* Sequential materialization: walk the newline index with a cursor instead
+     of binary-searching per token. *)
+  let k = ref 0 in
+  Array.init (soa.count + 1) (fun i ->
+      let start = soa.starts.(i) in
+      while !k < soa.nl_count && soa.newlines.(!k) < start do incr k done;
+      let bol = if !k = 0 then 0 else soa.newlines.(!k - 1) + 1 in
+      let pos = { Token.line = !k + 1; column = start - bol + 1; offset = start } in
+      if i = soa.count then Token.eof pos
+      else
+        {
+          Token.kind = Interner.name t.interner soa.kind_ids.(i);
+          kind_id = soa.kind_ids.(i);
+          text = text_at ~scratch t soa i;
+          pos;
+        })
+
+let scan_tokens t input =
+  Result.map (fun soa -> tokens_of_soa t soa) (scan_soa t input)

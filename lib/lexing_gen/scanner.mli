@@ -1,20 +1,27 @@
 (** Generated scanners.
 
-    [create] compiles a composed token set into a scanner value; [scan]
-    tokenizes a string. The scanner skips SQL whitespace and comments
-    ([-- ...] to end of line and [/* ... */]). Keywords are matched
-    case-insensitively and only when declared in the set: in a dialect whose
-    selected features never declare [WINDOW], the word [window] scans as a
-    plain identifier.
+    [create] compiles a composed token set into a scanner value. The scanner
+    skips SQL whitespace and comments ([-- ...] to end of line and
+    [/* ... */]). Keywords are matched case-insensitively and only when
+    declared in the set: in a dialect whose selected features never declare
+    [WINDOW], the word [window] scans as a plain identifier.
 
     The compiled scanner is interned: keyword lookup goes through a
-    pre-sized hash table, punctuation dispatch through a table indexed by
+    case-folding hash table probed directly on the input (no substring or
+    lowercasing allocation), punctuation dispatch through a table indexed by
     first character (longest match within the bucket), and every emitted
     token carries the dense [kind_id] of its terminal in the scanner's
     {!Interner}. Pass [?interner] to share one interner between the scanner
     and the generated parser (as {!Core.generate} does), so token ids can be
     trusted without re-hashing kind strings. A scanner is immutable after
-    [create] and safe to share across domains. *)
+    [create] and safe to share across domains.
+
+    The primitive scan is {!scan_soa}: it fills a reusable per-domain
+    struct-of-arrays buffer with one [(kind_id, start, stop)] triple per
+    token plus a newline index, allocating nothing per token. [Token.t]
+    records — text strings and line/column positions included — are
+    materialized on demand from that buffer ({!token_of_soa},
+    {!tokens_of_soa}); {!scan_tokens} is scan-then-materialize-all. *)
 
 type t
 
@@ -32,14 +39,45 @@ type error = {
 
 val pp_error : error Fmt.t
 
+(** {1 Struct-of-arrays token stream} *)
+
+type soa = private {
+  mutable src : string;         (** the scanned input *)
+  mutable kind_ids : int array; (** dense terminal ids; slot [count] is EOF *)
+  mutable starts : int array;   (** byte offset of each token's first char *)
+  mutable stops : int array;    (** byte offset one past each token's last char *)
+  mutable count : int;          (** number of real tokens, excluding EOF *)
+  mutable newlines : int array; (** offsets of every ['\n'], ascending *)
+  mutable nl_count : int;
+}
+(** A scanned token stream as parallel integer arrays. Only the first
+    [count + 1] slots of [kind_ids]/[starts]/[stops] (and [nl_count] slots of
+    [newlines]) are meaningful; the arrays are capacity-managed buffers. *)
+
+val scan_soa : t -> string -> (soa, error) result
+(** Tokenize the whole input into this domain's reusable SoA arena. Zero
+    per-token allocation: the returned buffers are owned by the arena and are
+    {b invalidated by the next [scan_soa] call on the same domain} — consume
+    or materialize before rescanning. *)
+
+val soa_count : soa -> int
+(** Number of real tokens (the EOF sentinel at index [count] excluded). *)
+
+val token_of_soa : t -> soa -> int -> Token.t
+(** Materialize token [i] (valid for [0..count], where [count] is the EOF
+    token): kind name from the interner, text via [String.sub] — with
+    doubled-quote unescaping for string/quoted-identifier literals — and
+    line/column recovered by binary search of the newline index. *)
+
+val tokens_of_soa : t -> soa -> Token.t array
+(** Materialize the whole stream (EOF token included, as the last element),
+    walking the newline index sequentially. *)
+
 val scan_tokens : t -> string -> (Token.t array, error) result
 (** Tokenize the whole input in one pass. On success the array always ends
     with the [EOF] token, so the statement's token count is
-    [Array.length tokens - 1]. *)
-
-val scan : t -> string -> (Token.t list, error) result
-(** List view of {!scan_tokens}, kept for call sites that consume tokens
-    incrementally. *)
+    [Array.length tokens - 1]. Equivalent to {!scan_soa} followed by
+    {!tokens_of_soa}. *)
 
 val keyword_count : t -> int
 val punct_count : t -> int

@@ -17,7 +17,7 @@ let pp_parse_error = Engine_types.pp_parse_error
 
 (* FIRST sets as bitsets over dense terminal ids: membership is a shift and
    a mask instead of a balanced-tree descent over string comparisons. *)
-type bitset = Bytes.t
+type bitset = Engine_types.bitset
 
 let bitset_make n_terms : bitset = Bytes.make ((n_terms + 7) lsr 3) '\000'
 
@@ -43,23 +43,23 @@ let bitset_union_into ~into:(dst : bitset) (src : bitset) =
    are interner ids, non-terminal occurrences index the [rules] array.
    Every choice point additionally carries its {!Predict.decision}: the
    dense LL(1)/LL(2) dispatch table when the branch prediction sets are
-   disjoint, [Fallback] when only backtracking can decide. *)
-type pred = {
+   disjoint, [Fallback] when only backtracking can decide. The types live
+   in {!Engine_types} so {!Program} can lower the same structures to
+   bytecode. *)
+type pred = Engine_types.pred = {
   first : bitset;
   nullable : bool;
 }
 
-type iterm =
+type iterm = Engine_types.iterm =
   | ITerm of int
   | INonterm of int
   | IOpt of iseq * pred * Predict.decision
   | IStar of iseq * pred * Predict.decision
   | IPlus of iseq * pred * Predict.decision
-      (* decision of the repetition continuing *after* the mandatory first
-         iteration — the same enter-vs-skip choice as [IStar] *)
   | IGroup of (iseq * pred) array * Predict.decision
 
-and iseq = iterm array
+and iseq = Engine_types.iseq
 
 type nt_class = {
   nt_name : string;
@@ -97,6 +97,10 @@ type t = {
   summary : summary;
   memoize : bool;
   prune : bool;
+  program : Program.t option;
+      (* the [nt_fast] region lowered to flat bytecode at generation time
+         (so caching the engine caches the compiled program); [None] only
+         when dispatch is off *)
 }
 
 let grammar t = t.grammar
@@ -104,6 +108,7 @@ let start_symbol t = t.start
 let interner t = t.interner
 let summary t = t.summary
 let dispatch_enabled t = t.dispatch
+let program t = t.program
 
 let coverage s =
   let total = s.committed_points + s.ambiguous_points in
@@ -346,6 +351,16 @@ let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner g =
           classes;
         }
       in
+      let program =
+        if dispatch then
+          let start_id =
+            Option.value ~default:(-1) (Hashtbl.find_opt nt_ids g.start)
+          in
+          Some
+            (Program.compile ~nt_names ~nt_fast ~rules ~alt_dispatch
+               ~start:start_id)
+        else None
+      in
       Ok
         {
           grammar = g;
@@ -361,6 +376,7 @@ let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner g =
           summary;
           memoize;
           prune;
+          program;
         }
 
 (* The memo is a flat array indexed by [nt_id * (n_tokens + 1) + pos]. A
@@ -390,24 +406,17 @@ let dummy_cst = Cst.Node ("", [])
 let cst_arena : Cst.t array ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref (Array.make 256 dummy_cst))
 
-let parse_tokens ?start t toks =
-  let n = Array.length toks in
+(* The shared parse driver. Token kinds arrive as dense ids ([tids], valid
+   for this engine's interner); the tokens themselves stay behind the [tok]
+   accessor, touched only at CST leaves and error edges — which is how the
+   SoA path parses without materializing [Token.t] records, and the classic
+   path reads its pre-built array. [want_vm] prefers the bytecode VM for the
+   first (dispatching) run; [build] is threaded to the VM so recognition
+   runs skip CST construction entirely. *)
+let parse_ids ?start t ~(tids : int array) ~n ~(tok : int -> Lexing_gen.Token.t)
+    ~(kind_name : int -> string) ~want_vm ~build =
   let n_terms = Interner.size t.interner in
-  (* Token kinds resolved to engine ids once, at the boundary: tokens
-     stamped by the shared scanner pass a physical-equality check; foreign
-     or unstamped tokens are re-interned; unknown kinds become [-1], which
-     matches no terminal and belongs to no bitset. *)
-  let tids =
-    Array.map
-      (fun tok ->
-        Interner.stamp_of t.interner ~kind:tok.Lexing_gen.Token.kind
-          tok.Lexing_gen.Token.kind_id)
-      toks
-  in
   let tid i = if i < n then Array.unsafe_get tids i else Interner.eof_id in
-  let kind_name i =
-    if i < n then toks.(i).Lexing_gen.Token.kind else Lexing_gen.Token.eof_kind
-  in
   let stride = n + 1 in
   (* ---------------------------------------------------------------- *)
   (* The two engines are one mutually recursive group.                 *)
@@ -468,7 +477,8 @@ let parse_tokens ?start t toks =
             if k2 < 0 then -1 else Array.unsafe_get row k2)
         | b -> b)
   in
-  let run ~use_dispatch start_name =
+  let run mode start_name =
+    let use_dispatch = match mode with `P -> false | `C | `V _ -> true in
     (* The memo is acquired (and its O(rules × tokens) clear paid) only
        when a fallback boundary is actually reached: a fully committed
        parse never touches it. *)
@@ -529,7 +539,7 @@ let parse_tokens ?start t toks =
     match term with
     | ITerm id ->
       if i < n && tid i = id then begin
-        push (Cst.Leaf (Array.unsafe_get toks i));
+        push (Cst.Leaf (tok i));
         i + 1
       end
       else -1
@@ -591,7 +601,7 @@ let parse_tokens ?start t toks =
     and p_term term i acc k =
       match term with
       | ITerm id ->
-        if tid i = id && i < n then k (i + 1) (Cst.Leaf toks.(i) :: acc)
+        if tid i = id && i < n then k (i + 1) (Cst.Leaf (tok i) :: acc)
         else begin
           expect_one i id;
           None
@@ -739,7 +749,7 @@ let parse_tokens ?start t toks =
              own position this reproduces; the fix is visible only on
              hand-built streams without one. The reference engine keeps the
              historical clamp to the last token's start). *)
-          let last = toks.(n - 1) in
+          let last = tok (n - 1) in
           let len = String.length last.Lexing_gen.Token.text in
           {
             Lexing_gen.Token.line = last.Lexing_gen.Token.pos.line;
@@ -747,7 +757,7 @@ let parse_tokens ?start t toks =
             offset = last.Lexing_gen.Token.pos.offset + len;
           }
         end
-        else toks.(bp).Lexing_gen.Token.pos
+        else (tok bp).Lexing_gen.Token.pos
       in
       let expected = ref [] in
       for id = n_terms - 1 downto 0 do
@@ -766,8 +776,24 @@ let parse_tokens ?start t toks =
       (* No rule to enter: fail at the first token with an empty expected
          set, as the string engine did for an unknown start symbol. *)
       fail_result ()
-    | Some sid ->
-      if use_dispatch && Array.unsafe_get t.nt_fast sid then begin
+    | Some sid -> (
+      match mode with
+      | `V prog ->
+        (* Bytecode run. The engine's CST stack is reset because the VM's
+           fallback boundary reuses [compute_results]/[c_nt], which work on
+           it; the VM's own stacks live in {!Vm}'s arena. *)
+        sp := 0;
+        (match
+           Vm.exec prog ~ids:tids ~n ~build
+             ~leaf:(fun i -> Cst.Leaf (tok i))
+             ~fallback:nonterm_results
+         with
+        | Some tree -> Ok tree
+        | None ->
+          (* Error payload discarded: the caller re-derives on the pure
+             path, which tracks expectations. *)
+          fail_result ())
+      | `C when Array.unsafe_get t.nt_fast sid -> begin
         sp := 0;
         let j = c_nt sid 0 in
         if j >= 0 && tid j = Interner.eof_id then begin
@@ -782,7 +808,7 @@ let parse_tokens ?start t toks =
           fail_result ()
         end
       end
-      else (
+      | _ ->
         let result =
           p_term (INonterm sid) 0 [] (fun i acc ->
               if tid i = Interner.eof_id then
@@ -792,9 +818,9 @@ let parse_tokens ?start t toks =
                 None
               end)
         in
-        match result with
+        (match result with
         | Some tree -> Ok tree
-        | None -> fail_result ())
+        | None -> fail_result ()))
   in
   let start_name = Option.value ~default:t.start start in
   (* Prediction tables bake in FOLLOW sets computed for the grammar's own
@@ -804,11 +830,90 @@ let parse_tokens ?start t toks =
      rejected statement reproduces the backtracking engine's error
      exactly. *)
   if not (t.dispatch && String.equal start_name t.start) then
-    run ~use_dispatch:false start_name
+    run `P start_name
   else
-    match run ~use_dispatch:true start_name with
+    let first_mode =
+      if want_vm then
+        match t.program with
+        | Some p when Program.start_entry p >= 0 -> `V p
+        | _ -> `C
+      else `C
+    in
+    match run first_mode start_name with
     | Ok _ as ok -> ok
-    | Error _ -> run ~use_dispatch:false start_name
+    | Error _ -> run `P start_name
+
+(* Token kinds resolved to engine ids once, at the boundary: tokens stamped
+   by the shared scanner pass a physical-equality check; foreign or
+   unstamped tokens are re-interned; unknown kinds become [-1], which
+   matches no terminal and belongs to no bitset. *)
+let stamped_ids t toks =
+  Array.map
+    (fun tok ->
+      Interner.stamp_of t.interner ~kind:tok.Lexing_gen.Token.kind
+        tok.Lexing_gen.Token.kind_id)
+    toks
+
+let parse_tokens ?start t toks =
+  let n = Array.length toks in
+  parse_ids ?start t ~tids:(stamped_ids t toks) ~n
+    ~tok:(fun i -> toks.(i))
+    ~kind_name:(fun i ->
+      if i < n then toks.(i).Lexing_gen.Token.kind
+      else Lexing_gen.Token.eof_kind)
+    ~want_vm:false ~build:true
+
+let parse_tokens_vm ?start t toks =
+  let n = Array.length toks in
+  parse_ids ?start t ~tids:(stamped_ids t toks) ~n
+    ~tok:(fun i -> toks.(i))
+    ~kind_name:(fun i ->
+      if i < n then toks.(i).Lexing_gen.Token.kind
+      else Lexing_gen.Token.eof_kind)
+    ~want_vm:true ~build:true
+
+module Scanner = Lexing_gen.Scanner
+
+(* SoA boundary: the scanner's kind ids are trusted directly when the
+   scanner shares this engine's interner (what [Core.generate] arranges —
+   [Interner.extend] preserves ids, and a coherent composition returns the
+   scanner's interner itself). A foreign scanner's ids are re-stamped
+   through their names, slow but correct. *)
+let soa_ids t ~scanner (soa : Scanner.soa) ~n =
+  if Scanner.interner scanner == t.interner then soa.Scanner.kind_ids
+  else
+    let si = Scanner.interner scanner in
+    Array.init n (fun i ->
+        let id = soa.Scanner.kind_ids.(i) in
+        Interner.stamp_of t.interner ~kind:(Interner.name si id) id)
+
+let parse_soa ?start t ~scanner soa =
+  (* [n] counts the EOF sentinel, like the token arrays [scan_tokens]
+     produces, so all engines see identical streams. *)
+  let n = Scanner.soa_count soa + 1 in
+  let tids = soa_ids t ~scanner soa ~n in
+  (* Tokens are materialized lazily, in one batch, only if a CST leaf or an
+     error edge actually needs them — the recognition path never does. *)
+  let mat = lazy (Scanner.tokens_of_soa scanner soa) in
+  parse_ids ?start t ~tids ~n
+    ~tok:(fun i -> (Lazy.force mat).(i))
+    ~kind_name:(fun i ->
+      if i < n then (Lazy.force mat).(i).Lexing_gen.Token.kind
+      else Lexing_gen.Token.eof_kind)
+    ~want_vm:true ~build:true
+
+let recognize_soa ?start t ~scanner soa =
+  let n = Scanner.soa_count soa + 1 in
+  let tids = soa_ids t ~scanner soa ~n in
+  let mat = lazy (Scanner.tokens_of_soa scanner soa) in
+  Result.map
+    (fun (_ : Cst.t) -> ())
+    (parse_ids ?start t ~tids ~n
+       ~tok:(fun i -> (Lazy.force mat).(i))
+       ~kind_name:(fun i ->
+         if i < n then (Lazy.force mat).(i).Lexing_gen.Token.kind
+         else Lexing_gen.Token.eof_kind)
+       ~want_vm:true ~build:false)
 
 let parse ?start t token_list = parse_tokens ?start t (Array.of_list token_list)
 

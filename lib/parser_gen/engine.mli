@@ -144,3 +144,48 @@ val parse :
     (built by hand rather than by a scanner) are re-interned by kind. *)
 
 val accepts : ?start:string -> t -> Lexing_gen.Token.t list -> bool
+
+(** {2 Bytecode VM entry points}
+
+    At {!generate} time (unless [~dispatch:false]) the committed region of
+    the grammar is additionally lowered to flat bytecode ({!Program}),
+    executed by {!Vm} with explicit integer stacks. The VM falls back to the
+    memoized engine at references to uncommitted rules — the same boundary,
+    with the same scoped backtracking, as the committed dispatch loop — and
+    any rejecting run is re-derived on the pure backtracking path, so CSTs
+    and parse errors are byte-identical across all engines. *)
+
+val program : t -> Program.t option
+(** The compiled bytecode, [None] iff generated with [~dispatch:false]. The
+    program is built eagerly so caching the engine (as [Service.Cache] does)
+    caches the compiled program alongside the front-end. *)
+
+val parse_tokens_vm :
+  ?start:string -> t -> Lexing_gen.Token.t array -> (Cst.t, parse_error) result
+(** As {!parse_tokens}, but the first run executes on the bytecode VM when
+    the start rule is compiled (falling back to the committed loop when it
+    is not). Exists for differential testing over hand-built token streams;
+    the production VM path is {!parse_soa}. *)
+
+val parse_soa :
+  ?start:string ->
+  t ->
+  scanner:Lexing_gen.Scanner.t ->
+  Lexing_gen.Scanner.soa ->
+  (Cst.t, parse_error) result
+(** Parse a struct-of-arrays token stream in place: kind ids are read
+    straight out of the scanner's arena, and [Token.t] records are
+    materialized lazily — only when a CST leaf or an error edge needs them.
+    [scanner] must be the scanner that produced the stream; when it shares
+    the engine's interner (as under {!Core.generate}) its ids are trusted
+    without re-stamping. *)
+
+val recognize_soa :
+  ?start:string ->
+  t ->
+  scanner:Lexing_gen.Scanner.t ->
+  Lexing_gen.Scanner.soa ->
+  (unit, parse_error) result
+(** Accept/reject without building a CST. On the fully committed VM path
+    this allocates nothing per token — the zero-allocation accept path the
+    SoA stream exists for. Errors are still re-derived exactly. *)

@@ -18,6 +18,32 @@ type parse_error = {
   expected : string list;
 }
 
+(* FIRST sets as bitsets over dense terminal ids: membership is a shift and
+   a mask instead of a balanced-tree descent over string comparisons. *)
+type bitset = Bytes.t
+
+(* The grammar compiled down to integers, with a prediction record attached
+   to every choice point. Terminal occurrences are interner ids, non-terminal
+   occurrences index the engine's [rules] array. Every choice point
+   additionally carries its {!Predict.decision}. Shared between the engine
+   (which interprets it) and {!Program} (which lowers it to bytecode). *)
+type pred = {
+  first : bitset;
+  nullable : bool;
+}
+
+type iterm =
+  | ITerm of int
+  | INonterm of int
+  | IOpt of iseq * pred * Predict.decision
+  | IStar of iseq * pred * Predict.decision
+  | IPlus of iseq * pred * Predict.decision
+      (* decision of the repetition continuing *after* the mandatory first
+         iteration — the same enter-vs-skip choice as [IStar] *)
+  | IGroup of (iseq * pred) array * Predict.decision
+
+and iseq = iterm array
+
 let pp_parse_error ppf e =
   Fmt.pf ppf "parse error at %a: found %s, expected %a"
     Lexing_gen.Token.pp_position e.pos e.found

@@ -19,3 +19,30 @@ type parse_error = {
 }
 
 val pp_parse_error : parse_error Fmt.t
+
+(** {1 Compiled grammar representation}
+
+    The interned form {!Engine.generate} lowers a grammar into, exposed here
+    so {!Program} can compile it further into flat bytecode without the
+    engine's internals being public. *)
+
+type bitset = Bytes.t
+(** FIRST sets as bitsets over dense terminal ids. *)
+
+type pred = {
+  first : bitset;
+  nullable : bool;
+}
+(** Prediction data of one phrase: its FIRST set and nullability. *)
+
+type iterm =
+  | ITerm of int  (** terminal occurrence, by interned id *)
+  | INonterm of int  (** non-terminal occurrence, by rule index *)
+  | IOpt of iseq * pred * Predict.decision
+  | IStar of iseq * pred * Predict.decision
+  | IPlus of iseq * pred * Predict.decision
+      (** the decision is the enter-vs-skip choice of the repetition
+          continuing {e after} the mandatory first iteration *)
+  | IGroup of (iseq * pred) array * Predict.decision
+
+and iseq = iterm array

@@ -1,0 +1,240 @@
+(* Bytecode executor for {!Program}.
+
+   The interpreter is a single tail-recursive loop over four explicit
+   integer stacks (frames, star-loop marks, scope marks, choice points) plus
+   a CST value stack, all held in growable per-domain arenas. The hot path —
+   committed MATCH/CALL/RET/D1/D2 — touches only flat [int array]s: no
+   closures, no [iterm] ADT matching, no memo traffic.
+
+   Backtracking semantics replicate the committed dispatch loop of
+   {!Engine.parse_tokens} exactly:
+
+   - [FB nt] asks the memoized engine ([fallback]) for the complete,
+     priority-ordered derivation list of a non-fast non-terminal and takes
+     the first end; remaining ends become a choice point.
+   - A choice point lives until the [COMMIT] closing the sequence that
+     created it: once the rest of the enclosing sequence succeeds the choice
+     is final, exactly as the engine's [try_ends] recursion whose scope ends
+     when the enclosing [c_seq] returns.
+   - On failure the most recent live choice is resumed with its next end
+     (LIFO = innermost-first, matching native-stack unwinding), restoring
+     the four stack depths saved at its creation.
+   - A run that exhausts its choices rejects; the caller re-derives the
+     statement on the pure memoized path for a byte-identical error report,
+     as it already does for the committed loop.
+
+   In recognition mode ([build = false]) the CST stack is untouched: the
+   fully committed accept path allocates nothing per token. *)
+
+let dummy = Cst.Node ("", [])
+
+type arena = {
+  mutable cst : Cst.t array;
+  mutable frames : int array; (* 2 ints per frame: ret_ip, cst_mark *)
+  mutable loops : int array; (* star-iteration start positions *)
+  mutable scopes : int array; (* choice-stack marks *)
+  mutable ch_ints : int array;
+      (* 5 ints per choice: resume_ip, cst_sp, frame_sp, loop_sp, scope_sp *)
+  mutable ch_ends : (int * Cst.t list) list array; (* remaining ends *)
+}
+
+let arena_key : arena Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cst = Array.make 256 dummy;
+        frames = Array.make 128 0;
+        loops = Array.make 64 0;
+        scopes = Array.make 64 0;
+        ch_ints = Array.make 80 0;
+        ch_ends = Array.make 16 [];
+      })
+
+let grow_int (a : int array) =
+  let b = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let exec prog ~(ids : int array) ~n ~build ~(leaf : int -> Cst.t)
+    ~(fallback : int -> int -> (int * Cst.t list) list) =
+  let code = Program.code prog in
+  let t1 = Program.t1 prog in
+  let t2_first = Program.t2_first prog in
+  let t2_second = Program.t2_second prog in
+  let a = Domain.DLS.get arena_key in
+  let csp = ref 0 and fsp = ref 0 and lsp = ref 0 and ssp = ref 0 in
+  let cp = ref 0 in
+  let push_cst v =
+    if !csp = Array.length a.cst then begin
+      let b = Array.make (2 * Array.length a.cst) dummy in
+      Array.blit a.cst 0 b 0 (Array.length a.cst);
+      a.cst <- b
+    end;
+    Array.unsafe_set a.cst !csp v;
+    incr csp
+  in
+  let push_frame ret_ip =
+    if !fsp + 2 > Array.length a.frames then a.frames <- grow_int a.frames;
+    Array.unsafe_set a.frames !fsp ret_ip;
+    Array.unsafe_set a.frames (!fsp + 1) !csp;
+    fsp := !fsp + 2
+  in
+  let push_loop pos =
+    if !lsp = Array.length a.loops then a.loops <- grow_int a.loops;
+    Array.unsafe_set a.loops !lsp pos;
+    incr lsp
+  in
+  let push_scope () =
+    if !ssp = Array.length a.scopes then a.scopes <- grow_int a.scopes;
+    Array.unsafe_set a.scopes !ssp !cp;
+    incr ssp
+  in
+  let push_choice resume_ip rest =
+    let base = !cp * 5 in
+    if base + 5 > Array.length a.ch_ints then a.ch_ints <- grow_int a.ch_ints;
+    if !cp = Array.length a.ch_ends then begin
+      let b = Array.make (2 * Array.length a.ch_ends) [] in
+      Array.blit a.ch_ends 0 b 0 (Array.length a.ch_ends);
+      a.ch_ends <- b
+    end;
+    a.ch_ints.(base) <- resume_ip;
+    a.ch_ints.(base + 1) <- !csp;
+    a.ch_ints.(base + 2) <- !fsp;
+    a.ch_ints.(base + 3) <- !lsp;
+    a.ch_ints.(base + 4) <- !ssp;
+    a.ch_ends.(!cp) <- rest;
+    incr cp
+  in
+  let tid pos = if pos < n then Array.unsafe_get ids pos else 0 in
+  let rec step ip pos =
+    let op = Array.unsafe_get code ip in
+    if op = Program.op_match then begin
+      if pos < n && Array.unsafe_get ids pos = Array.unsafe_get code (ip + 1)
+      then begin
+        if build then push_cst (leaf pos);
+        step (ip + 2) (pos + 1)
+      end
+      else backtrack ()
+    end
+    else if op = Program.op_call then begin
+      push_frame (ip + 2);
+      step (Program.entry prog (Array.unsafe_get code (ip + 1))) pos
+    end
+    else if op = Program.op_ret then begin
+      fsp := !fsp - 2;
+      let ret_ip = Array.unsafe_get a.frames !fsp in
+      if build then begin
+        let mark = Array.unsafe_get a.frames (!fsp + 1) in
+        let stack = a.cst in
+        let rec collect k acc =
+          if k < mark then acc
+          else collect (k - 1) (Array.unsafe_get stack k :: acc)
+        in
+        let children = collect (!csp - 1) [] in
+        csp := mark;
+        push_cst (Cst.Node (Program.nt_name prog code.(ip + 1), children))
+      end;
+      step ret_ip pos
+    end
+    else if op = Program.op_d1 then begin
+      let k = tid pos in
+      let b =
+        if k < 0 then -1
+        else Array.unsafe_get (Array.unsafe_get t1 code.(ip + 1)) k
+      in
+      if b < 0 then backtrack () else step (Array.unsafe_get code (ip + 3 + b)) pos
+    end
+    else if op = Program.op_d2 then begin
+      let k1 = tid pos in
+      let b =
+        if k1 < 0 then -1
+        else
+          match Array.unsafe_get (Array.unsafe_get t2_first code.(ip + 1)) k1 with
+          | -2 -> (
+            match Hashtbl.find_opt (Array.unsafe_get t2_second code.(ip + 1)) k1 with
+            | None -> -1
+            | Some row ->
+              let k2 = tid (pos + 1) in
+              if k2 < 0 then -1 else Array.unsafe_get row k2)
+          | b -> b
+      in
+      if b < 0 then backtrack () else step (Array.unsafe_get code (ip + 3 + b)) pos
+    end
+    else if op = Program.op_jmp then step (Array.unsafe_get code (ip + 1)) pos
+    else if op = Program.op_fb then begin
+      let nid = Array.unsafe_get code (ip + 1) in
+      match fallback nid pos with
+      | [] -> backtrack ()
+      | (j, children) :: rest ->
+        if rest <> [] then push_choice (ip + 2) rest;
+        if build then push_cst (Cst.Node (Program.nt_name prog nid, children));
+        step (ip + 2) j
+    end
+    else if op = Program.op_spush then begin
+      push_loop pos;
+      step (ip + 1) pos
+    end
+    else if op = Program.op_sloop then begin
+      decr lsp;
+      let entered_at = Array.unsafe_get a.loops !lsp in
+      (* Loop only on progress: a zero-progress iteration of a nullable
+         body exits, as the committed loop's [j > i] guard does. *)
+      if pos > entered_at then step (Array.unsafe_get code (ip + 1)) pos
+      else step (ip + 2) pos
+    end
+    else if op = Program.op_scope then begin
+      push_scope ();
+      step (ip + 1) pos
+    end
+    else if op = Program.op_commit then begin
+      decr ssp;
+      let mark = Array.unsafe_get a.scopes !ssp in
+      (* Choices opened inside the scope are final now that the sequence
+         that created them has completed. *)
+      for k = mark to !cp - 1 do
+        a.ch_ends.(k) <- []
+      done;
+      if !cp > mark then cp := mark;
+      step (ip + 1) pos
+    end
+    else begin
+      (* HALT: accept iff the remaining lookahead is EOF. The compiler
+         commits every choice before its rule returns, so no live choice
+         can exist here — a non-EOF residue rejects outright, exactly as
+         the committed loop does. *)
+      if tid pos = 0 then
+        if build then Some (Array.unsafe_get a.cst (!csp - 1)) else Some dummy
+      else None
+    end
+  and backtrack () =
+    if !cp = 0 then None
+    else begin
+      let base = (!cp - 1) * 5 in
+      match a.ch_ends.(!cp - 1) with
+      | [] -> assert false (* exhausted choices are popped eagerly *)
+      | (j, children) :: rest ->
+        csp := a.ch_ints.(base + 1);
+        fsp := a.ch_ints.(base + 2);
+        lsp := a.ch_ints.(base + 3);
+        ssp := a.ch_ints.(base + 4);
+        let resume_ip = a.ch_ints.(base) in
+        if rest = [] then begin
+          a.ch_ends.(!cp - 1) <- [];
+          decr cp
+        end
+        else a.ch_ends.(!cp - 1) <- rest;
+        if build then
+          push_cst
+            (Cst.Node (Program.nt_name prog code.(resume_ip - 1), children));
+        step resume_ip j
+    end
+  in
+  let start = Program.start_entry prog in
+  assert (start >= 0);
+  push_frame 0 (* returns to the HALT at address 0 *);
+  let result = step start 0 in
+  (* Drop references to derivation lists so the arena does not retain CSTs
+     across parses. *)
+  for k = 0 to !cp - 1 do
+    a.ch_ends.(k) <- []
+  done;
+  result

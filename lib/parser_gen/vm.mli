@@ -1,0 +1,29 @@
+(** Executor for compiled {!Program} bytecode.
+
+    One tail-recursive loop over explicit integer stacks held in per-domain
+    arenas; see the implementation header for the backtracking contract it
+    shares with the committed dispatch loop. *)
+
+val exec :
+  Program.t ->
+  ids:int array ->
+  n:int ->
+  build:bool ->
+  leaf:(int -> Cst.t) ->
+  fallback:(int -> int -> (int * Cst.t list) list) ->
+  Cst.t option
+(** [exec prog ~ids ~n ~build ~leaf ~fallback] runs the program's start
+    rule over the token-kind ids [ids.(0 .. n-1)] (positions [>= n] read as
+    EOF, so a trailing EOF sentinel inside or beyond the array is
+    equivalent). Requires [Program.start_entry prog >= 0].
+
+    [leaf i] materializes the CST leaf for token [i]; it is only called when
+    [build] is true — recognition runs ([build = false]) never touch the CST
+    stack and return a dummy node on acceptance.
+
+    [fallback nt pos] must return the priority-ordered complete derivations
+    (end position, children) of non-terminal [nt] at [pos], as the memoized
+    engine's [nonterm_results] does.
+
+    [None] means this run rejected; the caller decides whether to re-derive
+    on the pure backtracking path (for error reporting). *)

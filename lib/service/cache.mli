@@ -3,9 +3,12 @@
     [generate] memoizes the expensive half of the paper's pipeline — feature
     validation, fragment composition and LL(k) parser generation — keyed by
     the {!Digest_key} of the configuration. The cached value is the complete
-    {!Core.generated} front-end (grammar, token set, scanner, parser), which
-    is immutable and safe to share between sessions: the parser engine keeps
-    its memo tables per [parse] call, not per parser value.
+    {!Core.generated} front-end (grammar, token set, scanner, parser —
+    including the parser's compiled bytecode {!Parser_gen.Program}, built
+    eagerly at generation time), which is immutable and safe to share
+    between sessions: the parser engine keeps its memo tables per [parse]
+    call, not per parser value, so a cache hit serves committed-loop and VM
+    sessions alike.
 
     The cache is a bounded LRU: each hit refreshes the entry's recency and
     inserting into a full cache evicts the least recently used entry.

@@ -16,8 +16,11 @@ type stats = {
   furthest_error : (int * Parser_gen.Engine.parse_error) option;
 }
 
+type engine = [ `Committed | `Vm ]
+
 type t = {
   front_end : Core.generated;
+  engine : engine;
   mutable acc_statements : int;
   mutable acc_accepted : int;
   mutable acc_tokens : int;
@@ -25,9 +28,10 @@ type t = {
   mutable acc_furthest : (int * Parser_gen.Engine.parse_error) option;
 }
 
-let create front_end =
+let create ?(engine = `Committed) front_end =
   {
     front_end;
+    engine;
     acc_statements = 0;
     acc_accepted = 0;
     acc_tokens = 0;
@@ -35,10 +39,11 @@ let create front_end =
     acc_furthest = None;
   }
 
-let of_cache ?label cache config =
-  Result.map create (Cache.generate ?label cache config)
+let of_cache ?label ?engine cache config =
+  Result.map (create ?engine) (Cache.generate ?label cache config)
 
 let front_end t = t.front_end
+let engine t = t.engine
 
 type batch = {
   items : item list;
@@ -78,19 +83,36 @@ let pp_stats ppf s =
     s.statements s.accepted s.rejected s.tokens (s.elapsed *. 1e3)
     s.statements_per_second s.tokens_per_second pp_furthest s.furthest_error
 
-(* Scan and parse one statement against the pinned front-end. The scanner's
-   token array is threaded straight into the parser and its length gives
-   the token count, so the stream is never re-walked. *)
-let parse_one front_end index sql =
+(* Scan and parse one statement against the pinned front-end. On the
+   committed engine the scanner's token array is threaded straight into the
+   parser and its length gives the token count, so the stream is never
+   re-walked. On the VM engine the statement goes through the
+   struct-of-arrays stream instead — no token records on the accept path —
+   which is safe under sharding because the stream arena and the VM's
+   stacks are domain-local. *)
+let parse_one engine front_end index sql =
   let token_count, result =
-    match Core.scan_tokens front_end sql with
-    | Error e -> (0, Error e)
-    | Ok tokens -> (
-      (* Drop the EOF sentinel from the count. *)
-      let token_count = Array.length tokens - 1 in
-      match Parser_gen.Engine.parse_tokens front_end.Core.parser tokens with
-      | Ok cst -> (token_count, Ok cst)
-      | Error e -> (token_count, Error (Core.Parse_error e)))
+    match engine with
+    | `Committed -> (
+      match Core.scan_tokens front_end sql with
+      | Error e -> (0, Error e)
+      | Ok tokens -> (
+        (* Drop the EOF sentinel from the count. *)
+        let token_count = Array.length tokens - 1 in
+        match Parser_gen.Engine.parse_tokens front_end.Core.parser tokens with
+        | Ok cst -> (token_count, Ok cst)
+        | Error e -> (token_count, Error (Core.Parse_error e))))
+    | `Vm -> (
+      match Core.scan_soa front_end sql with
+      | Error e -> (0, Error e)
+      | Ok soa -> (
+        let token_count = Lexing_gen.Scanner.soa_count soa in
+        match
+          Parser_gen.Engine.parse_soa front_end.Core.parser
+            ~scanner:front_end.Core.scanner soa
+        with
+        | Ok cst -> (token_count, Ok cst)
+        | Error e -> (token_count, Error (Core.Parse_error e))))
   in
   { index; sql; token_count; result }
 
@@ -100,10 +122,13 @@ let parse_one front_end index sql =
    are dealt round-robin for balance; each worker returns its own results
    and the merge reassembles original order, so the outcome is identical
    to the single-domain run. *)
-let run_sharded front_end domains stmts =
+let run_sharded engine front_end domains stmts =
   let n = Array.length stmts in
   let shard d =
-    let rec go i acc = if i >= n then List.rev acc else go (i + domains) (parse_one front_end i stmts.(i) :: acc) in
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else go (i + domains) (parse_one engine front_end i stmts.(i) :: acc)
+    in
     go d []
   in
   let workers =
@@ -141,8 +166,9 @@ let parse_batch ?(clamp = true) ?(domains = 1) t sqls =
   let shards = if domains <= 1 || n < 2 then 1 else min domains n in
   let t0 = now () in
   let items =
-    if shards = 1 then List.init n (fun i -> parse_one t.front_end i stmts.(i))
-    else run_sharded t.front_end shards stmts
+    if shards = 1 then
+      List.init n (fun i -> parse_one t.engine t.front_end i stmts.(i))
+    else run_sharded t.engine t.front_end shards stmts
   in
   let elapsed = now () -. t0 in
   let statements = n in

@@ -18,13 +18,27 @@
 
 type t
 
-val create : Core.generated -> t
+type engine = [ `Committed | `Vm ]
+(** Which parse path a session's batches run on: the committed dispatch
+    loop over materialized token arrays (the default), or the bytecode VM
+    over the struct-of-arrays token stream ({!Core.parse_cst_vm}'s path).
+    Results are byte-identical either way — the choice is a performance
+    knob, and sessions on both engines can share one {!Cache} entry because
+    the compiled {!Parser_gen.Program} is part of the cached front-end. *)
+
+val create : ?engine:engine -> Core.generated -> t
 
 val of_cache :
-  ?label:string -> Cache.t -> Feature.Config.t -> (t, Core.error) result
+  ?label:string ->
+  ?engine:engine ->
+  Cache.t ->
+  Feature.Config.t ->
+  (t, Core.error) result
 (** Resolve the front-end through a {!Cache} and open a session on it. *)
 
 val front_end : t -> Core.generated
+
+val engine : t -> engine
 
 type item = {
   index : int;                   (** 0-based position within the batch *)

@@ -26,6 +26,6 @@ let basic_set : Spec.set =
 let scanner = Scanner.create basic_set
 
 let tokens input =
-  match Scanner.scan scanner input with
-  | Ok tokens -> tokens
+  match Scanner.scan_tokens scanner input with
+  | Ok tokens -> Array.to_list tokens
   | Error e -> Alcotest.failf "lex error: %a" Scanner.pp_error e

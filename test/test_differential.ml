@@ -2,12 +2,14 @@
    the string-keyed {!Parser_gen.Reference} engine it replaced.
 
    The reference engine is kept as the executable specification of the
-   parsing semantics. For every shipped dialect, three engines run over the
+   parsing semantics. For every shipped dialect, four engines run over the
    shared accept/reject corpora plus a grammar-sampled corpus and must
    produce identical outcomes end to end: the {e committed} engine (the
    default — prediction-compiled dispatch over the left-factored grammar),
-   the {e memoized} engine (same grammar, dispatch disabled: the pure
-   backtracker), and the {e reference}. Identical means the same CST on
+   the {e bytecode VM} (the committed region lowered to a flat program,
+   running over the struct-of-arrays token stream), the {e memoized} engine
+   (same grammar, dispatch disabled: the pure backtracker), and the
+   {e reference}. Identical means the same CST on
    acceptance (priority-ordered alternatives, greedy-but-backtrackable
    repetition) and the same furthest-failure position, found token, and
    sorted expected set on rejection. The comparison is repeated with
@@ -99,22 +101,44 @@ let check_engines_agree ~msg a b toks =
     (Parser_gen.Engine.parse_tokens a toks)
     (Parser_gen.Engine.parse_tokens b toks)
 
-(* Three-way: committed (the shipped parser) = memoized (same factored
-   grammar, dispatch off) = reference (executable spec on that grammar). *)
-let test_three_way_agreement name () =
+(* Four-way: committed (the shipped parser) = bytecode VM = memoized (same
+   factored grammar, dispatch off) = reference (executable spec on that
+   grammar). The VM is compared twice: at the token level (hand-delivered
+   token arrays through [parse_tokens_vm]) and end to end over the SoA
+   stream ([Core.parse_cst_vm]), which also exercises the lazy token
+   materialization on CST leaves and error edges. *)
+let test_four_way_agreement name () =
   let g = front_end name in
   let refp = reference_on (engine_grammar g) in
   let memop = engine_on ~dispatch:false g (engine_grammar g) in
   List.iter
     (fun sql ->
-      match Core.scan_tokens g sql with
+      (match Core.scan_tokens g sql with
       | Error _ -> () (* lexical rejection: no token stream to disagree on *)
       | Ok toks ->
         check_agree ~msg:(Printf.sprintf "%s (ref vs committed): %s" name sql)
           refp g.Core.parser toks;
         check_engines_agree
           ~msg:(Printf.sprintf "%s (memo vs committed): %s" name sql)
-          memop g.Core.parser toks)
+          memop g.Core.parser toks;
+        Alcotest.check result_testable
+          (Printf.sprintf "%s (vm vs committed, tokens): %s" name sql)
+          (Parser_gen.Engine.parse_tokens g.Core.parser toks)
+          (Parser_gen.Engine.parse_tokens_vm g.Core.parser toks));
+      let strip = function
+        | Ok cst -> Ok cst
+        | Error (Core.Parse_error e) -> Error (`Parse e)
+        | Error (Core.Lex_error e) -> Error (`Lex e)
+        | Error _ -> Error `Other
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (vm vs committed, end to end): %s" name sql)
+        true
+        (strip (Core.parse_cst g sql) = strip (Core.parse_cst_vm g sql));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (recognize agrees): %s" name sql)
+        (Result.is_ok (Core.parse_cst g sql))
+        (Result.is_ok (Core.recognize g sql)))
     (corpus_for name @ sampled name)
 
 (* Factoring itself: same CSTs and failure positions as the composed
@@ -245,7 +269,17 @@ let test_k2_commits () =
   check_bool "parses A C" true
     (Parser_gen.Engine.accepts p [ tok "A"; tok "C" ]);
   check_bool "rejects A A" false
-    (Parser_gen.Engine.accepts p [ tok "A"; tok "A" ])
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "A" ]);
+  (* The VM compiles the same k = 2 decision into a D2 opcode probing the
+     two-level side table, and must agree token for token. *)
+  List.iter
+    (fun toks ->
+      let arr = Array.of_list (List.map tok (toks @ [ "EOF" ])) in
+      Alcotest.check result_testable
+        (Printf.sprintf "vm k2: %s" (String.concat " " toks))
+        (Parser_gen.Engine.parse_tokens p arr)
+        (Parser_gen.Engine.parse_tokens_vm p arr))
+    [ [ "A"; "B" ]; [ "A"; "C" ]; [ "A"; "A" ]; [ "A" ]; [] ]
 
 let test_ambiguous_falls_back () =
   (* FIRST_2 of both alternatives is {A B}: no bounded lookahead separates
@@ -275,7 +309,69 @@ let test_ambiguous_falls_back () =
   check_bool "parses A B C E" true
     (Parser_gen.Engine.accepts p [ tok "A"; tok "B"; tok "C"; tok "E" ]);
   check_bool "rejects A B C D" false
-    (Parser_gen.Engine.accepts p [ tok "A"; tok "B"; tok "C"; tok "D" ])
+    (Parser_gen.Engine.accepts p [ tok "A"; tok "B"; tok "C"; tok "D" ]);
+  (* On the VM the references to [x]/[y] inside the uncommitted rule [s]
+     never compile; the start entry drops straight into the memoized
+     fallback and must reproduce the same results. *)
+  List.iter
+    (fun toks ->
+      let arr = Array.of_list (List.map tok (toks @ [ "EOF" ])) in
+      Alcotest.check result_testable
+        (Printf.sprintf "vm fallback: %s" (String.concat " " toks))
+        (Parser_gen.Engine.parse_tokens p arr)
+        (Parser_gen.Engine.parse_tokens_vm p arr))
+    [
+      [ "A"; "B"; "D" ];
+      [ "A"; "B"; "C"; "E" ];
+      [ "A"; "B"; "C"; "D" ];
+      [ "A" ];
+      [];
+    ]
+
+let test_vm_choice_backtracking () =
+  (* [z : B B | B B B] is ambiguous at k = 2 (both alternatives predict
+     (B, B)); [s : A z C] is a single sequence, so [s] compiles and the
+     reference to [z] becomes an FB opcode. On "A B B B C" the memoized
+     fallback returns two derivation ends for [z] in priority order — the
+     two-token end first — so the VM must push a choice point, fail at the
+     MATCH of C, backtrack across the recorded stack depths, and succeed on
+     the three-token end. *)
+  let open Grammar.Builder in
+  let g =
+    grammar ~start:"s"
+      [
+        rule "s" [ [ t "A"; nt "z"; t "C" ] ];
+        rule "z" [ [ t "B"; t "B" ]; [ t "B"; t "B"; t "B" ] ];
+      ]
+  in
+  let p = build_engine g in
+  (match Parser_gen.Engine.program p with
+  | None -> Alcotest.fail "program must be compiled"
+  | Some prog ->
+    check_bool "start rule is compiled" true
+      (Parser_gen.Program.start_entry prog >= 0);
+    (* but z is not: exactly one compiled body *)
+    Alcotest.(check int) "compiled rules" 1
+      (Parser_gen.Program.compiled_nts prog));
+  List.iter
+    (fun (toks, accepted) ->
+      let arr = Array.of_list (List.map tok (toks @ [ "EOF" ])) in
+      let vm = Parser_gen.Engine.parse_tokens_vm p arr in
+      check_bool
+        (Printf.sprintf "vm acceptance: %s" (String.concat " " toks))
+        accepted (Result.is_ok vm);
+      Alcotest.check result_testable
+        (Printf.sprintf "vm backtracking: %s" (String.concat " " toks))
+        (Parser_gen.Engine.parse_tokens p arr)
+        vm)
+    [
+      ([ "A"; "B"; "B"; "C" ], true);
+      (* backtrack: first end (B B) fails at C, second (B B B) wins *)
+      ([ "A"; "B"; "B"; "B"; "C" ], true);
+      ([ "A"; "B"; "B"; "B"; "B"; "C" ], false);
+      ([ "A"; "B"; "C" ], false);
+      ([ "A"; "B"; "B"; "B" ], false);
+    ]
 
 let suite =
   List.concat_map
@@ -284,9 +380,10 @@ let suite =
       [
         Alcotest.test_case
           (Printf.sprintf
-             "%s: committed = memoized = reference (corpus + sampled)" name)
+             "%s: committed = vm = memoized = reference (corpus + sampled)"
+             name)
           `Quick
-          (test_three_way_agreement name);
+          (test_four_way_agreement name);
         Alcotest.test_case
           (Printf.sprintf "%s: left-factoring preserves CSTs and positions"
              name)
@@ -309,4 +406,6 @@ let suite =
         test_k2_commits;
       Alcotest.test_case "ambiguous grammar falls back to backtracking" `Quick
         test_ambiguous_falls_back;
+      Alcotest.test_case "vm backtracks across fallback choice points" `Quick
+        test_vm_choice_backtracking;
     ]

@@ -19,6 +19,7 @@ let () =
       ("service", Test_service.suite);
       ("conformance", Test_conformance.suite);
       ("differential", Test_differential.suite);
+      ("alloc", Test_alloc.suite);
       ("negative", Test_negative.suite);
       ("properties", Test_properties.suite);
       ("printer", Test_printer.suite);

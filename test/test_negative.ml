@@ -51,7 +51,7 @@ let test_unselected_statements_lex_everywhere () =
           check_bool
             (Printf.sprintf "%s: lexes cleanly: %s" name sql)
             true
-            (Result.is_ok (Core.scan g sql)))
+            (Result.is_ok (Core.scan_tokens g sql)))
         statements)
     Corpus.unselected
 

@@ -7,13 +7,18 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
 
+(* Local list view over the array API (the deprecated [Scanner.scan] list
+   entry point is gone). *)
+let scan scanner input =
+  Result.map Array.to_list (Scanner.scan_tokens scanner input)
+
 let kinds scanner input =
-  match Scanner.scan scanner input with
+  match scan scanner input with
   | Ok tokens -> List.map (fun (t : Token.t) -> t.kind) tokens
   | Error e -> Alcotest.failf "lex error: %a" Scanner.pp_error e
 
 let texts scanner input =
-  match Scanner.scan scanner input with
+  match scan scanner input with
   | Ok tokens -> List.map (fun (t : Token.t) -> t.text) tokens
   | Error e -> Alcotest.failf "lex error: %a" Scanner.pp_error e
 
@@ -76,7 +81,7 @@ let test_string_literals () =
   check_string "empty" "" (List.nth (texts basic "''") 0)
 
 let test_unterminated_string () =
-  match Scanner.scan basic "'oops" with
+  match scan basic "'oops" with
   | Error e -> check_bool "mentions string" true
                  (Astring_contains.contains e.Scanner.message "string")
   | Ok _ -> Alcotest.fail "unterminated string must fail"
@@ -95,10 +100,10 @@ let test_comments_skipped () =
     (kinds basic "SELECT /* inline\n comment */ a")
 
 let test_unterminated_block_comment () =
-  check_bool "error" true (Result.is_error (Scanner.scan basic "SELECT /* oops"))
+  check_bool "error" true (Result.is_error (scan basic "SELECT /* oops"))
 
 let test_positions () =
-  match Scanner.scan basic "SELECT\n  a" with
+  match scan basic "SELECT\n  a" with
   | Error _ -> Alcotest.fail "scan"
   | Ok tokens ->
     let a = List.nth tokens 1 in
@@ -107,23 +112,23 @@ let test_positions () =
     check_int "offset" 9 a.Token.pos.Token.offset
 
 let test_unexpected_character () =
-  match Scanner.scan basic "a ? b" with
+  match scan basic "a ? b" with
   | Error e -> check_int "at the right column" 3 e.Scanner.pos.Token.column
   | Ok _ -> Alcotest.fail "? is not a token"
 
 let test_disabled_classes () =
   (* A scanner without a string-literal class rejects strings. *)
   let tiny = Scanner.create [ ("IDENT", Spec.Class Spec.Identifier) ] in
-  check_bool "strings rejected" true (Result.is_error (Scanner.scan tiny "'x'"));
-  check_bool "numbers rejected" true (Result.is_error (Scanner.scan tiny "42"));
-  check_bool "identifiers fine" true (Result.is_ok (Scanner.scan tiny "abc"))
+  check_bool "strings rejected" true (Result.is_error (scan tiny "'x'"));
+  check_bool "numbers rejected" true (Result.is_error (scan tiny "42"));
+  check_bool "identifiers fine" true (Result.is_ok (scan tiny "abc"))
 
 let test_counts () =
   check_bool "keyword count" true (Scanner.keyword_count basic >= 2);
   check_bool "punct count" true (Scanner.punct_count basic >= 5)
 
 let test_eof_always_last () =
-  match Scanner.scan basic "" with
+  match scan basic "" with
   | Ok [ eof ] -> check_string "eof kind" "EOF" eof.Token.kind
   | _ -> Alcotest.fail "empty input yields exactly EOF"
 
@@ -134,6 +139,89 @@ let test_underscored_keyword () =
   in
   Alcotest.(check (list string)) "single token" [ "CURRENT_DATE"; "EOF" ]
     (kinds s "current_date")
+
+(* ------------------------------------------------------------------ *)
+(* Struct-of-arrays stream                                            *)
+(* ------------------------------------------------------------------ *)
+
+let token_testable : Token.t Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (t : Token.t) ->
+      Fmt.pf ppf "%s(%S)@%d:%d:%d" t.kind t.text t.pos.Token.line
+        t.pos.Token.column t.pos.Token.offset)
+    ( = )
+
+let soa_inputs =
+  [
+    "";
+    "select a FROM t";
+    "SELECT\n  a, b FROM \"Order Total\" WHERE x <= 1.5e-3";
+    "'it''s' .5 42 /* block\ncomment */ a -- tail";
+    "a\n\n\nb\n";
+    "SeLeCt current_date'x''y''z'";
+  ]
+
+let test_soa_matches_scan_tokens () =
+  List.iter
+    (fun input ->
+      let expected =
+        match Scanner.scan_tokens basic input with
+        | Ok t -> t
+        | Error e -> Alcotest.failf "scan_tokens: %a" Scanner.pp_error e
+      in
+      (* Full materialization agrees... *)
+      (match Scanner.scan_soa basic input with
+      | Error e -> Alcotest.failf "scan_soa: %a" Scanner.pp_error e
+      | Ok soa ->
+        Alcotest.(check (array token_testable))
+          (Printf.sprintf "tokens_of_soa %S" input)
+          expected
+          (Scanner.tokens_of_soa basic soa);
+        check_int "count" (Array.length expected - 1) (Scanner.soa_count soa));
+      (* ...and so does random-access materialization (binary-searched
+         positions instead of the sequential newline cursor). *)
+      match Scanner.scan_soa basic input with
+      | Error _ -> assert false
+      | Ok soa ->
+        Array.iteri
+          (fun i exp ->
+            Alcotest.(check token_testable)
+              (Printf.sprintf "token_of_soa %S #%d" input i)
+              exp
+              (Scanner.token_of_soa basic soa i))
+          expected)
+    soa_inputs
+
+let test_soa_errors_match () =
+  List.iter
+    (fun input ->
+      match Scanner.scan_tokens basic input, Scanner.scan_soa basic input with
+      | Error a, Error b ->
+        check_string "message" a.Scanner.message b.Scanner.message;
+        check_int "line" a.Scanner.pos.Token.line b.Scanner.pos.Token.line;
+        check_int "column" a.Scanner.pos.Token.column b.Scanner.pos.Token.column;
+        check_int "offset" a.Scanner.pos.Token.offset b.Scanner.pos.Token.offset
+      | Ok _, Ok _ -> Alcotest.failf "expected %S to fail" input
+      | _ -> Alcotest.failf "engines disagree on %S" input)
+    [ "'oops"; "a ? b"; "SELECT /* oops"; "a\nb\n$"; "/*\n\n\noops" ]
+
+let test_soa_arena_reuse () =
+  (* The arena is reused: a second scan invalidates the first stream, and
+     repeated scans agree with themselves. *)
+  let first =
+    match Scanner.scan_soa basic "SELECT a FROM t" with
+    | Ok soa -> Scanner.tokens_of_soa basic soa
+    | Error _ -> Alcotest.fail "scan 1"
+  in
+  (match Scanner.scan_soa basic "'string' 1 2 3" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "scan 2");
+  match Scanner.scan_soa basic "SELECT a FROM t" with
+  | Ok soa ->
+    Alcotest.(check (array token_testable))
+      "rescan agrees" first
+      (Scanner.tokens_of_soa basic soa)
+  | Error _ -> Alcotest.fail "scan 3"
 
 let suite =
   [
@@ -158,4 +246,8 @@ let suite =
     Alcotest.test_case "scanner size counts" `Quick test_counts;
     Alcotest.test_case "EOF always last" `Quick test_eof_always_last;
     Alcotest.test_case "underscored keyword" `Quick test_underscored_keyword;
+    Alcotest.test_case "SoA stream matches scan_tokens" `Quick
+      test_soa_matches_scan_tokens;
+    Alcotest.test_case "SoA errors match" `Quick test_soa_errors_match;
+    Alcotest.test_case "SoA arena reuse" `Quick test_soa_arena_reuse;
   ]

@@ -299,6 +299,60 @@ let test_batch_domains_clamped () =
   check_int "clamp:false honors the request" (min 8 (List.length stmts))
     unclamped.Service.Session.shards
 
+let test_vm_session_equivalence () =
+  (* The engine knob is a pure performance choice: a VM session (SoA stream
+     + bytecode VM) must return item-for-item identical results and token
+     counts to a committed-loop session over the same cache entry, on a
+     workload mixing accepts, rejects, lexical failures, and sampled
+     sentences — sharded and not. *)
+  let cache = Service.Cache.create () in
+  let config = (dialect "embedded").Dialects.Dialect.config in
+  let committed =
+    match Service.Session.of_cache ~label:"embedded" cache config with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "session: %a" Core.pp_error e
+  in
+  let vm =
+    match
+      Service.Session.of_cache ~label:"embedded" ~engine:`Vm cache config
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "vm session: %a" Core.pp_error e
+  in
+  check_bool "engine recorded" true (Service.Session.engine vm = `Vm);
+  check_bool "one cache entry serves both" true
+    (Service.Session.front_end committed == Service.Session.front_end vm);
+  let stmts =
+    Corpus.embedded_accept @ Corpus.embedded_reject @ Corpus.always_reject
+    @ Service.Sentences.sample ~count:30 ~seed:77
+        (Service.Session.front_end committed)
+  in
+  let check_same label (bc : Service.Session.batch)
+      (bv : Service.Session.batch) =
+    List.iter2
+      (fun (ic : Service.Session.item) (iv : Service.Session.item) ->
+        check_int
+          (Printf.sprintf "%s: same token count: %s" label
+             ic.Service.Session.sql)
+          ic.Service.Session.token_count iv.Service.Session.token_count;
+        check_bool
+          (Printf.sprintf "%s: same result: %s" label ic.Service.Session.sql)
+          true
+          (ic.Service.Session.result = iv.Service.Session.result))
+      bc.Service.Session.items bv.Service.Session.items;
+    check_bool
+      (Printf.sprintf "%s: same furthest error" label)
+      true
+      (bc.Service.Session.batch_stats.Service.Session.furthest_error
+      = bv.Service.Session.batch_stats.Service.Session.furthest_error)
+  in
+  check_same "sequential"
+    (Service.Session.parse_batch committed stmts)
+    (Service.Session.parse_batch vm stmts);
+  check_same "sharded"
+    (Service.Session.parse_batch ~clamp:false ~domains:4 committed stmts)
+    (Service.Session.parse_batch ~clamp:false ~domains:4 vm stmts)
+
 let test_session_script_split () =
   let session = session_for "minimal" in
   let batch =
@@ -329,6 +383,8 @@ let suite =
       test_batch_domains_deterministic;
     Alcotest.test_case "domain requests are clamped by default" `Quick
       test_batch_domains_clamped;
+    Alcotest.test_case "VM sessions are indistinguishable from committed"
+      `Quick test_vm_session_equivalence;
     Alcotest.test_case "script batches split on semicolons" `Quick
       test_session_script_split;
   ]
