@@ -810,6 +810,174 @@ let report_e18 ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E19: the parser service under concurrent load. A real `sqlpl serve` *)
+(* daemon (8 worker domains, loopback TCP) takes batched requests from *)
+(* 8 concurrent client connections; we report wire round-trip latency  *)
+(* (p50/p99) and sustained request/statement throughput per dialect    *)
+(* and engine, and cross-check every reply byte-for-byte against the   *)
+(* in-process Session results. Emits BENCH_e19.json.                   *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Service.Wire
+
+type e19_row = {
+  e19_dialect : string;
+  e19_engine : string;
+  e19_statements : int;  (* statements per request *)
+  e19_requests : int;    (* requests answered across all connections *)
+  e19_p50_ms : float;
+  e19_p99_ms : float;
+  e19_qps : float;       (* requests/s, all connections together *)
+  e19_sps : float;       (* statements/s through the service *)
+}
+
+let e19_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float n)) - 1)))
+
+(* The per-request batch: the dialect's own corpus (smoke), widened with
+   grammar-sampled sentences in the full run — a realistic statement mix,
+   small enough that a request measures the wire and dispatch path, not
+   one giant parse. *)
+let e19_batch ~smoke name g =
+  let corpus = Workloads.queries_for name in
+  if smoke then corpus
+  else Service.Sentences.sample ~count:28 ~seed:7433 g @ corpus
+
+let e19_reference ~mode ~engine g stmts =
+  let session = Service.Session.create ~engine g in
+  Wire.encode_items
+    (List.map
+       (Service.Server.outcome_of_item mode)
+       (Service.Session.parse_batch session stmts).Service.Session.items)
+
+let e19_row ~smoke ~rounds ~connections server name engine =
+  let _, g = dialect name in
+  let stmts = e19_batch ~smoke name g in
+  let engine_name = match engine with `Committed -> "committed" | `Vm -> "vm" in
+  (* The determinism gate first: one CST-mode and one recognize-mode reply
+     must be byte-identical to the library rendering. *)
+  let expect_cst = e19_reference ~mode:Wire.Cst ~engine g stmts in
+  let expect_rec = e19_reference ~mode:Wire.Recognize ~engine g stmts in
+  let addr = Service.Server.address server in
+  let latencies = Array.make (connections * rounds) 0.0 in
+  let failures = Array.make connections None in
+  let run i () =
+    match
+      Service.Client.connect ~engine ~selection:(Wire.Dialect name) addr
+    with
+    | Error e -> failures.(i) <- Some (Fmt.str "connect: %a" Wire.pp_error e)
+    | Ok (client, _) ->
+      let check mode want =
+        match Service.Client.request ~mode client stmts with
+        | Error e -> failures.(i) <- Some (Fmt.str "request: %a" Wire.pp_error e)
+        | Ok reply ->
+          if not (String.equal (Wire.encode_items reply.Wire.items) want) then
+            failures.(i) <- Some "service reply differs from library results"
+      in
+      check Wire.Cst expect_cst;
+      check Wire.Recognize expect_rec;
+      for r = 0 to rounds - 1 do
+        let t0 = now () in
+        (match Service.Client.request ~mode:Wire.Recognize client stmts with
+        | Ok _ -> ()
+        | Error e ->
+          failures.(i) <- Some (Fmt.str "request: %a" Wire.pp_error e));
+        latencies.((i * rounds) + r) <- now () -. t0
+      done;
+      Service.Client.close client
+  in
+  let t0 = now () in
+  let threads = List.init connections (fun i -> Thread.create (run i) ()) in
+  List.iter Thread.join threads;
+  let wall = now () -. t0 in
+  Array.iter
+    (function
+      | Some msg -> Fmt.failwith "e19 %s/%s: %s" name engine_name msg
+      | None -> ())
+    failures;
+  Array.sort compare latencies;
+  let requests = connections * rounds in
+  {
+    e19_dialect = name;
+    e19_engine = engine_name;
+    e19_statements = List.length stmts;
+    e19_requests = requests;
+    e19_p50_ms = 1e3 *. e19_percentile latencies 0.50;
+    e19_p99_ms = 1e3 *. e19_percentile latencies 0.99;
+    e19_qps = float requests /. wall;
+    e19_sps = float (requests * List.length stmts) /. wall;
+  }
+
+let write_e19_json ~workers ~connections rows =
+  let oc = open_out "BENCH_e19.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"e19\",\n";
+  p "  \"basis\": \"wire round-trips against sqlpl serve (loopback TCP, \
+     recognize mode)\",\n";
+  p "  \"workers\": %d,\n" workers;
+  p "  \"connections\": %d,\n" connections;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      p
+        "    {\"dialect\": %S, \"engine\": %S, \"statements\": %d, \
+         \"requests\": %d,\n\
+        \     \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"qps\": %.0f, \
+         \"stmts_per_s\": %.0f}%s\n"
+        row.e19_dialect row.e19_engine row.e19_statements row.e19_requests
+        row.e19_p50_ms row.e19_p99_ms row.e19_qps row.e19_sps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let report_e19 ?(smoke = false) () =
+  pf "\n== E19: parser service under concurrent load (8 connections) ==\n";
+  let workers = 8 and connections = 8 in
+  let rounds = if smoke then 3 else 40 in
+  let names =
+    if smoke then [ "embedded"; "analytics" ]
+    else
+      List.map
+        (fun ((d : Dialects.Dialect.t), _) -> d.name)
+        generated_dialects
+  in
+  let cache = Service.Cache.create () in
+  let server =
+    match
+      Service.Server.start ~workers ~cache (Wire.Tcp ("127.0.0.1", 0))
+    with
+    | Ok s -> s
+    | Error msg -> Fmt.failwith "e19: %s" msg
+  in
+  Fun.protect ~finally:(fun () -> Service.Server.stop server) @@ fun () ->
+  let rows =
+    List.concat_map
+      (fun name ->
+        List.map (e19_row ~smoke ~rounds ~connections server name)
+          [ `Committed; `Vm ])
+      names
+  in
+  let s = Service.Server.stats server in
+  if s.Service.Server.connections < connections then
+    Fmt.failwith "e19: only %d connections served" s.Service.Server.connections;
+  pf "%-10s %-9s %6s %8s %9s %9s %9s %11s\n" "dialect" "engine" "stmts"
+    "requests" "p50 ms" "p99 ms" "req/s" "stmts/s";
+  List.iter
+    (fun row ->
+      pf "%-10s %-9s %6d %8d %9.3f %9.3f %9.0f %9.0f/s\n" row.e19_dialect
+        row.e19_engine row.e19_statements row.e19_requests row.e19_p50_ms
+        row.e19_p99_ms row.e19_qps row.e19_sps)
+    rows;
+  pf "(every reply cross-checked byte-for-byte against Session.parse_batch)\n";
+  if not smoke then begin
+    write_e19_json ~workers ~connections rows;
+    pf "(wrote BENCH_e19.json)\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Timed series (Bechamel)                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1014,8 +1182,10 @@ let () =
   | Some "e17-smoke" -> report_e17 ~smoke:true ()
   | Some "e18" -> report_e18 ()
   | Some "e18-smoke" -> report_e18 ~smoke:true ()
+  | Some "e19" -> report_e19 ()
+  | Some "e19-smoke" -> report_e19 ~smoke:true ()
   | Some other ->
-    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17 e18)"
+    Fmt.failwith "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17 e18 e19)"
       other
   | None ->
     report_e1 ();
@@ -1027,6 +1197,7 @@ let () =
     report_e16 ();
     report_e17 ();
     report_e18 ();
+    report_e19 ();
     pf "\n== E8-E13: timed series ==\n";
     run_benchmarks
       (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

@@ -211,19 +211,121 @@ let points_of_row experiment row =
         })
       engines
 
-let points_of_file path =
-  match parse_file path with
-  | exception Bad msg ->
+(* --- schema validation ---------------------------------------------------
+
+   Every known experiment id has a structural schema; an artifact that
+   declares an unknown experiment, or a known one whose shape does not
+   match, is skipped with a warning instead of contributing half-parsed
+   rows to the trajectory. (A stale BENCH_e19.json from an abandoned
+   experiment family once did exactly that.) *)
+
+let has_num key row = as_num (member key row) <> None
+let has_str key row = as_str (member key row) <> None
+
+let nonempty_all key j ok =
+  match member key j with
+  | Some (Arr rows) -> rows <> [] && List.for_all ok rows
+  | _ -> false
+
+(* e16/e17/e18 rows: a dialect plus at least one engine field family. *)
+let throughput_row row =
+  has_str "dialect" row
+  &&
+  match row with
+  | Obj kvs ->
+    List.exists
+      (fun (k, v) ->
+        strip_suffix ~suffix:"_tokens_per_s" k <> None
+        && match v with Num _ -> true | _ -> false)
+      kvs
+  | _ -> false
+
+let validate experiment j =
+  match experiment with
+  | "e15" ->
+    if
+      nonempty_all "cache" j (fun r ->
+          has_str "dialect" r && has_num "cold_ms" r && has_num "warm_ms" r)
+      && nonempty_all "batch" j (fun r ->
+             has_str "dialect" r && has_num "batched_stmts_per_s" r)
+    then Ok ()
+    else Error "expected \"cache\"/\"batch\" arrays of per-dialect timings"
+  | "e16" | "e17" | "e18" ->
+    if nonempty_all "rows" j throughput_row then Ok ()
+    else Error "expected \"rows\" of {dialect, <engine>_tokens_per_s, ...}"
+  | "e19" ->
+    if
+      has_num "workers" j && has_num "connections" j
+      && nonempty_all "rows" j (fun r ->
+             has_str "dialect" r && has_str "engine" r && has_num "p50_ms" r
+             && has_num "p99_ms" r && has_num "qps" r)
+    then Ok ()
+    else
+      Error
+        "expected service schema {workers, connections, rows: [{dialect, \
+         engine, p50_ms, p99_ms, qps}]}"
+  | _ -> Error "unknown experiment"
+
+(* The E19 service artifact measures latency and QPS, not tokens/s, so it
+   gets its own row type and table instead of joining the frontier. *)
+type service_row = {
+  s_dialect : string;
+  s_engine : string;
+  s_p50_ms : float;
+  s_p99_ms : float;
+  s_qps : float;
+  s_stmts_per_s : float option;
+}
+
+let service_of_row row =
+  match
+    ( as_str (member "dialect" row),
+      as_str (member "engine" row),
+      as_num (member "p50_ms" row),
+      as_num (member "p99_ms" row),
+      as_num (member "qps" row) )
+  with
+  | Some s_dialect, Some s_engine, Some s_p50_ms, Some s_p99_ms, Some s_qps ->
+    Some
+      {
+        s_dialect;
+        s_engine;
+        s_p50_ms;
+        s_p99_ms;
+        s_qps;
+        s_stmts_per_s = as_num (member "stmts_per_s" row);
+      }
+  | _ -> None
+
+type artifact = {
+  a_experiment : string;
+  a_points : point list;
+  a_service : service_row list;
+}
+
+let artifact_of_file path =
+  let skip msg =
     Printf.eprintf "sqlpl: warning: skipping %s: %s\n%!" path msg;
-    (None, [])
-  | j ->
-    let experiment =
-      match as_str (member "experiment" j) with
-      | Some e -> e
-      | None -> Filename.remove_extension (Filename.basename path)
-    in
-    let rows = as_arr (member "rows" j) in
-    (Some experiment, List.concat_map (points_of_row experiment) rows)
+    None
+  in
+  match parse_file path with
+  | exception Bad msg -> skip msg
+  | j -> (
+    match as_str (member "experiment" j) with
+    | None -> skip "no \"experiment\" field"
+    | Some experiment -> (
+      match validate experiment j with
+      | Error msg -> skip (Printf.sprintf "%s: %s" experiment msg)
+      | Ok () ->
+        let rows = as_arr (member "rows" j) in
+        Some
+          {
+            a_experiment = experiment;
+            a_points = List.concat_map (points_of_row experiment) rows;
+            a_service =
+              (if experiment = "e19" then List.filter_map service_of_row rows
+               else []);
+          }))
 
 (* --- rendering ---------------------------------------------------------- *)
 
@@ -235,7 +337,7 @@ let dedup xs =
   List.rev
     (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
 
-let render ppf ~sources ~experiments points =
+let render ppf ~sources ~experiments ~service points =
   Fmt.pf ppf "# Benchmark trajectory@\n@\n";
   Fmt.pf ppf
     "Generated by `sqlpl bench report` from %s. Rates are end-of-run@\n\
@@ -260,6 +362,20 @@ let render ppf ~sources ~experiments points =
         Fmt.pf ppf "@\n"
       end)
     experiments;
+  (* The service experiment measures the wire, not the parser: latency
+     percentiles and sustained QPS per connection pool, rendered as its
+     own table rather than forced into the throughput frontier. *)
+  if service <> [] then begin
+    Fmt.pf ppf "## e19 (parser service under concurrent load)@\n@\n";
+    Fmt.pf ppf "| dialect | engine | p50 ms | p99 ms | req/s | stmts/s |@\n";
+    Fmt.pf ppf "|---|---|---:|---:|---:|---:|@\n";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "| %s | %s | %.3f | %.3f | %.0f | %a |@\n" r.s_dialect
+          r.s_engine r.s_p50_ms r.s_p99_ms r.s_qps rate r.s_stmts_per_s)
+      service;
+    Fmt.pf ppf "@\n"
+  end;
   (* Frontier: per dialect, the best tokens/s any engine reached in each
      experiment. *)
   let dialects = dedup (List.map (fun p -> p.dialect) points) in
@@ -310,11 +426,14 @@ let run ~dir ~output =
   in
   if files = [] then Error (Printf.sprintf "no BENCH_*.json files in %s" dir)
   else begin
-    let parsed = List.map points_of_file files in
-    let experiments = List.filter_map fst parsed in
-    let points = List.concat_map snd parsed in
+    let artifacts = List.filter_map artifact_of_file files in
+    let experiments = List.map (fun a -> a.a_experiment) artifacts in
+    let points = List.concat_map (fun a -> a.a_points) artifacts in
+    let service = List.concat_map (fun a -> a.a_service) artifacts in
     let doc =
-      Fmt.str "%a" (fun ppf () -> render ppf ~sources:files ~experiments points) ()
+      Fmt.str "%a"
+        (fun ppf () -> render ppf ~sources:files ~experiments ~service points)
+        ()
     in
     (match output with
     | None -> print_string doc

@@ -15,6 +15,8 @@
      lint DIALECT        static-analysis diagnostics for a selection
      diff A B            commonality/variability between two dialects
      cache stats|key     the configuration-keyed parser cache
+     serve               long-running parser daemon (TCP / Unix sockets)
+     client              send statement batches to a running daemon
      configure           interactive feature selection (the paper's UI)
      run [SCRIPT]        execute statements against an in-memory database
 
@@ -613,6 +615,226 @@ let bench_cmd =
              recorded results")
     [ bench_report_cmd ]
 
+(* --- serve / client -------------------------------------------------------------- *)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (expected HOST:PORT)" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 ->
+      Ok (Service.Wire.Tcp ((if host = "" then "127.0.0.1" else host), p))
+    | _ -> Error (Printf.sprintf "bad port %S in %S" port s))
+
+let resolve_address listen unix_path =
+  match (listen, unix_path) with
+  | _, Some path -> Ok (Service.Wire.Unix_socket path)
+  | Some hp, None -> parse_host_port hp
+  | None, None -> Ok (Service.Wire.Tcp ("127.0.0.1", 7433))
+
+let listen_arg =
+  let doc = "TCP address to serve on / connect to, as $(i,HOST:PORT)." in
+  Arg.(value & opt (some string) None & info [ "listen"; "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let unix_arg =
+  let doc = "Unix-domain socket path (overrides the TCP address)." in
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+
+let max_frame_arg =
+  let doc = "Largest accepted wire frame, in bytes." in
+  Arg.(
+    value
+    & opt int Service.Wire.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc =
+      "Worker domains serving connections in parallel (the acceptor deals \
+       connections onto a shared queue, exactly like parse --batch \
+       --domains deals statements)."
+    in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let preload_flag =
+    Arg.(
+      value & flag
+      & info [ "preload" ]
+          ~doc:
+            "Compose and generate every shipped dialect into the server \
+             cache before accepting connections, so digest-pinned hellos \
+             resolve immediately and first requests never pay a cold \
+             compose.")
+  in
+  let run listen unix_path workers max_frame preload =
+    if workers < 1 then fail "--workers must be at least 1"
+    else
+      match resolve_address listen unix_path with
+      | Error msg -> fail "%s" msg
+      | Ok addr -> (
+        match Service.Server.start ~workers ~max_frame addr with
+        | Error msg -> fail "%s" msg
+        | Ok server ->
+          if preload then
+            List.iter
+              (fun (d : Dialects.Dialect.t) ->
+                match
+                  Service.Cache.generate_dialect (Service.Server.cache server) d
+                with
+                | Ok _ -> ()
+                | Error e ->
+                  Printf.eprintf "sqlpl: preload %s: %s\n%!" d.name
+                    (Fmt.str "%a" Core.pp_error e))
+              Dialects.Dialect.all;
+          Fmt.pr "sqlpl: serving on %a (%d worker(s)%s)@."
+            Service.Wire.pp_address
+            (Service.Server.address server)
+            workers
+            (if preload then ", dialects preloaded" else "");
+          let stop_now = Atomic.make false in
+          let on_signal _ = Atomic.set stop_now true in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+          while not (Atomic.get stop_now) do
+            try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done;
+          Service.Server.stop server;
+          let s = Service.Server.stats server in
+          Fmt.pr
+            "sqlpl: stopped after %d connection(s), %d request(s), %d wire \
+             error(s)@."
+            s.Service.Server.connections s.Service.Server.requests
+            s.Service.Server.wire_errors;
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the parser service: a long-running daemon speaking \
+          length-prefixed binary frames (or newline-JSON, auto-detected \
+          per connection) over TCP or Unix sockets. Each connection pins \
+          one front-end via its hello (dialect, feature list, or resident \
+          cache digest) and streams statement batches through it.")
+    Term.(
+      ret
+        (const run $ listen_arg $ unix_arg $ workers_arg $ max_frame_arg
+       $ preload_flag))
+
+let client_cmd =
+  let digest_arg =
+    let doc =
+      "Pin the front-end by the hex digest of a configuration already \
+       resident in the server's cache (see $(b,sqlpl cache key))."
+    in
+    Arg.(value & opt (some string) None & info [ "digest" ] ~docv:"HEX" ~doc)
+  in
+  let engine_arg =
+    let doc = "Session engine on the server: committed or vm." in
+    Arg.(
+      value
+      & opt (enum [ ("committed", `Committed); ("vm", `Vm) ]) `Committed
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Speak the newline-JSON debug encoding instead of binary \
+                frames.")
+  in
+  let recognize_flag =
+    Arg.(
+      value & flag
+      & info [ "recognize" ]
+          ~doc:"Accept/reject only; skip CST rendering and transfer.")
+  in
+  let batch_arg =
+    let doc = "Read semicolon-separated statements from $(docv)." in
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE" ~doc)
+  in
+  let sql_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SQL" ~doc:"Statements to send (each one statement).")
+  in
+  let run listen unix_path dialect features config_file digest engine json
+      recognize max_frame batch sqls =
+    let selection =
+      match digest with
+      | Some hex -> Ok (Service.Wire.Digest hex)
+      | None ->
+        if features = [] && config_file = None then
+          Ok (Service.Wire.Dialect dialect)
+        else (
+          match resolve_config dialect features config_file with
+          | Error msg -> Error msg
+          | Ok (_, config) ->
+            Ok (Service.Wire.Features (Feature.Config.to_names config)))
+    in
+    let statements =
+      match batch with
+      | Some path ->
+        Core.split_statements
+          (In_channel.with_open_text path In_channel.input_all)
+      | None -> sqls
+    in
+    match (selection, resolve_address listen unix_path) with
+    | Error msg, _ | _, Error msg -> fail "%s" msg
+    | Ok selection, Ok addr -> (
+      if statements = [] then fail "no statements (give SQL or --batch FILE)"
+      else
+        let encoding = if json then Service.Wire.Json else Service.Wire.Binary in
+        match
+          Service.Client.connect ~encoding ~engine ~max_frame ~selection addr
+        with
+        | Error e -> fail "%s" (Fmt.str "%a" Service.Wire.pp_error e)
+        | Ok (client, ok) ->
+          Fmt.pr "connected: %s (%d features, digest %s)@." ok.Service.Wire.label
+            ok.Service.Wire.features ok.Service.Wire.digest;
+          let mode =
+            if recognize then Service.Wire.Recognize else Service.Wire.Cst
+          in
+          let result =
+            match Service.Client.request ~mode client statements with
+            | Error e -> fail "%s" (Fmt.str "%a" Service.Wire.pp_error e)
+            | Ok reply ->
+              List.iteri
+                (fun i outcome ->
+                  match outcome with
+                  | Service.Wire.Accepted { tokens; cst } ->
+                    Printf.printf "#%d ok (%d tokens)\n" i tokens;
+                    Option.iter print_endline cst
+                  | Service.Wire.Rejected e ->
+                    Fmt.pr "#%d FAIL %a@." i Service.Wire.pp_error e)
+                reply.Service.Wire.items;
+              let s = reply.Service.Wire.stats in
+              Printf.printf
+                "-- %d statement(s): %d accepted, %d rejected; %d token(s) \
+                 in %.3fms server-side\n"
+                s.Service.Wire.statements s.Service.Wire.accepted
+                s.Service.Wire.rejected s.Service.Wire.tokens
+                (Int64.to_float s.Service.Wire.elapsed_ns /. 1e6);
+              if s.Service.Wire.rejected = 0 then `Ok ()
+              else
+                fail "%d of %d statement(s) rejected" s.Service.Wire.rejected
+                  s.Service.Wire.statements
+          in
+          Service.Client.close client;
+          result)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send statements to a running $(b,sqlpl serve) daemon and print \
+          the per-statement results and server-side statistics.")
+    Term.(
+      ret
+        (const run $ listen_arg $ unix_arg $ dialect_arg $ features_arg
+       $ config_file_arg $ digest_arg $ engine_arg $ json_flag
+       $ recognize_flag $ max_frame_arg $ batch_arg $ sql_arg))
+
 (* --- configure ----------------------------------------------------------------- *)
 
 let configure_cmd =
@@ -701,5 +923,6 @@ let () =
           [
             dialects_cmd; features_cmd; diagram_cmd; validate_cmd; grammar_cmd;
             tokens_cmd; parse_cmd; emit_cmd; report_cmd; lint_cmd; diff_cmd;
-            cache_cmd; bench_cmd; configure_cmd; run_cmd;
+            cache_cmd; bench_cmd; serve_cmd; client_cmd; configure_cmd;
+            run_cmd;
           ]))

@@ -108,4 +108,14 @@ let find t config =
     (fun e -> e.value)
     (Hashtbl.find_opt t.table (Digest_key.of_config config))
 
+let find_hex t hex =
+  Hashtbl.fold
+    (fun key entry acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if String.equal (Digest_key.to_hex key) hex then Some entry.value
+        else None)
+    t.table None
+
 let mem t config = find t config <> None

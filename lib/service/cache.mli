@@ -61,4 +61,9 @@ val generate_dialect :
 val find : t -> Feature.Config.t -> Core.generated option
 (** Peek without counting a lookup or refreshing recency. *)
 
+val find_hex : t -> string -> Core.generated option
+(** Peek by hex digest — how the parser service resolves a client that
+    pins its configuration by {!Digest_key} instead of re-sending the
+    feature list. Like {!find}, counts nothing and refreshes nothing. *)
+
 val mem : t -> Feature.Config.t -> bool

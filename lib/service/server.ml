@@ -1,0 +1,364 @@
+(* The parser-service daemon. One acceptor domain deals connections onto a
+   shared queue; [workers] worker domains each pop and serve one connection
+   to completion — the same Domain.spawn fan-out as
+   [Session.parse_batch ~domains], lifted from statements to connections.
+   Everything the domains share (the front-end cache, counters, the live
+   connection set) sits behind one mutex; the generated front-ends
+   themselves are immutable and are parsed on lock-free. *)
+
+type stats = {
+  connections : int;
+  active : int;
+  requests : int;
+  wire_errors : int;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  addr : Wire.address;
+  max_frame : int;
+  cache : Cache.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  pending : Unix.file_descr Queue.t;
+  mutable live : Unix.file_descr list;  (* connections being served *)
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable connections : int;
+  mutable active : int;
+  mutable requests : int;
+  mutable wire_errors : int;
+  mutable acceptor : unit Domain.t option;
+  mutable pool : unit Domain.t list;
+}
+
+let address t = t.addr
+let cache t = t.cache
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      connections = t.connections;
+      active = t.active;
+      requests = t.requests;
+      wire_errors = t.wire_errors;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- plumbing ---------------------------------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let written = Unix.write_substring fd s off (n - off) in
+      go (off + written)
+  in
+  go 0
+
+(* Best-effort frame send: the peer may already be gone (mid-frame
+   disconnect tests do exactly this); a failed courtesy error must never
+   take the worker down. *)
+let send fd enc frame =
+  try
+    write_all fd (Wire.encode_as enc frame);
+    true
+  with Unix.Unix_error _ | Sys_error _ -> false
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- per-connection protocol ------------------------------------------- *)
+
+let outcome_of_item mode (item : Session.item) =
+  match item.Session.result with
+  | Ok cst ->
+    Wire.Accepted
+      {
+        tokens = item.Session.token_count;
+        cst =
+          (match mode with
+          | Wire.Cst -> Some (Fmt.str "%a" Parser_gen.Cst.pp cst)
+          | Wire.Recognize -> None);
+      }
+  | Error e -> Wire.Rejected (Wire.error_of_core ~query:item.Session.sql e)
+
+let reply_of_batch mode id (batch : Session.batch) =
+  let s = batch.Session.batch_stats in
+  {
+    Wire.id;
+    items = List.map (outcome_of_item mode) batch.Session.items;
+    stats =
+      {
+        Wire.statements = s.Session.statements;
+        accepted = s.Session.accepted;
+        rejected = s.Session.rejected;
+        tokens = s.Session.tokens;
+        elapsed_ns = Int64.of_float (s.Session.elapsed *. 1e9);
+      };
+  }
+
+let resolve_hello t (h : Wire.hello) =
+  let generate label config =
+    match locked t (fun () -> Cache.generate ~label t.cache config) with
+    | Ok g -> Ok g
+    | Error e ->
+      Error
+        (Wire.error Wire.Invalid_config
+           (Fmt.str "%s: %a" label Core.pp_error e))
+  in
+  match h.Wire.selection with
+  | Wire.Dialect name -> (
+    match Dialects.Dialect.find name with
+    | Some d -> generate d.Dialects.Dialect.name d.Dialects.Dialect.config
+    | None ->
+      Error
+        (Wire.error Wire.Unknown_dialect
+           (Printf.sprintf "unknown dialect %S (known: %s)" name
+              (String.concat ", "
+                 (List.map
+                    (fun (d : Dialects.Dialect.t) -> d.name)
+                    Dialects.Dialect.all)))))
+  | Wire.Features names ->
+    generate "custom" (Sql.Model.close (Feature.Config.of_names names))
+  | Wire.Digest hex -> (
+    match locked t (fun () -> Cache.find_hex t.cache hex) with
+    | Some g -> Ok g
+    | None ->
+      Error
+        (Wire.error Wire.Unknown_digest
+           (Printf.sprintf
+              "no resident front-end has digest %S; hello with the dialect \
+               or feature list first"
+              hex)))
+
+let count_error t = locked t (fun () -> t.wire_errors <- t.wire_errors + 1)
+
+(* Serve one connection to completion. Every exit path is structured: the
+   client either saw a [Reply]/[Pong] per frame, or one final [Error]
+   explaining why the server is hanging up. *)
+let serve t fd =
+  let reader =
+    Wire.reader ~max_frame:t.max_frame (fun buf off len ->
+        Unix.read fd buf off len)
+  in
+  let enc () = Option.value (Wire.reader_encoding reader) ~default:Wire.Binary in
+  let bail error =
+    ignore (send fd (enc ()) (Wire.Error error));
+    count_error t
+  in
+  match Wire.read_frame reader with
+  | Ok None -> () (* connected and left without a word *)
+  | Error e -> bail e
+  | Ok (Some (Wire.Hello hello)) -> (
+    match resolve_hello t hello with
+    | Error e -> bail e
+    | Ok g ->
+      let session = Session.create ~engine:hello.Wire.engine g in
+      let ok =
+        send fd (enc ())
+          (Wire.Hello_ok
+             {
+               Wire.digest =
+                 Digest_key.to_hex (Digest_key.of_config g.Core.config);
+               label = g.Core.label;
+               features = Feature.Config.cardinal g.Core.config;
+               engine = hello.Wire.engine;
+             })
+      in
+      let rec loop () =
+        match Wire.read_frame reader with
+        | Ok None -> ()
+        | Error e -> bail e
+        | Ok (Some frame) -> (
+          match frame with
+          | Wire.Request r ->
+            let reply =
+              match Session.parse_batch session r.Wire.statements with
+              | batch -> Wire.Reply (reply_of_batch r.Wire.mode r.Wire.id batch)
+              | exception exn ->
+                (* A poisoned statement must poison its request only. *)
+                count_error t;
+                Wire.Error
+                  (Wire.error Wire.Internal
+                     (Printf.sprintf "request %d failed: %s" r.Wire.id
+                        (Printexc.to_string exn)))
+            in
+            locked t (fun () -> t.requests <- t.requests + 1);
+            if send fd (enc ()) reply then loop ()
+          | Wire.Ping payload ->
+            if send fd (enc ()) (Wire.Pong payload) then loop ()
+          | Wire.Bye -> ()
+          | Wire.Hello _ | Wire.Hello_ok _ | Wire.Reply _ | Wire.Error _
+          | Wire.Pong _ ->
+            bail
+              (Wire.error Wire.Unsupported
+                 (Fmt.str "unexpected %a" Wire.pp_frame frame)))
+      in
+      if ok then loop ())
+  | Ok (Some frame) ->
+    bail
+      (Wire.error Wire.Bad_hello
+         (Fmt.str "expected hello, got %a" Wire.pp_frame frame))
+
+(* --- pool -------------------------------------------------------------- *)
+
+let worker t () =
+  let rec next () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.pending && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let fd = Queue.pop t.pending in
+      t.active <- t.active + 1;
+      t.live <- fd :: t.live;
+      Mutex.unlock t.lock;
+      (try serve t fd with _ -> ());
+      close_quietly fd;
+      locked t (fun () ->
+          t.active <- t.active - 1;
+          t.live <- List.filter (fun fd' -> fd' != fd) t.live);
+      next ()
+    end
+  in
+  next ()
+
+(* Poll-accept so shutdown is race-free: closing an fd another domain is
+   blocked in [accept] on is not guaranteed to wake it, but a [select] with
+   a short timeout re-checks the stopping flag on its own. *)
+let acceptor t () =
+  let rec loop () =
+    if not (locked t (fun () -> t.stopping)) then
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> () (* listener closed: shutting down *)
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          Mutex.lock t.lock;
+          if t.stopping then begin
+            Mutex.unlock t.lock;
+            close_quietly fd
+          end
+          else begin
+            t.connections <- t.connections + 1;
+            Queue.push fd t.pending;
+            Condition.signal t.nonempty;
+            Mutex.unlock t.lock;
+            loop ()
+          end)
+  in
+  loop ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let bind_listener addr ~backlog =
+  let protect fd f =
+    match f () with
+    | v -> Ok v
+    | exception Unix.Unix_error (err, _, _) ->
+      close_quietly fd;
+      Error
+        (Fmt.str "cannot listen on %a: %s" Wire.pp_address addr
+           (Unix.error_message err))
+  in
+  match addr with
+  | Wire.Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    protect fd (fun () ->
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ ->
+            (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        Unix.bind fd (Unix.ADDR_INET (inet, port));
+        Unix.listen fd backlog;
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> Wire.Tcp (host, p)
+          | _ -> addr
+        in
+        (fd, bound))
+  | Wire.Unix_socket path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    protect fd (fun () ->
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd backlog;
+        (fd, addr))
+
+let start ?(workers = 4) ?(backlog = 64) ?(max_frame = Wire.default_max_frame)
+    ?cache addr =
+  (* A worker writing a reply into a connection the client already closed
+     must see EPIPE, not die of SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  match bind_listener addr ~backlog with
+  | Error _ as e -> e
+  | Ok (listen_fd, bound) ->
+    let t =
+      {
+        listen_fd;
+        addr = bound;
+        max_frame;
+        cache = (match cache with Some c -> c | None -> Cache.create ());
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        pending = Queue.create ();
+        live = [];
+        stopping = false;
+        stopped = false;
+        connections = 0;
+        active = 0;
+        requests = 0;
+        wire_errors = 0;
+        acceptor = None;
+        pool = [];
+      }
+    in
+    t.pool <- List.init (max 1 workers) (fun _ -> Domain.spawn (worker t));
+    t.acceptor <- Some (Domain.spawn (acceptor t));
+    Ok t
+
+let stop t =
+  let proceed =
+    locked t (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          t.stopping <- true;
+          Condition.broadcast t.nonempty;
+          true
+        end)
+  in
+  if proceed then begin
+    (* The acceptor re-checks the flag on its poll tick; workers blocked on
+       the queue were woken by the broadcast, and workers mid-read get their
+       connection shut down under them. *)
+    Option.iter Domain.join t.acceptor;
+    close_quietly t.listen_fd;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      (locked t (fun () -> t.live));
+    List.iter Domain.join t.pool;
+    Queue.iter close_quietly t.pending;
+    Queue.clear t.pending;
+    match t.addr with
+    | Wire.Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Wire.Tcp _ -> ()
+  end

@@ -1,0 +1,79 @@
+(** The [sqlpl serve] daemon.
+
+    A long-running parser service speaking the {!Wire} protocol over TCP or
+    Unix sockets. The process model mirrors {!Session.parse_batch}'s domain
+    sharding, lifted from statements to connections: one acceptor domain
+    deals incoming connections onto a shared queue, and a pool of worker
+    domains each serves one connection to completion at a time — so up to
+    [workers] connections parse truly in parallel, all sharing the one
+    config-keyed front-end {!Cache} (every mutation of which is serialized
+    behind the server's lock).
+
+    {2 Connection lifecycle}
+
+    - the first byte picks the encoding: [0x00] binary, ['{'] newline-JSON
+      debug — the server answers in kind;
+    - the first frame must be a [Hello] carrying the client's engine choice
+      and configuration selection (dialect name, explicit feature list, or
+      the hex digest of a front-end already resident in the cache); the
+      server resolves it through the shared cache and answers [Hello_ok]
+      with the canonical digest — or a structured [Error]
+      ([unknown_dialect], [invalid_config], [unknown_digest], [bad_hello])
+      and closes;
+    - each [Request] runs the whole statement batch through one
+      {!Session.parse_batch} on the pinned front-end and answers a [Reply]
+      whose items are byte-identical to the library results: accepted
+      statements carry token counts (and the rendered CST in [cst] mode),
+      rejected ones a wire error with the query text, span, found token and
+      decoded expected set attached;
+    - [Ping] answers [Pong]; [Bye] or end-of-stream closes. A malformed or
+      oversized frame draws a best-effort structured [Error] before the
+      close. No client behavior — disconnects mid-frame, dribbled writes,
+      hostile length prefixes, poisoned statements — takes the daemon or
+      any other connection down. *)
+
+type t
+
+val start :
+  ?workers:int ->
+  ?backlog:int ->
+  ?max_frame:int ->
+  ?cache:Cache.t ->
+  Wire.address ->
+  (t, string) result
+(** Bind, listen and spin up the acceptor + worker pool. [workers]
+    (default [4], clipped to at least [1]) is the number of connections
+    served in parallel; [max_frame] (default {!Wire.default_max_frame})
+    bounds accepted frames. [cache] (a fresh one per server by default) is
+    shared by every connection, so concurrent sessions on one configuration
+    compose it exactly once. Binding a TCP port that is already in use — or
+    a Unix path whose socket file exists — fails with a clean [Error]
+    naming the address; nothing is left running. *)
+
+val address : t -> Wire.address
+(** The bound address. For TCP requests with port [0] this carries the
+    port actually allocated. *)
+
+val cache : t -> Cache.t
+
+type stats = {
+  connections : int;  (** accepted since start *)
+  active : int;       (** currently being served *)
+  requests : int;     (** parse requests answered *)
+  wire_errors : int;  (** structured errors sent (protocol faults included) *)
+}
+
+val stats : t -> stats
+(** A consistent snapshot; safe from any domain. *)
+
+val stop : t -> unit
+(** Shut down: stop accepting, interrupt in-flight connections, join every
+    domain, and unlink the Unix socket path if one was bound. Idempotent. *)
+
+val outcome_of_item : Wire.mode -> Session.item -> Wire.outcome
+(** The exact library-result-to-wire mapping replies are built from —
+    exposed so the determinism tests and the service bench can render
+    {!Session.parse_batch} output locally and demand byte equality with
+    what came over the wire. *)
+
+val reply_of_batch : Wire.mode -> int -> Session.batch -> Wire.reply

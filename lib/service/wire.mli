@@ -1,0 +1,173 @@
+(** Wire protocol of the parser service.
+
+    [sqlpl serve] speaks length-prefixed binary frames over TCP or Unix
+    sockets, with a newline-JSON debug encoding carrying exactly the same
+    frames. The two encodings are distinguished by the first byte a client
+    sends: a binary frame's length prefix of any frame small enough to be
+    legal starts with [0x00], while a JSON frame starts with ['{'] — so the
+    server auto-detects the encoding per connection and answers in kind.
+
+    {2 Binary frame layout}
+
+    {v
+    frame     := u32(len) u8(tag) payload[len-1]     len = |tag+payload|
+    str       := u32(n) byte[n]                      bytes are opaque
+    opt(x)    := u8(0) | u8(1) x
+    list(x)   := u32(n) x*n
+    u32/u64   — big-endian
+    v}
+
+    Every integer field is bounds-checked against the remaining payload
+    before anything is allocated, so decoding arbitrary bytes returns a
+    structured {!error} — it never raises and never over-allocates.
+
+    {2 Error discipline}
+
+    Modeled on [ocaml-mssql]'s [Mssql_error]: a wire error always carries
+    enough to act on without the server's logs — a machine-readable
+    {!code}, a human message, and (whenever the failure concerns a
+    statement) the offending query text, the source {!span}, the token
+    found there and the decoded expected set. *)
+
+type address =
+  | Tcp of string * int  (** host, port *)
+  | Unix_socket of string  (** filesystem path *)
+
+val pp_address : address Fmt.t
+
+type span = Lexing_gen.Token.position
+
+type code =
+  | Bad_frame  (** malformed or truncated frame *)
+  | Oversized  (** length prefix beyond the connection's frame limit *)
+  | Bad_hello  (** first frame was not a well-formed [Hello] *)
+  | Unknown_dialect
+  | Invalid_config  (** selection failed validation or composition *)
+  | Unknown_digest  (** [Digest] hello names no resident front-end *)
+  | Lex_error
+  | Parse_error
+  | Unsupported  (** well-formed frame the peer does not serve *)
+  | Io  (** transport-level failure: refused, reset, unexpected EOF *)
+  | Internal
+
+val code_to_string : code -> string
+val code_of_string : string -> code option
+
+type error = {
+  code : code;
+  message : string;
+  query : string option;  (** the offending statement, verbatim *)
+  span : span option;  (** failure position within [query] *)
+  found : string option;  (** token kind found at [span] *)
+  expected : string list;  (** decoded expected set, sorted *)
+}
+
+val error : ?query:string -> ?span:span -> ?found:string ->
+  ?expected:string list -> code -> string -> error
+
+val pp_error : error Fmt.t
+
+val error_of_core : query:string -> Core.error -> error
+(** Attach the statement to a library error: lex and parse errors keep
+    their span/found/expected, anything else maps to {!Internal}. *)
+
+type engine = [ `Committed | `Vm ]
+
+type selection =
+  | Dialect of string  (** a shipped dialect, by name *)
+  | Features of string list  (** explicit features, closed server-side *)
+  | Digest of string  (** hex digest of a front-end already resident in the
+                          server's cache *)
+
+type hello = { client : string; engine : engine; selection : selection }
+
+type hello_ok = {
+  digest : string;  (** canonical config digest, hex *)
+  label : string;
+  features : int;
+  engine : engine;
+}
+
+type mode =
+  | Cst  (** parse and return the rendered concrete syntax tree *)
+  | Recognize  (** accept/reject with token counts only *)
+
+type request = { id : int; mode : mode; statements : string list }
+
+type outcome =
+  | Accepted of { tokens : int; cst : string option }
+      (** [cst] is the rendered tree in {!Cst} mode, [None] in
+          {!Recognize} mode *)
+  | Rejected of error
+
+type reply_stats = {
+  statements : int;
+  accepted : int;
+  rejected : int;
+  tokens : int;
+  elapsed_ns : int64;  (** server-side wall time for the batch *)
+}
+
+type reply = { id : int; items : outcome list; stats : reply_stats }
+
+type frame =
+  | Hello of hello
+  | Hello_ok of hello_ok
+  | Request of request
+  | Reply of reply
+  | Error of error
+  | Ping of string
+  | Pong of string
+  | Bye
+
+val pp_frame : frame Fmt.t
+
+(** {1 Codecs} *)
+
+val default_max_frame : int
+(** 16 MiB. *)
+
+type encoding = Binary | Json
+
+val encode : frame -> string
+(** Complete binary frame, length prefix included. *)
+
+val decode : ?max_frame:int -> string -> (frame, error) result
+(** Decode exactly one binary frame; trailing bytes are a {!Bad_frame}.
+    Total, never raises. *)
+
+val encode_json : frame -> string
+(** One line of JSON, ['\n']-terminated. Every byte outside printable
+    ASCII is escaped, so the line contains no raw control characters and
+    round-trips arbitrary payloads. *)
+
+val decode_json : ?max_frame:int -> string -> (frame, error) result
+(** Decode one JSON frame (with or without the trailing newline). Total,
+    never raises. *)
+
+val encode_as : encoding -> frame -> string
+val decode_as : ?max_frame:int -> encoding -> string -> (frame, error) result
+
+val encode_items : outcome list -> string
+(** Canonical byte encoding of a reply's items section — the determinism
+    tests compare server replies against library results on these exact
+    bytes. *)
+
+(** {1 Buffered frame reader}
+
+    Pulls frames out of a byte stream via a [read] function with
+    [Unix.read]'s contract ([read buf off len] returns [0] at end of
+    stream). The encoding is detected from the first byte. *)
+
+type reader
+
+val reader : ?max_frame:int -> (bytes -> int -> int -> int) -> reader
+
+val reader_encoding : reader -> encoding option
+(** [None] until the first byte has been read. *)
+
+val read_frame : reader -> (frame option, error) result
+(** The next frame; [Ok None] on a clean end of stream at a frame
+    boundary. A stream ending mid-frame is a {!Bad_frame}, a length prefix
+    beyond the limit an {!Oversized}, and an I/O exception from [read] an
+    {!Io} — all returned, never raised. *)

@@ -17,6 +17,8 @@ let () =
       ("report", Test_report.suite);
       ("lint", Test_lint.suite);
       ("service", Test_service.suite);
+      ("wire", Test_wire.suite);
+      ("serve", Test_serve.suite);
       ("conformance", Test_conformance.suite);
       ("differential", Test_differential.suite);
       ("alloc", Test_alloc.suite);
