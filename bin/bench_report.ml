@@ -253,6 +253,20 @@ let validate experiment j =
   | "e16" | "e17" | "e18" ->
     if nonempty_all "rows" j throughput_row then Ok ()
     else Error "expected \"rows\" of {dialect, <engine>_tokens_per_s, ...}"
+  | "e20" ->
+    if
+      nonempty_all "rows" j throughput_row
+      && has_num "byte_scan_mb_per_s" j
+      &&
+      match member "stream" j with
+      | Some stream ->
+        has_num "bytes" stream && has_num "max_resident_kb" stream
+      | None -> false
+    then Ok ()
+    else
+      Error
+        "expected fused schema {rows: [{dialect, <engine>_tokens_per_s, \
+         ...}], byte_scan_mb_per_s, stream: {bytes, max_resident_kb}}"
   | "e19" ->
     if
       has_num "workers" j && has_num "connections" j
@@ -299,15 +313,37 @@ let service_of_row row =
 
 type artifact = {
   a_experiment : string;
+  a_basis : string option;  (* what the rates measure, from the artifact *)
   a_points : point list;
   a_service : service_row list;
+  a_notes : string list;  (* extra lines under the experiment's table *)
 }
 
+(* The E20 streaming run is a single measurement (one corpus, one chunk
+   size), so it renders as a note line instead of a table row. *)
+let stream_note j =
+  match member "stream" j with
+  | Some stream -> (
+    match
+      (as_num (member "bytes" stream), as_num (member "max_resident_kb" stream))
+    with
+    | Some bytes, Some rss_kb ->
+      let rate =
+        match as_num (member "tokens_per_s" stream) with
+        | Some r -> Printf.sprintf " at %.0f tokens/s" r
+        | None -> ""
+      in
+      [
+        Printf.sprintf
+          "Streamed corpus: %.0f MB parsed%s with max resident memory %.0f \
+           MB."
+          (bytes /. 1e6) rate (rss_kb /. 1e3);
+      ]
+    | _ -> [])
+  | None -> []
+
 let artifact_of_file path =
-  let skip msg =
-    Printf.eprintf "sqlpl: warning: skipping %s: %s\n%!" path msg;
-    None
-  in
+  let skip msg = Error (Printf.sprintf "%s: %s" path msg) in
   match parse_file path with
   | exception Bad msg -> skip msg
   | j -> (
@@ -318,13 +354,15 @@ let artifact_of_file path =
       | Error msg -> skip (Printf.sprintf "%s: %s" experiment msg)
       | Ok () ->
         let rows = as_arr (member "rows" j) in
-        Some
+        Ok
           {
             a_experiment = experiment;
+            a_basis = as_str (member "basis" j);
             a_points = List.concat_map (points_of_row experiment) rows;
             a_service =
               (if experiment = "e19" then List.filter_map service_of_row rows
                else []);
+            a_notes = (if experiment = "e20" then stream_note j else []);
           }))
 
 (* --- rendering ---------------------------------------------------------- *)
@@ -337,14 +375,22 @@ let dedup xs =
   List.rev
     (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
 
-let render ppf ~sources ~experiments ~service points =
+(* What an experiment's rates measure. Experiments that predate the basis
+   field are parse-only (they time parsing of pre-scanned tokens); newer
+   artifacts declare their basis themselves. *)
+let basis_of ~bases experiment =
+  match List.assoc_opt experiment bases with
+  | Some (Some basis) -> basis
+  | _ -> "parse-only (pre-scanned tokens)"
+
+let render ppf ~sources ~experiments ~bases ~notes ~service points =
   Fmt.pf ppf "# Benchmark trajectory@\n@\n";
   Fmt.pf ppf
     "Generated by `sqlpl bench report` from %s. Rates are end-of-run@\n\
      throughputs as recorded by each experiment; experiments measure on@\n\
-     different bases (parse-only vs scan+parse), so compare engines within@\n\
-     a row's experiment, and read a dialect's row across experiments as the@\n\
-     trajectory of the shipped configuration.@\n@\n"
+     different bases (the frontier's basis row names each), so compare@\n\
+     engines within a row's experiment, and read a dialect's row across@\n\
+     experiments as the trajectory of the shipped configuration.@\n@\n"
     (String.concat ", " (List.map Filename.basename sources));
   (* Per-experiment tables. *)
   List.iter
@@ -352,6 +398,7 @@ let render ppf ~sources ~experiments ~service points =
       let mine = List.filter (fun p -> p.experiment = experiment) points in
       if mine <> [] then begin
         Fmt.pf ppf "## %s@\n@\n" experiment;
+        Fmt.pf ppf "Basis: %s.@\n@\n" (basis_of ~bases experiment);
         Fmt.pf ppf "| dialect | engine | stmts/s | tokens/s |@\n";
         Fmt.pf ppf "|---|---|---:|---:|@\n";
         List.iter
@@ -359,7 +406,12 @@ let render ppf ~sources ~experiments ~service points =
             Fmt.pf ppf "| %s | %s | %a | %a |@\n" p.dialect p.engine rate
               p.stmts_per_s rate p.tokens_per_s)
           mine;
-        Fmt.pf ppf "@\n"
+        Fmt.pf ppf "@\n";
+        List.iter
+          (fun note -> Fmt.pf ppf "%s@\n@\n" note)
+          (match List.assoc_opt experiment notes with
+          | Some ns -> ns
+          | None -> [])
       end)
     experiments;
   (* The service experiment measures the wire, not the parser: latency
@@ -391,6 +443,14 @@ let render ppf ~sources ~experiments ~service points =
          (List.map (fun e -> Printf.sprintf " %s |" e) with_rows));
     Fmt.pf ppf "|---|%s@\n"
       (String.concat "" (List.map (fun _ -> "---:|") with_rows));
+    (* The basis row makes the bases explicit instead of mixing parse-only
+       and scan+parse rates silently: rates in one column are comparable,
+       rates across columns only after reading this row. *)
+    Fmt.pf ppf "| *basis* |%s@\n"
+      (String.concat ""
+         (List.map
+            (fun e -> Printf.sprintf " *%s* |" (basis_of ~bases e))
+            with_rows));
     List.iter
       (fun dialect ->
         Fmt.pf ppf "| %s |" dialect;
@@ -414,7 +474,7 @@ let render ppf ~sources ~experiments ~service points =
     Fmt.pf ppf "@\n"
   end
 
-let run ~dir ~output =
+let run ?(strict = false) ~dir ~output () =
   let files =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f ->
@@ -426,18 +486,44 @@ let run ~dir ~output =
   in
   if files = [] then Error (Printf.sprintf "no BENCH_*.json files in %s" dir)
   else begin
-    let artifacts = List.filter_map artifact_of_file files in
-    let experiments = List.map (fun a -> a.a_experiment) artifacts in
-    let points = List.concat_map (fun a -> a.a_points) artifacts in
-    let service = List.concat_map (fun a -> a.a_service) artifacts in
-    let doc =
-      Fmt.str "%a"
-        (fun ppf () -> render ppf ~sources:files ~experiments ~service points)
-        ()
+    let artifacts, bad =
+      List.fold_left
+        (fun (ok, bad) path ->
+          match artifact_of_file path with
+          | Ok a -> (a :: ok, bad)
+          | Error msg -> (ok, msg :: bad))
+        ([], []) files
     in
-    (match output with
-    | None -> print_string doc
-    | Some path -> Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc doc));
-    Ok ()
+    let artifacts = List.rev artifacts and bad = List.rev bad in
+    (* Under [--strict] a schema-mismatched artifact fails the whole report
+       (the CI posture: a drifted artifact is a bug, not noise); otherwise
+       it is skipped with a warning, so a half-regenerated checkout still
+       renders what it has. *)
+    if strict && bad <> [] then
+      Error
+        (Printf.sprintf "invalid artifact(s):\n  %s"
+           (String.concat "\n  " bad))
+    else begin
+      List.iter
+        (fun msg -> Printf.eprintf "sqlpl: warning: skipping %s\n%!" msg)
+        bad;
+      let experiments = List.map (fun a -> a.a_experiment) artifacts in
+      let bases = List.map (fun a -> (a.a_experiment, a.a_basis)) artifacts in
+      let notes = List.map (fun a -> (a.a_experiment, a.a_notes)) artifacts in
+      let points = List.concat_map (fun a -> a.a_points) artifacts in
+      let service = List.concat_map (fun a -> a.a_service) artifacts in
+      let doc =
+        Fmt.str "%a"
+          (fun ppf () ->
+            render ppf ~sources:files ~experiments ~bases ~notes ~service
+              points)
+          ()
+      in
+      (match output with
+      | None -> print_string doc
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc doc));
+      Ok ()
+    end
   end

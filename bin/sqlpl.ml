@@ -261,9 +261,11 @@ let parse_cmd =
       "Parsing engine: $(b,committed) (prediction-compiled LL(k) dispatch on \
        the normalized grammar — the default), $(b,vm) (the committed region \
        compiled further, to flat bytecode executed over the zero-allocation \
-       struct-of-arrays token stream), $(b,memo) (memoized backtracking on \
-       the composed grammar, no dispatch tables) or $(b,reference) (the \
-       executable-specification engine; single statements only). All four \
+       struct-of-arrays token stream), $(b,fused) (the bytecode VM pulling \
+       tokens straight from the scanner — one pass over the bytes, no \
+       up-front tokenization), $(b,memo) (memoized backtracking on the \
+       composed grammar, no dispatch tables) or $(b,reference) (the \
+       executable-specification engine; single statements only). All five \
        accept the same language and build the same trees; they differ in \
        speed."
     in
@@ -271,17 +273,36 @@ let parse_cmd =
       value
       & opt
           (enum
-             [ ("committed", `Committed); ("vm", `Vm); ("memo", `Memo);
-               ("reference", `Reference) ])
+             [ ("committed", `Committed); ("vm", `Vm); ("fused", `Fused);
+               ("memo", `Memo); ("reference", `Reference) ])
           `Committed
       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let stdin_flag =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Stream semicolon-separated statements from standard input in \
+             fixed-size chunks, parsing each statement as soon as its \
+             terminating $(b,;) arrives. Memory stays bounded by the chunk \
+             size plus the largest single statement, so unbounded scripts \
+             are fine.")
+  in
+  let chunk_size_arg =
+    let doc = "Chunk size for $(b,--stdin) streaming, in bytes." in
+    Arg.(value & opt int 65536 & info [ "chunk-size" ] ~docv:"BYTES" ~doc)
   in
   let run_batch g engine path domains =
     if domains < 1 then fail "--domains must be at least 1"
     else begin
     let session =
       Service.Session.create
-        ~engine:(match engine with `Vm -> `Vm | _ -> `Committed)
+        ~engine:
+          (match engine with
+          | `Vm -> `Vm
+          | `Fused -> `Fused
+          | _ -> `Committed)
         g
     in
     let script = In_channel.with_open_text path In_channel.input_all in
@@ -301,6 +322,37 @@ let parse_cmd =
     if stats.Service.Session.rejected = 0 then `Ok ()
     else fail "%d of %d statement(s) rejected" stats.Service.Session.rejected
         stats.Service.Session.statements
+    end
+  in
+  let run_stdin g engine chunk_size =
+    if chunk_size < 1 then fail "--chunk-size must be at least 1"
+    else begin
+      let session =
+        Service.Session.create
+          ~engine:
+            (match engine with
+            | `Vm -> `Vm
+            | `Committed | `Memo -> `Committed
+            | _ -> `Fused)
+          g
+      in
+      let stats =
+        Service.Session.parse_stream ~chunk_size session
+          ~on_item:(fun (item : Service.Session.item) ->
+            match item.Service.Session.result with
+            | Ok _ ->
+              Printf.printf "#%d ok (%d tokens)\n" item.Service.Session.index
+                item.Service.Session.token_count
+            | Error e ->
+              Printf.printf "#%d FAIL %s\n" item.Service.Session.index
+                (Fmt.str "%a" Core.pp_error e))
+          ~read:(fun buf off len -> In_channel.input In_channel.stdin buf off len)
+      in
+      Fmt.pr "-- %a@." Service.Session.pp_stats stats;
+      if stats.Service.Session.rejected = 0 then `Ok ()
+      else
+        fail "%d of %d statement(s) rejected" stats.Service.Session.rejected
+          stats.Service.Session.statements
     end
   in
   (* [memo] swaps the session's parser for one generated without dispatch
@@ -328,7 +380,8 @@ let parse_cmd =
           `Ok ()
         | Error e -> fail "%s" (Fmt.str "%a" Parser_gen.Engine.pp_parse_error e)))
   in
-  let run dialect features config_file ast batch domains engine sql =
+  let run dialect features config_file ast batch domains engine use_stdin
+      chunk_size sql =
     match generate_front_end dialect features config_file with
     | Error msg -> fail "%s" msg
     | Ok g -> (
@@ -339,11 +392,18 @@ let parse_cmd =
       | Error msg -> fail "%s" msg
       | Ok g -> (
         match (batch, sql) with
+        | _ when use_stdin ->
+          if engine = `Reference then
+            fail "--engine reference parses single statements only"
+          else if batch <> None || sql <> None then
+            fail "--stdin excludes --batch and SQL arguments"
+          else run_stdin g engine chunk_size
         | Some _, _ when engine = `Reference ->
           fail "--engine reference parses single statements only"
         | Some path, None -> run_batch g engine path domains
         | Some _, Some _ -> fail "--batch and a SQL argument are exclusive"
-        | None, None -> fail "a SQL statement (or --batch FILE) is required"
+        | None, None ->
+          fail "a SQL statement (or --batch FILE, or --stdin) is required"
         | None, Some sql when engine = `Reference ->
           if ast then fail "--engine reference prints the CST only"
           else run_reference g sql
@@ -356,7 +416,10 @@ let parse_cmd =
             | Error e -> fail "%s" (Fmt.str "%a" Core.pp_error e))
           else (
             let parse =
-              match engine with `Vm -> Core.parse_cst_vm | _ -> Core.parse_cst
+              match engine with
+              | `Vm -> Core.parse_cst_vm
+              | `Fused -> Core.parse_cst_fused
+              | _ -> Core.parse_cst
             in
             match parse g sql with
             | Ok cst ->
@@ -366,12 +429,13 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse"
-       ~doc:"Parse one statement — or a whole batched session — with a \
-             tailored parser")
+       ~doc:"Parse one statement — or a whole batched session, or a \
+             streamed script — with a tailored parser")
     Term.(
       ret
         (const run $ dialect_arg $ features_arg $ config_file_arg $ ast_flag
-        $ batch_arg $ domains_arg $ engine_arg $ sql_arg))
+        $ batch_arg $ domains_arg $ engine_arg $ stdin_flag $ chunk_size_arg
+        $ sql_arg))
 
 (* --- emit --------------------------------------------------------------------- *)
 
@@ -595,8 +659,17 @@ let bench_report_cmd =
     let doc = "Write the markdown report to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run dir output =
-    match Bench_report.run ~dir ~output with
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail (exit non-zero) on any schema-mismatched artifact instead \
+             of skipping it with a warning — the CI posture, where a \
+             drifted artifact is a bug, not noise.")
+  in
+  let run dir output strict =
+    match Bench_report.run ~strict ~dir ~output () with
     | Ok () -> `Ok ()
     | Error msg -> fail "%s" msg
   in
@@ -605,7 +678,7 @@ let bench_report_cmd =
        ~doc:"Merge every checked-in BENCH_*.json benchmark artifact into one \
              markdown trajectory: per experiment and dialect, each measured \
              engine's throughput, plus the cross-experiment frontier")
-    Term.(ret (const run $ dir_arg $ output_arg))
+    Term.(ret (const run $ dir_arg $ output_arg $ strict_flag))
 
 let bench_cmd =
   Cmd.group
@@ -668,13 +741,39 @@ let serve_cmd =
              resolve immediately and first requests never pay a cold \
              compose.")
   in
-  let run listen unix_path workers max_frame preload =
+  let stream_flag =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Additionally accept raw streaming connections: first byte \
+             $(b,S), one $(i,<dialect> [engine]) header line, then \
+             unframed SQL bytes to EOF — answered one $(b,ok)/$(b,err) \
+             line per statement at a fixed memory ceiling.")
+  in
+  let gc_space_overhead_arg =
+    let doc =
+      "Set the OCaml GC's space_overhead before serving (percent; the \
+       runtime default is 120). Larger values trade resident memory for \
+       fewer major collections — a tail-latency knob for long-running \
+       service processes."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-space-overhead" ] ~docv:"PERCENT" ~doc)
+  in
+  let run listen unix_path workers max_frame preload stream gc_space_overhead =
     if workers < 1 then fail "--workers must be at least 1"
     else
       match resolve_address listen unix_path with
       | Error msg -> fail "%s" msg
       | Ok addr -> (
-        match Service.Server.start ~workers ~max_frame addr with
+        (match gc_space_overhead with
+        | Some pct when pct > 0 ->
+          Gc.set { (Gc.get ()) with Gc.space_overhead = pct }
+        | _ -> ());
+        match Service.Server.start ~workers ~max_frame ~stream addr with
         | Error msg -> fail "%s" msg
         | Ok server ->
           if preload then
@@ -720,7 +819,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ listen_arg $ unix_arg $ workers_arg $ max_frame_arg
-       $ preload_flag))
+       $ preload_flag $ stream_flag $ gc_space_overhead_arg))
 
 let client_cmd =
   let digest_arg =
@@ -731,10 +830,12 @@ let client_cmd =
     Arg.(value & opt (some string) None & info [ "digest" ] ~docv:"HEX" ~doc)
   in
   let engine_arg =
-    let doc = "Session engine on the server: committed or vm." in
+    let doc = "Session engine on the server: committed, vm or fused." in
     Arg.(
       value
-      & opt (enum [ ("committed", `Committed); ("vm", `Vm) ]) `Committed
+      & opt
+          (enum [ ("committed", `Committed); ("vm", `Vm); ("fused", `Fused) ])
+          `Committed
       & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
   let json_flag =

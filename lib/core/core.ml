@@ -86,6 +86,31 @@ let recognize g sql =
     (fun e -> Parse_error e)
     (Parser_gen.Engine.recognize_soa g.parser ~scanner:g.scanner soa)
 
+(* Fused engine: the VM pulls token kinds from a scanner cursor, so the
+   committed region of the statement is a single pass over the raw bytes.
+   The counted variant also reports the statement's token count — the
+   service layer's throughput stats need it, and on the fused path it is
+   a by-product of the run rather than a second scan. *)
+let fused_error = function
+  | `Lex e -> Lex_error e
+  | `Parse e -> Parse_error e
+
+let parse_cst_fused_counted g sql =
+  let count, result =
+    Parser_gen.Engine.parse_fused g.parser ~scanner:g.scanner sql
+  in
+  (count, Result.map_error fused_error result)
+
+let parse_cst_fused g sql = snd (parse_cst_fused_counted g sql)
+
+let recognize_fused_counted g sql =
+  let count, result =
+    Parser_gen.Engine.recognize_fused g.parser ~scanner:g.scanner sql
+  in
+  (count, Result.map_error fused_error result)
+
+let recognize_fused g sql = snd (recognize_fused_counted g sql)
+
 let parse_statement g sql =
   let* cst = parse_cst g sql in
   Result.map_error (fun e -> Lowering_error e) (Lower.statement cst)
@@ -139,6 +164,62 @@ let split_statements text =
     text;
   out := Buffer.contents buf :: !out;
   List.rev (List.filter (fun s -> String.trim s <> "") !out)
+
+(* Streaming view of [split_statements]: consume input in fixed-size chunks
+   from [read] and fold over completed statements without ever materializing
+   the whole script. The splitting semantics are byte-for-byte those of
+   [split_statements] — top-level [;] with ['] toggling string state, blank
+   statements dropped — so a streamed script yields exactly the statement
+   list reading the whole file would. Memory stays bounded by [chunk_size]
+   plus the largest single statement (the carry-over buffer). *)
+let fold_statements ?(chunk_size = 65536) ~read f acc =
+  if chunk_size <= 0 then
+    invalid_arg "Core.fold_statements: chunk_size must be positive";
+  let chunk = Bytes.create chunk_size in
+  let buf = Buffer.create 256 in
+  let in_string = ref false in
+  let acc = ref acc in
+  let flush () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.trim s <> "" then acc := f !acc s
+  in
+  let rec drain () =
+    let n = read chunk 0 chunk_size in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        let c = Bytes.unsafe_get chunk i in
+        if c = '\'' then begin
+          in_string := not !in_string;
+          Buffer.add_char buf c
+        end
+        else if c = ';' && not !in_string then flush ()
+        else Buffer.add_char buf c
+      done;
+      drain ()
+    end
+  in
+  drain ();
+  flush ();
+  !acc
+
+type stream_stats = {
+  stream_statements : int;
+  stream_tokens : int;
+  stream_errors : int;
+}
+
+let recognize_stream ?chunk_size g ~read =
+  fold_statements ?chunk_size ~read
+    (fun s sql ->
+      let count, result = recognize_fused_counted g sql in
+      {
+        stream_statements = s.stream_statements + 1;
+        stream_tokens = s.stream_tokens + count;
+        stream_errors =
+          (s.stream_errors + if Result.is_ok result then 0 else 1);
+      })
+    { stream_statements = 0; stream_tokens = 0; stream_errors = 0 }
 
 let run_script s statements =
   let rec go acc = function

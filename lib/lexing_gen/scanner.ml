@@ -119,184 +119,284 @@ let fresh_soa () =
 let arena : (soa * Buffer.t) Domain.DLS.key =
   Domain.DLS.new_key (fun () -> (fresh_soa (), Buffer.create 64))
 
+(* --- the scanning core, one token at a time -----------------------------
+
+   Every helper below is a toplevel function taking its context explicitly
+   ([t], the destination [soa], the [input] string and its length [n]) so
+   that the per-token path builds no closures. Both the whole-buffer
+   [scan_soa] and the pull [cursor] drive the same [scan_step], which scans
+   exactly one token per call — token boundaries and error reports cannot
+   drift between the two modes. *)
+
+(* Error positions mirror the historical scanner exactly: the line/bol
+   counters as of the failure point, even when the reported offset lies
+   before newlines already consumed (e.g. an unterminated block comment
+   reports the comment's start offset with the line count of its end). *)
+let lex_fail soa offset message =
+  let bol =
+    if soa.nl_count = 0 then 0 else soa.newlines.(soa.nl_count - 1) + 1
+  in
+  let pos =
+    { Token.line = soa.nl_count + 1; column = offset - bol + 1; offset }
+  in
+  raise (Lex_error { pos; message })
+
+let record_newline soa offset =
+  let cap = Array.length soa.newlines in
+  if soa.nl_count = cap then begin
+    let bigger = Array.make (2 * cap) 0 in
+    Array.blit soa.newlines 0 bigger 0 cap;
+    soa.newlines <- bigger
+  end;
+  soa.newlines.(soa.nl_count) <- offset;
+  soa.nl_count <- soa.nl_count + 1
+
+let emit soa (k : kinded) start stop =
+  let cap = Array.length soa.kind_ids in
+  (* Keep one slot of headroom for the EOF sentinel. *)
+  if soa.count + 1 >= cap then begin
+    let grow a =
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit a 0 bigger 0 cap;
+      bigger
+    in
+    soa.kind_ids <- grow soa.kind_ids;
+    soa.starts <- grow soa.starts;
+    soa.stops <- grow soa.stops
+  end;
+  soa.kind_ids.(soa.count) <- k.k_id;
+  soa.starts.(soa.count) <- start;
+  soa.stops.(soa.count) <- stop;
+  soa.count <- soa.count + 1
+
+let rec skip_block_comment soa input n i start =
+  if i + 1 >= n then lex_fail soa start "unterminated block comment"
+  else if input.[i] = '*' && input.[i + 1] = '/' then i + 2
+  else begin
+    if input.[i] = '\n' then record_newline soa i;
+    skip_block_comment soa input n (i + 1) start
+  end
+
+(* Hot paths below avoid per-token allocation: extents are found by
+   tail-recursive scans over argument ints (no refs, no options, no
+   closures), and keyword probes go through the index-returning
+   [Ci_map.find_idx]. *)
+let rec ident_end input n j =
+  if j < n && is_ident_char (String.unsafe_get input j) then
+    ident_end input n (j + 1)
+  else j
+
+let scan_ident t soa input n i =
+  let j = ident_end input n (i + 1) in
+  (match Ci_map.find_idx t.keywords input i j with
+   | -1 -> (
+     match t.ident_kind with
+     | Some k -> emit soa k i j
+     | None ->
+       lex_fail soa i
+         (Printf.sprintf "unexpected word %S (identifiers not enabled)"
+            (String.sub input i (j - i))))
+   | slot -> emit soa (Ci_map.value t.keywords slot) i j);
+  j
+
+let scan_number t soa input n i =
+  let j = ref i in
+  while !j < n && is_digit input.[!j] do incr j done;
+  let decimal = ref false in
+  if !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1] then begin
+    decimal := true;
+    incr j;
+    while !j < n && is_digit input.[!j] do incr j done
+  end;
+  if
+    !j < n
+    && (input.[!j] = 'e' || input.[!j] = 'E')
+    && (!j + 1 < n && (is_digit input.[!j + 1]
+                      || ((input.[!j + 1] = '+' || input.[!j + 1] = '-')
+                         && !j + 2 < n && is_digit input.[!j + 2])))
+  then begin
+    decimal := true;
+    incr j;
+    if input.[!j] = '+' || input.[!j] = '-' then incr j;
+    while !j < n && is_digit input.[!j] do incr j done
+  end;
+  (match !decimal, t.decimal_kind, t.integer_kind with
+   | true, Some k, _ -> emit soa k i !j
+   | true, None, _ -> lex_fail soa i "decimal literals not enabled"
+   | false, _, Some k -> emit soa k i !j
+   | false, Some k, None -> emit soa k i !j
+   | false, None, None -> lex_fail soa i "numeric literals not enabled");
+  !j
+
+let rec quoted_end soa input n quote what i j =
+  if j >= n then lex_fail soa i ("unterminated " ^ what)
+  else if String.unsafe_get input j = quote then
+    if j + 1 < n && input.[j + 1] = quote then
+      quoted_end soa input n quote what i (j + 2)
+    else j + 1
+  else begin
+    if String.unsafe_get input j = '\n' then record_newline soa j;
+    quoted_end soa input n quote what i (j + 1)
+  end
+
+let scan_quoted soa input n i ~quote ~kind_opt ~what =
+  match kind_opt with
+  | None -> lex_fail soa i (what ^ " not enabled")
+  | Some k ->
+    let j = quoted_end soa input n quote what i (i + 1) in
+    emit soa k i j;
+    j
+
+(* Literal match at [i] without allocating a substring. *)
+let rec literal_from input literal len i k =
+  k >= len
+  || (input.[i + k] = literal.[k] && literal_from input literal len i (k + 1))
+
+let literal_at input n literal i =
+  let len = String.length literal in
+  i + len <= n && literal_from input literal len i 0
+
+let rec punct_probe soa input n i = function
+  | [] -> lex_fail soa i (Printf.sprintf "unexpected character %C" input.[i])
+  | (literal, (k : kinded)) :: rest ->
+    if literal_at input n literal i then begin
+      emit soa k i (i + String.length literal);
+      i + String.length literal
+    end
+    else punct_probe soa input n i rest
+
+let scan_punct t soa input n i =
+  punct_probe soa input n i t.puncts.(Char.code input.[i])
+
+let rec line_comment_end input n j =
+  if j < n && input.[j] <> '\n' then line_comment_end input n (j + 1) else j
+
+(* Skip whitespace/comments from byte [i], then scan exactly one token into
+   [soa]. Returns the byte offset just past the token, or [-1] when the
+   input ends without another token. Raises {!Lex_error} on bad input. *)
+let rec scan_step t soa input n i =
+  if i >= n then -1
+  else
+    let c = String.unsafe_get input i in
+    if c = '\n' then begin
+      record_newline soa i;
+      scan_step t soa input n (i + 1)
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then scan_step t soa input n (i + 1)
+    else if c = '-' && i + 1 < n && input.[i + 1] = '-' then
+      scan_step t soa input n (line_comment_end input n (i + 2))
+    else if c = '/' && i + 1 < n && input.[i + 1] = '*' then
+      scan_step t soa input n (skip_block_comment soa input n (i + 2) i)
+    else if is_ident_start c then scan_ident t soa input n i
+    else if is_digit c then scan_number t soa input n i
+    else if c = '.' && i + 1 < n && is_digit input.[i + 1] then
+      (* Leading-dot decimals: [.5]. *)
+      scan_number t soa input n i
+    else if c = '\'' then
+      scan_quoted soa input n i ~quote:'\'' ~kind_opt:t.string_kind
+        ~what:"string literal"
+    else if c = '"' then
+      scan_quoted soa input n i ~quote:'"' ~kind_opt:t.quoted_ident_kind
+        ~what:"quoted identifier"
+    else scan_punct t soa input n i
+
+let reset_soa soa input =
+  soa.src <- input;
+  soa.count <- 0;
+  soa.nl_count <- 0
+
+(* [emit] keeps one slot of headroom, so the sentinel store never grows. *)
+let seal_soa soa n =
+  soa.kind_ids.(soa.count) <- Interner.eof_id;
+  soa.starts.(soa.count) <- n;
+  soa.stops.(soa.count) <- n
+
 let scan_soa t input =
   let soa, _scratch = Domain.DLS.get arena in
   let n = String.length input in
-  soa.src <- input;
-  soa.count <- 0;
-  soa.nl_count <- 0;
-  (* Error positions mirror the historical scanner exactly: the line/bol
-     counters as of the failure point, even when the reported offset lies
-     before newlines already consumed (e.g. an unterminated block comment
-     reports the comment's start offset with the line count of its end). *)
-  let fail offset message =
-    let bol =
-      if soa.nl_count = 0 then 0 else soa.newlines.(soa.nl_count - 1) + 1
-    in
-    let pos =
-      { Token.line = soa.nl_count + 1; column = offset - bol + 1; offset }
-    in
-    raise (Lex_error { pos; message })
+  reset_soa soa input;
+  let rec go i =
+    let j = scan_step t soa input n i in
+    if j >= 0 then go j
   in
-  let newline offset =
-    let cap = Array.length soa.newlines in
-    if soa.nl_count = cap then begin
-      let bigger = Array.make (2 * cap) 0 in
-      Array.blit soa.newlines 0 bigger 0 cap;
-      soa.newlines <- bigger
-    end;
-    soa.newlines.(soa.nl_count) <- offset;
-    soa.nl_count <- soa.nl_count + 1
-  in
-  let emit (k : kinded) start stop =
-    let cap = Array.length soa.kind_ids in
-    (* Keep one slot of headroom for the EOF sentinel. *)
-    if soa.count + 1 >= cap then begin
-      let grow a =
-        let bigger = Array.make (2 * cap) 0 in
-        Array.blit a 0 bigger 0 cap;
-        bigger
-      in
-      soa.kind_ids <- grow soa.kind_ids;
-      soa.starts <- grow soa.starts;
-      soa.stops <- grow soa.stops
-    end;
-    soa.kind_ids.(soa.count) <- k.k_id;
-    soa.starts.(soa.count) <- start;
-    soa.stops.(soa.count) <- stop;
-    soa.count <- soa.count + 1
-  in
-  let rec skip_block_comment i start =
-    if i + 1 >= n then fail start "unterminated block comment"
-    else if input.[i] = '*' && input.[i + 1] = '/' then i + 2
-    else begin
-      if input.[i] = '\n' then newline i;
-      skip_block_comment (i + 1) start
-    end
-  in
-  (* Hot paths below avoid per-token allocation: extents are found by
-     tail-recursive scans over argument ints (no refs), keyword probes go
-     through the index-returning [Ci_map.find_idx] (no option), and the
-     probing loops live at this level so their closures are built once per
-     scan, not once per token. *)
-  let rec ident_end j =
-    if j < n && is_ident_char (String.unsafe_get input j) then ident_end (j + 1)
-    else j
-  in
-  let scan_ident i =
-    let j = ident_end (i + 1) in
-    (match Ci_map.find_idx t.keywords input i j with
-     | -1 -> (
-       match t.ident_kind with
-       | Some k -> emit k i j
-       | None ->
-         fail i
-           (Printf.sprintf "unexpected word %S (identifiers not enabled)"
-              (String.sub input i (j - i))))
-     | slot -> emit (Ci_map.value t.keywords slot) i j);
-    j
-  in
-  let scan_number i =
-    let j = ref i in
-    while !j < n && is_digit input.[!j] do incr j done;
-    let decimal = ref false in
-    if !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1] then begin
-      decimal := true;
-      incr j;
-      while !j < n && is_digit input.[!j] do incr j done
-    end;
-    if
-      !j < n
-      && (input.[!j] = 'e' || input.[!j] = 'E')
-      && (!j + 1 < n && (is_digit input.[!j + 1]
-                        || ((input.[!j + 1] = '+' || input.[!j + 1] = '-')
-                           && !j + 2 < n && is_digit input.[!j + 2])))
-    then begin
-      decimal := true;
-      incr j;
-      if input.[!j] = '+' || input.[!j] = '-' then incr j;
-      while !j < n && is_digit input.[!j] do incr j done
-    end;
-    (match !decimal, t.decimal_kind, t.integer_kind with
-     | true, Some k, _ -> emit k i !j
-     | true, None, _ -> fail i "decimal literals not enabled"
-     | false, _, Some k -> emit k i !j
-     | false, Some k, None -> emit k i !j
-     | false, None, None -> fail i "numeric literals not enabled");
-    !j
-  in
-  let rec quoted_end quote what i j =
-    if j >= n then fail i ("unterminated " ^ what)
-    else if String.unsafe_get input j = quote then
-      if j + 1 < n && input.[j + 1] = quote then quoted_end quote what i (j + 2)
-      else j + 1
-    else begin
-      if String.unsafe_get input j = '\n' then newline j;
-      quoted_end quote what i (j + 1)
-    end
-  in
-  let scan_quoted i ~quote ~kind_opt ~what =
-    match kind_opt with
-    | None -> fail i (what ^ " not enabled")
-    | Some k ->
-      let j = quoted_end quote what i (i + 1) in
-      emit k i j;
-      j
-  in
-  (* Literal match at [i] without allocating a substring. *)
-  let rec literal_from literal len i k =
-    k >= len || (input.[i + k] = literal.[k] && literal_from literal len i (k + 1))
-  in
-  let literal_at literal i =
-    let len = String.length literal in
-    i + len <= n && literal_from literal len i 0
-  in
-  let rec punct_probe i = function
-    | [] -> fail i (Printf.sprintf "unexpected character %C" input.[i])
-    | (literal, (k : kinded)) :: rest ->
-      if literal_at literal i then begin
-        emit k i (i + String.length literal);
-        i + String.length literal
-      end
-      else punct_probe i rest
-  in
-  let scan_punct i = punct_probe i t.puncts.(Char.code input.[i]) in
-  let rec loop i =
-    if i >= n then ()
-    else
-      let c = input.[i] in
-      if c = '\n' then begin
-        newline i;
-        loop (i + 1)
-      end
-      else if c = ' ' || c = '\t' || c = '\r' then loop (i + 1)
-      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then begin
-        let j = ref (i + 2) in
-        while !j < n && input.[!j] <> '\n' do incr j done;
-        loop !j
-      end
-      else if c = '/' && i + 1 < n && input.[i + 1] = '*' then
-        loop (skip_block_comment (i + 2) i)
-      else if is_ident_start c then loop (scan_ident i)
-      else if is_digit c then loop (scan_number i)
-      else if c = '.' && i + 1 < n && is_digit input.[i + 1] then
-        (* Leading-dot decimals: [.5]. *)
-        loop (scan_number i)
-      else if c = '\'' then
-        loop (scan_quoted i ~quote:'\'' ~kind_opt:t.string_kind ~what:"string literal")
-      else if c = '"' then
-        loop
-          (scan_quoted i ~quote:'"' ~kind_opt:t.quoted_ident_kind
-             ~what:"quoted identifier")
-      else loop (scan_punct i)
-  in
-  match loop 0 with
+  match go 0 with
   | () ->
-    soa.kind_ids.(soa.count) <- Interner.eof_id;
-    soa.starts.(soa.count) <- n;
-    soa.stops.(soa.count) <- n;
+    seal_soa soa n;
     Ok soa
   | exception Lex_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Pull cursor                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A cursor scans the same arena [soa] incrementally: every token the parser
+   pulls is appended to the shared arrays, so token indices are absolute,
+   [cursor_seek] may return to any index already produced (what memoized
+   fallback and VM backtracking need), and finishing the scan yields exactly
+   the [soa] a whole-buffer scan would have built. The fused win is skipping
+   the separate up-front pass, not the arena writes. *)
+type cursor = {
+  cur_t : t;
+  cur_src : string;
+  cur_len : int;
+  cur_soa : soa;
+  mutable cur_byte : int;  (* byte offset [scan_step] resumes at *)
+  mutable cur_pos : int;   (* the cursor's current token index *)
+  mutable cur_done : bool; (* the EOF sentinel has been written *)
+}
+
+let cursor t input =
+  let soa, _scratch = Domain.DLS.get arena in
+  reset_soa soa input;
+  {
+    cur_t = t;
+    cur_src = input;
+    cur_len = String.length input;
+    cur_soa = soa;
+    cur_byte = 0;
+    cur_pos = 0;
+    cur_done = false;
+  }
+
+(* Scan one more token into the arena, or seal the stream at end of input. *)
+let pump c =
+  let j = scan_step c.cur_t c.cur_soa c.cur_src c.cur_len c.cur_byte in
+  if j < 0 then begin
+    seal_soa c.cur_soa c.cur_len;
+    c.cur_done <- true
+  end
+  else c.cur_byte <- j
+
+let rec ensure c target =
+  if c.cur_soa.count < target && not c.cur_done then begin
+    pump c;
+    ensure c target
+  end
+
+let cursor_pos c = c.cur_pos
+let cursor_advance c = c.cur_pos <- c.cur_pos + 1
+let cursor_seek c i = c.cur_pos <- i
+let cursor_count c = c.cur_soa.count
+
+let cursor_kind c =
+  ensure c (c.cur_pos + 1);
+  let soa = c.cur_soa in
+  if c.cur_pos < soa.count then Array.unsafe_get soa.kind_ids c.cur_pos
+  else Interner.eof_id
+
+let cursor_kind2 c =
+  ensure c (c.cur_pos + 2);
+  let soa = c.cur_soa in
+  if c.cur_pos + 1 < soa.count then
+    Array.unsafe_get soa.kind_ids (c.cur_pos + 1)
+  else Interner.eof_id
+
+let rec cursor_complete c =
+  if c.cur_done then c.cur_soa
+  else begin
+    pump c;
+    cursor_complete c
+  end
 
 (* ------------------------------------------------------------------ *)
 (* On-demand materialization                                          *)
@@ -368,6 +468,8 @@ let token_of_soa t soa i =
       text = text_at t soa i;
       pos = position_at soa soa.starts.(i);
     }
+
+let cursor_token_at c i = token_of_soa c.cur_t c.cur_soa i
 
 let tokens_of_soa t soa =
   let _soa0, scratch = Domain.DLS.get arena in

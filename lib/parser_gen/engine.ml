@@ -406,44 +406,59 @@ let dummy_cst = Cst.Node ("", [])
 let cst_arena : Cst.t array ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref (Array.make 256 dummy_cst))
 
-(* The shared parse driver. Token kinds arrive as dense ids ([tids], valid
-   for this engine's interner); the tokens themselves stay behind the [tok]
-   accessor, touched only at CST leaves and error edges — which is how the
-   SoA path parses without materializing [Token.t] records, and the classic
-   path reads its pre-built array. [want_vm] prefers the bytecode VM for the
-   first (dispatching) run; [build] is threaded to the VM so recognition
-   runs skip CST construction entirely. *)
-let parse_ids ?start t ~(tids : int array) ~n ~(tok : int -> Lexing_gen.Token.t)
-    ~(kind_name : int -> string) ~want_vm ~build =
+(* One run's machinery: the committed dispatch loop (c_ functions) and the
+   memoized backtracking engine (p_ functions) over a fixed token-id
+   stream, packaged so the three drivers — [parse_ids]'s mode ladder, the
+   VM's fallback boundary, and the fused scan+parse entry points — share a
+   single implementation. Each value owns a fresh memo, CST stack pointer
+   and furthest-failure tracker, i.e. it is one logical run. *)
+type run_machinery = {
+  rm_results : int -> int -> (int * Cst.t list) list;
+      (* [rm_results nid i]: the complete, priority-ordered derivation set
+         (end position, children) of non-terminal [nid] at position [i] —
+         the VM's FB oracle and the committed loop's fallback boundary *)
+  rm_top : int -> (Cst.t, parse_error) result;
+      (* run the whole statement from start non-terminal id [sid]: the
+         committed loop when dispatching and [sid] is own-committed, the
+         memoized engine otherwise *)
+  rm_fail : unit -> (Cst.t, parse_error) result;
+      (* the furthest-failure report accumulated so far (used directly when
+         a VM run rejects, or when the start symbol has no rule) *)
+  rm_reset : unit -> unit; (* reset the CST stack between uses *)
+}
+
+(* Token kinds arrive as dense ids ([tids], valid for this engine's
+   interner); the tokens themselves stay behind the [tok] accessor, touched
+   only at CST leaves and error edges — which is how the SoA path parses
+   without materializing [Token.t] records, and the classic path reads its
+   pre-built array.
+
+   The two engines are one mutually recursive group.
+
+   Committed dispatch loop (c_ functions): runs wherever an own-committed
+   non-terminal's choice points all commit ([nt_fast]) — one or two [tid]
+   probes select the only branch that can possibly succeed, so parsing is a
+   direct int-returning recursion: no continuation closures, no memo
+   traffic, children on the stack arena. At a reference to a non-[nt_fast]
+   non-terminal it drops into the memoized engine for that subtree and
+   tries each derivation end in priority order — backtracking stays scoped
+   to the ambiguous subtree. No expectation tracking happens on this path;
+   any failure of a dispatching run is re-derived on the pure memoized
+   path, which reproduces the backtracking engine's error exactly.
+
+   Memoized backtracking engine (p_ functions): the previous engine, with
+   two hooks active when [use_dispatch] is on — a transitively committed
+   non-terminal's complete derivation set is the single derivation the
+   dispatch loop produces, and every committed choice point (even inside
+   non-terminals that are not committed) explores only the branch its table
+   selects: branches outside the prediction set cannot take part in any
+   successful parse, whatever the context, because FOLLOW is the union over
+   all contexts. *)
+let machinery t ~(tids : int array) ~n ~(tok : int -> Lexing_gen.Token.t)
+    ~(kind_name : int -> string) ~use_dispatch =
   let n_terms = Interner.size t.interner in
   let tid i = if i < n then Array.unsafe_get tids i else Interner.eof_id in
   let stride = n + 1 in
-  (* ---------------------------------------------------------------- *)
-  (* The two engines are one mutually recursive group.                 *)
-  (*                                                                   *)
-  (* Committed dispatch loop (c_ functions): runs wherever an own-      *)
-  (* committed non-terminal's choice points all commit ([nt_fast]) —    *)
-  (* one or two [tid]                                                   *)
-  (* probes select the only branch that can possibly succeed, so        *)
-  (* parsing is a direct int-returning recursion: no continuation       *)
-  (* closures, no memo traffic, children on the stack arena. At a       *)
-  (* reference to a non-[nt_fast] non-terminal it drops into the        *)
-  (* memoized engine for that subtree and tries each derivation end in  *)
-  (* priority order — backtracking stays scoped to the ambiguous        *)
-  (* subtree. No expectation tracking happens on this path; any         *)
-  (* failure of a dispatching run is re-derived on the pure memoized    *)
-  (* path, which reproduces the backtracking engine's error exactly.    *)
-  (*                                                                   *)
-  (* Memoized backtracking engine (p_ functions): the previous engine,  *)
-  (* with two                                                           *)
-  (* hooks active when [use_dispatch] is on — a transitively committed  *)
-  (* non-terminal's complete derivation set is the single derivation    *)
-  (* the dispatch loop produces, and every committed choice point       *)
-  (* (even inside non-terminals that are not committed) explores only   *)
-  (* the branch its table selects: branches outside the prediction set  *)
-  (* cannot take part in any successful parse, whatever the context,    *)
-  (* because FOLLOW is the union over all contexts.                     *)
-  (* ---------------------------------------------------------------- *)
   let stack = Domain.DLS.get cst_arena in
   let sp = ref 0 in
   let push c =
@@ -477,12 +492,10 @@ let parse_ids ?start t ~(tids : int array) ~n ~(tok : int -> Lexing_gen.Token.t)
             if k2 < 0 then -1 else Array.unsafe_get row k2)
         | b -> b)
   in
-  let run mode start_name =
-    let use_dispatch = match mode with `P -> false | `C | `V _ -> true in
-    (* The memo is acquired (and its O(rules × tokens) clear paid) only
-       when a fallback boundary is actually reached: a fully committed
-       parse never touches it. *)
-    let memo = lazy (acquire_memo (Array.length t.rules * stride)) in
+  (* The memo is acquired (and its O(rules × tokens) clear paid) only when
+     a fallback boundary is actually reached: a fully committed parse never
+     touches it. *)
+  let memo = lazy (acquire_memo (Array.length t.rules * stride)) in
     (* Furthest-failure tracking for error reporting: expected terminals are
        accumulated as a bitset and rendered back through the interner only
        when the parse actually fails. *)
@@ -771,56 +784,73 @@ let parse_ids ?start t ~(tids : int array) ~n ~(tok : int -> Lexing_gen.Token.t)
           expected = List.sort_uniq compare !expected;
         }
     in
+  let top sid =
+    if use_dispatch && Array.unsafe_get t.nt_fast sid then begin
+      sp := 0;
+      let j = c_nt sid 0 in
+      if j >= 0 && tid j = Interner.eof_id then begin
+        let tree = Array.unsafe_get !stack (!sp - 1) in
+        sp := 0;
+        Ok tree
+      end
+      else begin
+        sp := 0;
+        (* Error payload discarded: the caller re-derives on the pure
+           path, which tracks expectations. *)
+        fail_result ()
+      end
+    end
+    else
+      let result =
+        p_term (INonterm sid) 0 [] (fun i acc ->
+            if tid i = Interner.eof_id then
+              match acc with [ tree ] -> Some tree | _ -> None
+            else begin
+              expect_one i Interner.eof_id;
+              None
+            end)
+      in
+      match result with Some tree -> Ok tree | None -> fail_result ()
+  in
+  {
+    rm_results = nonterm_results;
+    rm_top = top;
+    rm_fail = fail_result;
+    rm_reset = (fun () -> sp := 0);
+  }
+
+(* The shared parse driver over the machinery above. [want_vm] prefers the
+   bytecode VM for the first (dispatching) run; [build] is threaded to the
+   VM so recognition runs skip CST construction entirely. *)
+let parse_ids ?start t ~(tids : int array) ~n
+    ~(tok : int -> Lexing_gen.Token.t) ~(kind_name : int -> string) ~want_vm
+    ~build =
+  let run mode start_name =
+    let use_dispatch = match mode with `P -> false | `C | `V _ -> true in
+    let m = machinery t ~tids ~n ~tok ~kind_name ~use_dispatch in
     match Hashtbl.find_opt t.nt_ids start_name with
     | None ->
       (* No rule to enter: fail at the first token with an empty expected
          set, as the string engine did for an unknown start symbol. *)
-      fail_result ()
+      m.rm_fail ()
     | Some sid -> (
       match mode with
-      | `V prog ->
+      | `V prog -> (
         (* Bytecode run. The engine's CST stack is reset because the VM's
            fallback boundary reuses [compute_results]/[c_nt], which work on
            it; the VM's own stacks live in {!Vm}'s arena. *)
-        sp := 0;
-        (match
-           Vm.exec prog ~ids:tids ~n ~build
-             ~leaf:(fun i -> Cst.Leaf (tok i))
-             ~fallback:nonterm_results
-         with
+        m.rm_reset ();
+        match
+          Vm.exec prog ~ids:tids ~n ~build
+            ~leaf:(fun i -> Cst.Leaf (tok i))
+            ~fallback:m.rm_results
+        with
         | Some tree -> Ok tree
         | None ->
           (* Error payload discarded: the caller re-derives on the pure
              path, which tracks expectations. *)
-          fail_result ())
-      | `C when Array.unsafe_get t.nt_fast sid -> begin
-        sp := 0;
-        let j = c_nt sid 0 in
-        if j >= 0 && tid j = Interner.eof_id then begin
-          let tree = Array.unsafe_get !stack (!sp - 1) in
-          sp := 0;
-          Ok tree
-        end
-        else begin
-          sp := 0;
-          (* Error payload discarded: the caller re-derives on the pure
-             path, which tracks expectations. *)
-          fail_result ()
-        end
-      end
-      | _ ->
-        let result =
-          p_term (INonterm sid) 0 [] (fun i acc ->
-              if tid i = Interner.eof_id then
-                match acc with [ tree ] -> Some tree | _ -> None
-              else begin
-                expect_one i Interner.eof_id;
-                None
-              end)
-        in
-        (match result with
-        | Some tree -> Ok tree
-        | None -> fail_result ()))
+          m.rm_fail ())
+      | `C | `P -> m.rm_top sid)
   in
   let start_name = Option.value ~default:t.start start in
   (* Prediction tables bake in FOLLOW sets computed for the grammar's own
@@ -914,6 +944,106 @@ let recognize_soa ?start t ~scanner soa =
          if i < n then (Lazy.force mat).(i).Lexing_gen.Token.kind
          else Lexing_gen.Token.eof_kind)
        ~want_vm:true ~build:false)
+
+(* Fused scan+parse: the bytecode VM drives the scanner through a pull
+   cursor, so the committed region of a statement is a single pass over the
+   raw bytes — no up-front tokenization. Random access (the FB oracle's
+   memoized fallback, and the pure rerun that reproduces errors) completes
+   the scan lazily on first use; because the cursor appends into the same
+   arena a whole-buffer scan fills, the completed stream is identical to
+   [scan_soa]'s and all diagnostics stay byte-identical to the two-pass
+   engines.
+
+   Lexical errors also match the two-pass pipeline exactly: acceptance
+   requires the EOF lookahead, which forces the scan to the end of input,
+   so an accepted statement is lexically clean; a rejected or failed run
+   completes the scan (hitting any lexical error at the same byte the
+   whole-buffer scan would) before the parse error is derived. *)
+let fused_eligible t ~scanner =
+  Scanner.interner scanner == t.interner
+  &&
+  match t.program with
+  | Some p -> Program.start_entry p >= 0
+  | None -> false
+
+let fused_machinery t ~scanner soa ~use_dispatch =
+  let n = Scanner.soa_count soa + 1 in
+  let mat = lazy (Scanner.tokens_of_soa scanner soa) in
+  machinery t ~tids:soa.Scanner.kind_ids ~n
+    ~tok:(fun i -> (Lazy.force mat).(i))
+    ~kind_name:(fun i ->
+      if i < n then (Lazy.force mat).(i).Lexing_gen.Token.kind
+      else Lexing_gen.Token.eof_kind)
+    ~use_dispatch
+
+(* The pure rerun for a rejected fused run: identical to the [`P] rerun the
+   two-pass driver performs, over the now-complete stream. *)
+let fused_reject t ~scanner soa =
+  let m = fused_machinery t ~scanner soa ~use_dispatch:false in
+  let result =
+    match Hashtbl.find_opt t.nt_ids t.start with
+    | None -> m.rm_fail ()
+    | Some sid -> m.rm_top sid
+  in
+  ( Scanner.soa_count soa,
+    match result with Ok cst -> Ok cst | Error e -> Error (`Parse e) )
+
+let fused_run ~build t ~scanner input =
+  if not (fused_eligible t ~scanner) then
+    (* No compiled program (dispatch off) or a foreign scanner: fall back
+       to the two-pass pipeline, same results at two-pass speed. *)
+    match Scanner.scan_soa scanner input with
+    | Error e -> (0, Error (`Lex e))
+    | Ok soa -> (
+      let count = Scanner.soa_count soa in
+      let run = if build then parse_soa else fun ?start:_ t ~scanner soa ->
+        Result.map (fun () -> dummy_cst) (recognize_soa t ~scanner soa)
+      in
+      match run t ~scanner soa with
+      | Ok cst -> (count, Ok cst)
+      | Error e -> (count, Error (`Parse e)))
+  else
+    let prog = Option.get t.program in
+    let cursor = Scanner.cursor scanner input in
+    (* The FB oracle is built lazily, once, over the completed stream: the
+       memo must persist across FB calls within the run. *)
+    let oracle = ref None in
+    let fallback nid pos =
+      let m =
+        match !oracle with
+        | Some m -> m
+        | None ->
+          let soa = Scanner.cursor_complete cursor in
+          let m = fused_machinery t ~scanner soa ~use_dispatch:true in
+          m.rm_reset ();
+          oracle := Some m;
+          m
+      in
+      m.rm_results nid pos
+    in
+    match
+      Vm.exec_fused prog ~cursor ~build
+        ~leaf:(fun i -> Cst.Leaf (Scanner.cursor_token_at cursor i))
+        ~fallback
+    with
+    | Some tree ->
+      (* Acceptance pulled the EOF lookahead, so the whole input is scanned
+         and the count is the statement's full token count. *)
+      (Scanner.cursor_count cursor, Ok tree)
+    | None -> (
+      (* A rejected run may not have scanned past the failure point; the
+         completing scan can still hit a lexical error, exactly where the
+         two-pass pipeline's whole-buffer scan would have. *)
+      match Scanner.cursor_complete cursor with
+      | soa -> fused_reject t ~scanner soa
+      | exception Scanner.Lex_error e -> (0, Error (`Lex e)))
+    | exception Scanner.Lex_error e -> (0, Error (`Lex e))
+
+let parse_fused t ~scanner input = fused_run ~build:true t ~scanner input
+
+let recognize_fused t ~scanner input =
+  let count, result = fused_run ~build:false t ~scanner input in
+  (count, Result.map (fun (_ : Cst.t) -> ()) result)
 
 let parse ?start t token_list = parse_tokens ?start t (Array.of_list token_list)
 

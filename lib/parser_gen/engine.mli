@@ -189,3 +189,33 @@ val recognize_soa :
 (** Accept/reject without building a CST. On the fully committed VM path
     this allocates nothing per token — the zero-allocation accept path the
     SoA stream exists for. Errors are still re-derived exactly. *)
+
+val parse_fused :
+  t ->
+  scanner:Lexing_gen.Scanner.t ->
+  string ->
+  int
+  * ( Cst.t,
+      [ `Lex of Lexing_gen.Scanner.error | `Parse of parse_error ] )
+    result
+(** Fused scan+parse from raw bytes: the bytecode VM pulls token kinds from
+    a {!Lexing_gen.Scanner.cursor}, so the committed region of the statement
+    is a single pass over the input with no up-front tokenization. The SoA
+    stream is completed lazily only when an FB opcode needs the memoized
+    fallback's random access, or when a rejection triggers the pure
+    error-reporting rerun — results and diagnostics are identical to
+    {!parse_soa} over a whole-buffer scan. Returns the statement's token
+    count (0 on lexical error) alongside the result. Requires the engine to
+    have a compiled program and [scanner] to share its interner; otherwise
+    it falls back to the two-pass pipeline. *)
+
+val recognize_fused :
+  t ->
+  scanner:Lexing_gen.Scanner.t ->
+  string ->
+  int
+  * ( unit,
+      [ `Lex of Lexing_gen.Scanner.error | `Parse of parse_error ] )
+    result
+(** {!parse_fused} without building a CST: single pass, zero per-token
+    allocation on the committed accept path. *)

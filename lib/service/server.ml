@@ -17,6 +17,7 @@ type t = {
   listen_fd : Unix.file_descr;
   addr : Wire.address;
   max_frame : int;
+  stream : bool;  (* accept raw ['S'] streaming connections *)
   cache : Cache.t;
   lock : Mutex.t;
   nonempty : Condition.t;
@@ -140,13 +141,141 @@ let resolve_hello t (h : Wire.hello) =
 
 let count_error t = locked t (fun () -> t.wire_errors <- t.wire_errors + 1)
 
-(* Serve one connection to completion. Every exit path is structured: the
-   client either saw a [Reply]/[Pong] per frame, or one final [Error]
-   explaining why the server is hanging up. *)
-let serve t fd =
+(* --- raw streaming mode ------------------------------------------------- *)
+
+(* A streaming connection opens with ['S'] (no framed protocol can: binary
+   frames start [0x00], JSON ones ['{']), then one header line
+   [<dialect> [committed|vm|fused]\n], then unframed SQL bytes until the
+   client shuts down its write side. The server pipes the bytes through
+   {!Session.parse_stream} — fixed memory ceiling, statements split at
+   top-level [;] exactly like {!Core.split_statements} — answering one line
+   per statement as it completes, and a final [done] line with totals. *)
+
+let stream_line_of_item (item : Session.item) =
+  match item.Session.result with
+  | Ok _ -> Printf.sprintf "ok %d\n" item.Session.token_count
+  | Error e ->
+    let flat =
+      String.map
+        (function '\n' -> ' ' | c -> c)
+        (Fmt.str "%a" Core.pp_error e)
+    in
+    Printf.sprintf "err %s\n" flat
+
+let stream_done_line (s : Session.stats) =
+  Printf.sprintf "done %d %d %d\n" s.Session.statements s.Session.tokens
+    s.Session.rejected
+
+(* The header is read byte-wise: reading in chunks could swallow the first
+   bytes of the SQL body. *)
+let read_stream_header fd =
+  let b = Buffer.create 32 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> None
+    | _ ->
+      let c = Bytes.get one 0 in
+      if c = '\n' then Some (Buffer.contents b)
+      else if Buffer.length b >= 256 then None
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let stream_engine_of_string = function
+  | "committed" -> Some `Committed
+  | "vm" -> Some `Vm
+  | "fused" -> Some `Fused
+  | _ -> None
+
+let serve_stream t fd =
+  let fail msg =
+    (try write_all fd ("err " ^ msg ^ "\n")
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    (* Drain what the client already streamed before the connection closes:
+       closing with unread bytes in the receive queue resets the connection
+       and can destroy the error line before the client reads it. Bounded,
+       so a hostile endless stream cannot pin the worker. *)
+    let buf = Bytes.create 8192 in
+    let rec drain budget =
+      if budget > 0 then
+        match Unix.read fd buf 0 8192 with
+        | 0 -> ()
+        | n -> drain (budget - n)
+        | exception Unix.Unix_error _ -> ()
+    in
+    drain (16 * 1024 * 1024);
+    count_error t
+  in
+  if not t.stream then
+    fail "streaming disabled (start the server with --stream)"
+  else
+    match read_stream_header fd with
+    | None -> fail "missing stream header line (<dialect> [engine])"
+    | Some header -> (
+      let parts =
+        List.filter
+          (fun s -> s <> "")
+          (String.split_on_char ' ' (String.trim header))
+      in
+      let resolved =
+        match parts with
+        | [ d ] -> Ok (d, `Fused)
+        | [ d; e ] -> (
+          match stream_engine_of_string e with
+          | Some engine -> Ok (d, engine)
+          | None ->
+            Error
+              (Printf.sprintf "unknown engine %S (try committed, vm, fused)" e))
+        | _ -> Error "stream header must be: <dialect> [committed|vm|fused]"
+      in
+      match resolved with
+      | Error msg -> fail msg
+      | Ok (name, engine) -> (
+        match Dialects.Dialect.find name with
+        | None -> fail (Printf.sprintf "unknown dialect %S" name)
+        | Some d -> (
+          match
+            locked t (fun () ->
+                Cache.generate ~label:d.Dialects.Dialect.name t.cache
+                  d.Dialects.Dialect.config)
+          with
+          | Error e -> fail (Fmt.str "%a" Core.pp_error e)
+          | Ok g -> (
+            let session = Session.create ~engine g in
+            match
+              Session.parse_stream session
+                ~on_item:(fun item -> write_all fd (stream_line_of_item item))
+                ~read:(fun buf off len -> Unix.read fd buf off len)
+            with
+            | stats ->
+              locked t (fun () -> t.requests <- t.requests + 1);
+              (try write_all fd (stream_done_line stats)
+               with Unix.Unix_error _ | Sys_error _ -> ())
+            | exception (Unix.Unix_error _ | Sys_error _) ->
+              (* the peer vanished mid-stream *)
+              count_error t))))
+
+(* Serve one framed connection to completion. Every exit path is
+   structured: the client either saw a [Reply]/[Pong] per frame, or one
+   final [Error] explaining why the server is hanging up. The routing in
+   [serve] consumed the connection's first byte, so it is pushed back in
+   front of the {!Wire.reader}'s reads (the reader needs it: it is the
+   encoding magic). *)
+let serve_framed t fd ~first =
+  let pushed_back = ref true in
   let reader =
     Wire.reader ~max_frame:t.max_frame (fun buf off len ->
-        Unix.read fd buf off len)
+        if !pushed_back then begin
+          pushed_back := false;
+          Bytes.set buf off first;
+          1
+        end
+        else Unix.read fd buf off len)
   in
   let enc () = Option.value (Wire.reader_encoding reader) ~default:Wire.Binary in
   let bail error =
@@ -206,6 +335,15 @@ let serve t fd =
     bail
       (Wire.error Wire.Bad_hello
          (Fmt.str "expected hello, got %a" Wire.pp_frame frame))
+
+(* First-byte routing: ['S'] opens the raw streaming mode, anything else
+   (the [0x00]/['{'] encoding magic) goes to the framed protocol. *)
+let serve t fd =
+  let first = Bytes.create 1 in
+  let got = try Unix.read fd first 0 1 with Unix.Unix_error _ -> 0 in
+  if got = 0 then () (* connected and left without a word *)
+  else if Bytes.get first 0 = 'S' then serve_stream t fd
+  else serve_framed t fd ~first:(Bytes.get first 0)
 
 (* --- pool -------------------------------------------------------------- *)
 
@@ -301,7 +439,7 @@ let bind_listener addr ~backlog =
         (fd, addr))
 
 let start ?(workers = 4) ?(backlog = 64) ?(max_frame = Wire.default_max_frame)
-    ?cache addr =
+    ?(stream = false) ?cache addr =
   (* A worker writing a reply into a connection the client already closed
      must see EPIPE, not die of SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -314,6 +452,7 @@ let start ?(workers = 4) ?(backlog = 64) ?(max_frame = Wire.default_max_frame)
         listen_fd;
         addr = bound;
         max_frame;
+        stream;
         cache = (match cache with Some c -> c | None -> Cache.create ());
         lock = Mutex.create ();
         nonempty = Condition.create ();

@@ -30,7 +30,21 @@
       oversized frame draws a best-effort structured [Error] before the
       close. No client behavior — disconnects mid-frame, dribbled writes,
       hostile length prefixes, poisoned statements — takes the daemon or
-      any other connection down. *)
+      any other connection down.
+
+    {2 Raw streaming mode}
+
+    When the server was started with [~stream:true], a connection whose
+    first byte is ['S'] bypasses the framed protocol entirely: the client
+    sends one header line [<dialect> [committed|vm|fused]\n] (engine
+    defaults to [fused]) followed by raw SQL bytes until it shuts down its
+    write side. The server pipes the bytes through
+    {!Session.parse_stream} — statements split at top-level [;] exactly
+    like {!Core.split_statements}, memory bounded by the chunk size plus
+    the largest statement — answering one [ok <tokens>] or
+    [err <message>] line per statement as it completes, then a final
+    [done <statements> <tokens> <rejected>] line. A bad header draws one
+    [err ...] line and the close. *)
 
 type t
 
@@ -38,17 +52,20 @@ val start :
   ?workers:int ->
   ?backlog:int ->
   ?max_frame:int ->
+  ?stream:bool ->
   ?cache:Cache.t ->
   Wire.address ->
   (t, string) result
 (** Bind, listen and spin up the acceptor + worker pool. [workers]
     (default [4], clipped to at least [1]) is the number of connections
     served in parallel; [max_frame] (default {!Wire.default_max_frame})
-    bounds accepted frames. [cache] (a fresh one per server by default) is
-    shared by every connection, so concurrent sessions on one configuration
-    compose it exactly once. Binding a TCP port that is already in use — or
-    a Unix path whose socket file exists — fails with a clean [Error]
-    naming the address; nothing is left running. *)
+    bounds accepted frames. [stream] (default [false]) additionally
+    accepts raw streaming connections (see the lifecycle notes above).
+    [cache] (a fresh one per server by default) is shared by every
+    connection, so concurrent sessions on one configuration compose it
+    exactly once. Binding a TCP port that is already in use — or a Unix
+    path whose socket file exists — fails with a clean [Error] naming the
+    address; nothing is left running. *)
 
 val address : t -> Wire.address
 (** The bound address. For TCP requests with port [0] this carries the
@@ -77,3 +94,12 @@ val outcome_of_item : Wire.mode -> Session.item -> Wire.outcome
     what came over the wire. *)
 
 val reply_of_batch : Wire.mode -> int -> Session.batch -> Wire.reply
+
+val stream_line_of_item : Session.item -> string
+(** The exact per-statement line of the raw streaming mode
+    ([ok <tokens>\n] / [err <flattened message>\n]) — exposed so tests can
+    render {!Session.parse_stream} output locally and demand byte equality
+    with what came over the socket. *)
+
+val stream_done_line : Session.stats -> string
+(** The final [done <statements> <tokens> <rejected>\n] line. *)

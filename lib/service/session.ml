@@ -16,7 +16,7 @@ type stats = {
   furthest_error : (int * Parser_gen.Engine.parse_error) option;
 }
 
-type engine = [ `Committed | `Vm ]
+type engine = [ `Committed | `Vm | `Fused ]
 
 type t = {
   front_end : Core.generated;
@@ -113,6 +113,10 @@ let parse_one engine front_end index sql =
         with
         | Ok cst -> (token_count, Ok cst)
         | Error e -> (token_count, Error (Core.Parse_error e))))
+    | `Fused ->
+      (* Single pass over the bytes: the VM drives the scanner cursor, and
+         the token count falls out of the run. *)
+      Core.parse_cst_fused_counted front_end sql
   in
   { index; sql; token_count; result }
 
@@ -206,6 +210,54 @@ let parse_batch ?(clamp = true) ?(domains = 1) t sqls =
 
 let parse_script ?clamp ?domains t script =
   parse_batch ?clamp ?domains t (Core.split_statements script)
+
+(* Streaming intake: statements are pulled from [read] in fixed-size chunks
+   and parsed one at a time on the session's engine, so an unbounded script
+   runs at a memory ceiling of [chunk_size] plus the largest statement —
+   nothing is batched, no statement list is materialized. [on_item] sees
+   each item as it completes (its [sql] is the only live copy). *)
+let parse_stream ?chunk_size ?on_item t ~read =
+  let t0 = now () in
+  let statements = ref 0 in
+  let accepted = ref 0 in
+  let tokens = ref 0 in
+  let furthest = ref None in
+  Core.fold_statements ?chunk_size ~read
+    (fun () sql ->
+      let index = !statements in
+      let item = parse_one t.engine t.front_end index sql in
+      incr statements;
+      if Result.is_ok item.result then incr accepted;
+      tokens := !tokens + item.token_count;
+      (match item.result with
+      | Error (Core.Parse_error e) ->
+        furthest := further !furthest (Some (index, e))
+      | _ -> ());
+      match on_item with None -> () | Some f -> f item)
+    ();
+  let elapsed = now () -. t0 in
+  let statements = !statements and accepted = !accepted and tokens = !tokens in
+  let statements_per_second, tokens_per_second =
+    rates ~statements ~tokens elapsed
+  in
+  let stats =
+    {
+      statements;
+      accepted;
+      rejected = statements - accepted;
+      tokens;
+      elapsed;
+      statements_per_second;
+      tokens_per_second;
+      furthest_error = !furthest;
+    }
+  in
+  t.acc_statements <- t.acc_statements + statements;
+  t.acc_accepted <- t.acc_accepted + accepted;
+  t.acc_tokens <- t.acc_tokens + tokens;
+  t.acc_elapsed <- t.acc_elapsed +. elapsed;
+  t.acc_furthest <- further t.acc_furthest !furthest;
+  stats
 
 let totals t =
   let statements_per_second, tokens_per_second =

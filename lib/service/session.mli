@@ -18,13 +18,15 @@
 
 type t
 
-type engine = [ `Committed | `Vm ]
+type engine = [ `Committed | `Vm | `Fused ]
 (** Which parse path a session's batches run on: the committed dispatch
-    loop over materialized token arrays (the default), or the bytecode VM
-    over the struct-of-arrays token stream ({!Core.parse_cst_vm}'s path).
-    Results are byte-identical either way — the choice is a performance
-    knob, and sessions on both engines can share one {!Cache} entry because
-    the compiled {!Parser_gen.Program} is part of the cached front-end. *)
+    loop over materialized token arrays (the default), the bytecode VM
+    over the struct-of-arrays token stream ({!Core.parse_cst_vm}'s path),
+    or the fused VM that pulls tokens straight from the scanner cursor in
+    one pass over the bytes ({!Core.parse_cst_fused}'s path). Results are
+    byte-identical on all three — the choice is a performance knob, and
+    sessions on any engine can share one {!Cache} entry because the
+    compiled {!Parser_gen.Program} is part of the cached front-end. *)
 
 val create : ?engine:engine -> Core.generated -> t
 
@@ -86,6 +88,23 @@ val parse_batch : ?clamp:bool -> ?domains:int -> t -> string list -> batch
 
 val parse_script : ?clamp:bool -> ?domains:int -> t -> string -> batch
 (** [parse_batch] over {!Core.split_statements} of a script. *)
+
+val parse_stream :
+  ?chunk_size:int ->
+  ?on_item:(item -> unit) ->
+  t ->
+  read:(bytes -> int -> int -> int) ->
+  stats
+(** Parse a streamed script: statements are pulled from [read] (a
+    [Unix.read]-style function, 0 at end of input) in [chunk_size]-byte
+    chunks (default 64 KiB, see {!Core.fold_statements}) and parsed one at
+    a time on the session's engine, so memory stays bounded by the chunk
+    size plus the largest single statement — an unbounded script runs at a
+    fixed memory ceiling. Statement splitting matches
+    {!Core.split_statements} byte for byte. [on_item] observes each item
+    as it completes; the item (and its [sql]) is not retained afterwards.
+    [furthest_error] indexes statements in stream order. Statistics
+    accumulate into {!totals} like any batch. *)
 
 val dispatch_summary : t -> Parser_gen.Engine.summary
 (** Choice-point classification of the pinned front-end's parser (see

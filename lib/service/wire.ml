@@ -74,7 +74,7 @@ let error_of_core ~query = function
       ~expected:pe.Parser_gen.Engine.expected Parse_error "parse error"
   | e -> error ~query Internal (Fmt.str "%a" Core.pp_error e)
 
-type engine = [ `Committed | `Vm ]
+type engine = [ `Committed | `Vm | `Fused ]
 
 type selection =
   | Dialect of string
@@ -121,7 +121,10 @@ type frame =
 let pp_frame ppf = function
   | Hello h ->
     Fmt.pf ppf "hello (client %S, %s)" h.client
-      (match h.engine with `Committed -> "committed" | `Vm -> "vm")
+      (match h.engine with
+      | `Committed -> "committed"
+      | `Vm -> "vm"
+      | `Fused -> "fused")
   | Hello_ok ok -> Fmt.pf ppf "hello-ok (%s, digest %s)" ok.label ok.digest
   | Request r ->
     Fmt.pf ppf "request #%d (%d statement(s))" r.id (List.length r.statements)
@@ -179,7 +182,10 @@ let put_list put b xs =
   put_u32 b (List.length xs);
   List.iter (put b) xs
 
-let put_engine b = function `Committed -> put_u8 b 0 | `Vm -> put_u8 b 1
+let put_engine b = function
+  | `Committed -> put_u8 b 0
+  | `Vm -> put_u8 b 1
+  | `Fused -> put_u8 b 2
 let put_mode b = function Cst -> put_u8 b 0 | Recognize -> put_u8 b 1
 
 let put_span b (s : span) =
@@ -340,6 +346,7 @@ let get_engine c what =
   match get_u8 c what with
   | 0 -> `Committed
   | 1 -> `Vm
+  | 2 -> `Fused
   | t -> fail "%s: bad engine %d" what t
 
 let get_mode c what =
@@ -503,7 +510,8 @@ let jarr emit xs b =
     xs;
   Buffer.add_char b ']'
 
-let jengine e = jstr (match e with `Committed -> "committed" | `Vm -> "vm")
+let jengine e =
+  jstr (match e with `Committed -> "committed" | `Vm -> "vm" | `Fused -> "fused")
 let jmode m = jstr (match m with Cst -> "cst" | Recognize -> "recognize")
 
 let jspan (s : span) b =
@@ -763,6 +771,7 @@ let jget_engine what v =
   match jget_str what v with
   | "committed" -> `Committed
   | "vm" -> `Vm
+  | "fused" -> `Fused
   | e -> fail "bad engine %S" e
 
 let jget_span = function

@@ -71,7 +71,7 @@ val error_of_core : query:string -> Core.error -> error
 (** Attach the statement to a library error: lex and parse errors keep
     their span/found/expected, anything else maps to {!Internal}. *)
 
-type engine = [ `Committed | `Vm ]
+type engine = [ `Committed | `Vm | `Fused ]
 
 type selection =
   | Dialect of string  (** a shipped dialect, by name *)

@@ -128,6 +128,35 @@ let test_recognize_beats_materialization () =
     true
     (soa_words < mat_words /. 4.)
 
+let test_fused_marginal_is_free () =
+  (* The fused cursor path end to end: scan+recognize in one pass must
+     allocate nothing per token — the cursor writes into the same arena
+     [scan_soa] uses (toplevel scan helpers, no closures per token), and
+     the VM pulls kind ids as plain ints. Budget 0.1 w/token: tighter than
+     the two-pass budget above because there is no separate scan call whose
+     boxing could amortize in. *)
+  let g = front_end "tinysql" in
+  let short = wide_select 50 and long = wide_select 500 in
+  let fused_words sql =
+    (match Core.recognize_fused g sql with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "recognize_fused %s: %a" sql Core.pp_error e);
+    measure_words (fun () ->
+        for _ = 1 to rounds do
+          ignore (Core.recognize_fused g sql)
+        done)
+    /. float_of_int rounds
+  in
+  let dt = token_count g long - token_count g short in
+  let per_token = (fused_words long -. fused_words short) /. float_of_int dt in
+  check_bool
+    (Printf.sprintf
+       "warm fused recognition allocates %.3f words per extra token (budget \
+        0.1)"
+       per_token)
+    true
+    (per_token < 0.1)
+
 let test_scan_soa_marginal_is_free () =
   (* The scanner core in isolation: rescanning with 10x the tokens costs
      (almost) nothing more — the arena is reused, the hot loop allocates
@@ -160,4 +189,6 @@ let suite =
       test_recognize_beats_materialization;
     Alcotest.test_case "warm scan_soa is allocation-free per token" `Quick
       test_scan_soa_marginal_is_free;
+    Alcotest.test_case "fused scan+recognize is allocation-free per token"
+      `Quick test_fused_marginal_is_free;
   ]

@@ -2,13 +2,15 @@
    the string-keyed {!Parser_gen.Reference} engine it replaced.
 
    The reference engine is kept as the executable specification of the
-   parsing semantics. For every shipped dialect, four engines run over the
+   parsing semantics. For every shipped dialect, five engines run over the
    shared accept/reject corpora plus a grammar-sampled corpus and must
    produce identical outcomes end to end: the {e committed} engine (the
    default — prediction-compiled dispatch over the left-factored grammar),
    the {e bytecode VM} (the committed region lowered to a flat program,
-   running over the struct-of-arrays token stream), the {e memoized} engine
-   (same grammar, dispatch disabled: the pure backtracker), and the
+   running over the struct-of-arrays token stream), the {e fused} VM
+   (the same program pulling tokens straight from the scanner cursor —
+   compared from the raw bytes, lexical errors included), the {e memoized}
+   engine (same grammar, dispatch disabled: the pure backtracker), and the
    {e reference}. Identical means the same CST on
    acceptance (priority-ordered alternatives, greedy-but-backtrackable
    repetition) and the same furthest-failure position, found token, and
@@ -135,10 +137,32 @@ let test_four_way_agreement name () =
         (Printf.sprintf "%s (vm vs committed, end to end): %s" name sql)
         true
         (strip (Core.parse_cst g sql) = strip (Core.parse_cst_vm g sql));
+      (* The fused engine scans as it parses, so it is compared end to end
+         from the raw bytes: same CSTs, same parse errors, and the same
+         lexical errors at the same position — the corpora include
+         statements whose rejection is lexical, plus (on analytics)
+         statements that exercise the FB memoized-fallback oracle and its
+         lazy completion of the scan. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (fused vs vm, end to end): %s" name sql)
+        true
+        (strip (Core.parse_cst_vm g sql) = strip (Core.parse_cst_fused g sql));
+      let fused_count, fused_result = Core.parse_cst_fused_counted g sql in
+      (match Core.scan_tokens g sql with
+      | Ok toks when Result.is_ok fused_result ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s (fused token count): %s" name sql)
+          (Array.length toks - 1)
+          fused_count
+      | _ -> ());
       Alcotest.(check bool)
         (Printf.sprintf "%s (recognize agrees): %s" name sql)
         (Result.is_ok (Core.parse_cst g sql))
-        (Result.is_ok (Core.recognize g sql)))
+        (Result.is_ok (Core.recognize g sql));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (recognize_fused agrees): %s" name sql)
+        (Result.is_ok (Core.parse_cst g sql))
+        (Result.is_ok (Core.recognize_fused g sql)))
     (corpus_for name @ sampled name)
 
 (* Factoring itself: same CSTs and failure positions as the composed

@@ -19,6 +19,7 @@ let () =
       ("service", Test_service.suite);
       ("wire", Test_wire.suite);
       ("serve", Test_serve.suite);
+      ("stream", Test_stream.suite);
       ("conformance", Test_conformance.suite);
       ("differential", Test_differential.suite);
       ("alloc", Test_alloc.suite);
