@@ -1194,6 +1194,159 @@ let report_e20 ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E21 — family-based compilation. The product line's fragments are    *)
+(* compiled once into a variability-aware artifact (Family.build);     *)
+(* each configuration is then instantiated by a presence-condition     *)
+(* mask/replay plus interned LL(k) classification. We gate on          *)
+(* byte-identical products (grammar, tokens, sequence, dispatch        *)
+(* summary) against the cold pipeline, then time cold compose+generate *)
+(* vs. family instantiation per dialect, and the service angle: cold-  *)
+(* connection latency with and without a family-backed server cache.   *)
+(* Emits BENCH_e21.json.                                               *)
+(* ------------------------------------------------------------------ *)
+
+type e21_row = {
+  e21_dialect : string;
+  e21_cold_ms : float;
+  e21_family_ms : float;
+  e21_speedup : float;
+}
+
+let e21_render (g : Core.generated) =
+  ( Fmt.str "%a" Grammar.Cfg.pp g.Core.grammar,
+    g.Core.tokens,
+    g.Core.sequence,
+    Fmt.str "%a" Parser_gen.Engine.pp_summary (Core.dispatch_summary g) )
+
+let e21_generate name how =
+  let d, _ = dialect name in
+  let result =
+    match how with
+    | `Cold -> Core.generate_dialect d
+    | `Family -> Core.generate_family_dialect d
+  in
+  match result with
+  | Ok g -> g
+  | Error e -> Fmt.failwith "e21 %s: %a" name Core.pp_error e
+
+(* Best-of-[repeats] wall time, so one unlucky GC pause doesn't decide a
+   headline ratio. *)
+let e21_time ~repeats f =
+  let rec go best i =
+    if i = 0 then best
+    else begin
+      let t0 = now () in
+      ignore (Sys.opaque_identity (f ()));
+      go (min best ((now () -. t0) *. 1e3)) (i - 1)
+    end
+  in
+  go infinity (max 1 repeats)
+
+let e21_row ~repeats name =
+  (* The hard gate first: the family product must render byte-identically
+     to the cold product (grammar, token set, composition sequence,
+     dispatch classification). *)
+  if e21_render (e21_generate name `Cold) <> e21_render (e21_generate name `Family)
+  then Fmt.failwith "e21 %s: family product differs from cold pipeline" name;
+  let cold = e21_time ~repeats (fun () -> e21_generate name `Cold) in
+  let family = e21_time ~repeats (fun () -> e21_generate name `Family) in
+  {
+    e21_dialect = name;
+    e21_cold_ms = cold;
+    e21_family_ms = family;
+    e21_speedup = cold /. family;
+  }
+
+(* Cold-connection latency: a fresh cache per server, so every first hello
+   pays a miss — resolved by the cold pipeline or by the family artifact. *)
+let e21_serve_connect ~family names =
+  let cache = Service.Cache.create () in
+  Service.Cache.use_family cache family;
+  let server =
+    match Service.Server.start ~workers:2 ~cache (Wire.Tcp ("127.0.0.1", 0)) with
+    | Ok s -> s
+    | Error msg -> Fmt.failwith "e21: %s" msg
+  in
+  Fun.protect ~finally:(fun () -> Service.Server.stop server) @@ fun () ->
+  let addr = Service.Server.address server in
+  List.map
+    (fun name ->
+      let t0 = now () in
+      (match Service.Client.connect ~selection:(Wire.Dialect name) addr with
+      | Ok (client, _) -> Service.Client.close client
+      | Error e -> Fmt.failwith "e21 connect %s: %a" name Wire.pp_error e);
+      (name, (now () -. t0) *. 1e3))
+    names
+
+let write_e21_json ~build_ms rows connect_rows =
+  let oc = open_out "BENCH_e21.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"e21\",\n";
+  p "  \"basis\": \"family artifact built once per process; per-dialect \
+     instantiation (mask/replay + interned LL(k) classification) vs cold \
+     compose+generate, best of 3; cold-connection latency against sqlpl \
+     serve with a fresh cache\",\n";
+  p "  \"family_build_ms\": %.2f,\n" build_ms;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      p
+        "    {\"dialect\": %S, \"cold_ms\": %.2f, \"family_ms\": %.2f, \
+         \"speedup\": %.1f}%s\n"
+        row.e21_dialect row.e21_cold_ms row.e21_family_ms row.e21_speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n  \"serve_cold_connect\": [\n";
+  List.iteri
+    (fun i (name, plain_ms, family_ms) ->
+      p
+        "    {\"dialect\": %S, \"plain_ms\": %.2f, \"family_ms\": %.2f}%s\n"
+        name plain_ms family_ms
+        (if i = List.length connect_rows - 1 then "" else ","))
+    connect_rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let report_e21 ?(smoke = false) () =
+  pf "\n== E21: family-based compilation (one artifact, cheap products) ==\n";
+  let build_ms =
+    e21_time ~repeats:(if smoke then 1 else 3) (fun () ->
+        Family.build ~start:Sql.Model.start_symbol Sql.Model.model
+          Sql.Model.registry)
+  in
+  ignore (Core.family ());
+  let names =
+    if smoke then [ "embedded"; "analytics" ]
+    else
+      List.map
+        (fun ((d : Dialects.Dialect.t), _) -> d.name)
+        generated_dialects
+  in
+  let repeats = if smoke then 1 else 3 in
+  let rows = List.map (e21_row ~repeats) names in
+  pf "family build: %.2f ms (shared by every product)\n" build_ms;
+  pf "%-10s %12s %12s %9s\n" "dialect" "cold ms" "family ms" "speedup";
+  List.iter
+    (fun row ->
+      pf "%-10s %12.2f %12.2f %8.1fx\n" row.e21_dialect row.e21_cold_ms
+        row.e21_family_ms row.e21_speedup)
+    rows;
+  pf "(every family product gated byte-identical to the cold pipeline)\n";
+  let plain = e21_serve_connect ~family:false names in
+  let famc = e21_serve_connect ~family:true names in
+  let connect_rows =
+    List.map2 (fun (n, p) (_, f) -> (n, p, f)) plain famc
+  in
+  pf "%-10s %15s %17s\n" "dialect" "cold connect ms" "family connect ms";
+  List.iter
+    (fun (n, p, f) -> pf "%-10s %15.2f %17.2f\n" n p f)
+    connect_rows;
+  if not smoke then begin
+    write_e21_json ~build_ms rows connect_rows;
+    pf "(wrote BENCH_e21.json)\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Timed series (Bechamel)                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1402,9 +1555,12 @@ let () =
   | Some "e19-smoke" -> report_e19 ~smoke:true ()
   | Some "e20" -> report_e20 ()
   | Some "e20-smoke" -> report_e20 ~smoke:true ()
+  | Some "e21" -> report_e21 ()
+  | Some "e21-smoke" -> report_e21 ~smoke:true ()
   | Some other ->
     Fmt.failwith
-      "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17 e18 e19 e20)" other
+      "unknown experiment %S (try e1 e6 e7 e14 e15 e16 e17 e18 e19 e20 e21)"
+      other
   | None ->
     report_e1 ();
     report_e6 ();
@@ -1417,6 +1573,7 @@ let () =
     report_e18 ();
     report_e19 ();
     report_e20 ();
+    report_e21 ();
     pf "\n== E8-E13: timed series ==\n";
     run_benchmarks
       (bench_e8 @ bench_e9 @ bench_e10 @ bench_e11 @ bench_e12 @ bench_e13)

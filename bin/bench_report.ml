@@ -278,6 +278,17 @@ let validate experiment j =
       Error
         "expected service schema {workers, connections, rows: [{dialect, \
          engine, p50_ms, p99_ms, qps}]}"
+  | "e21" ->
+    if
+      has_num "family_build_ms" j
+      && nonempty_all "rows" j (fun r ->
+             has_str "dialect" r && has_num "cold_ms" r
+             && has_num "family_ms" r && has_num "speedup" r)
+    then Ok ()
+    else
+      Error
+        "expected family schema {family_build_ms, rows: [{dialect, cold_ms, \
+         family_ms, speedup}]}"
   | _ -> Error "unknown experiment"
 
 (* The E19 service artifact measures latency and QPS, not tokens/s, so it
@@ -311,11 +322,66 @@ let service_of_row row =
       }
   | _ -> None
 
+(* The E21 family artifact measures generation latency, not parse
+   throughput: cold pipeline vs family instantiation per dialect. *)
+type family_row = {
+  f_dialect : string;
+  f_cold_ms : float;
+  f_family_ms : float;
+  f_speedup : float;
+}
+
+let family_of_row row =
+  match
+    ( as_str (member "dialect" row),
+      as_num (member "cold_ms" row),
+      as_num (member "family_ms" row),
+      as_num (member "speedup" row) )
+  with
+  | Some f_dialect, Some f_cold_ms, Some f_family_ms, Some f_speedup ->
+    Some { f_dialect; f_cold_ms; f_family_ms; f_speedup }
+  | _ -> None
+
+let family_notes j =
+  let build =
+    match as_num (member "family_build_ms" j) with
+    | Some ms ->
+      [
+        Printf.sprintf
+          "Family artifact built once in %.2f ms, shared by every product."
+          ms;
+      ]
+    | None -> []
+  in
+  let connects =
+    List.filter_map
+      (fun r ->
+        match
+          ( as_str (member "dialect" r),
+            as_num (member "plain_ms" r),
+            as_num (member "family_ms" r) )
+        with
+        | Some d, Some plain, Some fam ->
+          Some (Printf.sprintf "%s %.1f → %.1f ms" d plain fam)
+        | _ -> None)
+      (as_arr (member "serve_cold_connect" j))
+  in
+  build
+  @
+  if connects = [] then []
+  else
+    [
+      "Serve cold-connection latency (plain → family-backed cache): "
+      ^ String.concat ", " connects
+      ^ ".";
+    ]
+
 type artifact = {
   a_experiment : string;
   a_basis : string option;  (* what the rates measure, from the artifact *)
   a_points : point list;
   a_service : service_row list;
+  a_family : family_row list;
   a_notes : string list;  (* extra lines under the experiment's table *)
 }
 
@@ -362,7 +428,13 @@ let artifact_of_file path =
             a_service =
               (if experiment = "e19" then List.filter_map service_of_row rows
                else []);
-            a_notes = (if experiment = "e20" then stream_note j else []);
+            a_family =
+              (if experiment = "e21" then List.filter_map family_of_row rows
+               else []);
+            a_notes =
+              (if experiment = "e20" then stream_note j
+               else if experiment = "e21" then family_notes j
+               else []);
           }))
 
 (* --- rendering ---------------------------------------------------------- *)
@@ -383,7 +455,7 @@ let basis_of ~bases experiment =
   | Some (Some basis) -> basis
   | _ -> "parse-only (pre-scanned tokens)"
 
-let render ppf ~sources ~experiments ~bases ~notes ~service points =
+let render ppf ~sources ~experiments ~bases ~notes ~service ~family points =
   Fmt.pf ppf "# Benchmark trajectory@\n@\n";
   Fmt.pf ppf
     "Generated by `sqlpl bench report` from %s. Rates are end-of-run@\n\
@@ -427,6 +499,23 @@ let render ppf ~sources ~experiments ~bases ~notes ~service points =
           r.s_engine r.s_p50_ms r.s_p99_ms r.s_qps rate r.s_stmts_per_s)
       service;
     Fmt.pf ppf "@\n"
+  end;
+  (* The family experiment measures generation latency (cold pipeline vs
+     instantiation from the variability-aware artifact), so it too gets
+     its own table instead of joining the throughput frontier. *)
+  if family <> [] then begin
+    Fmt.pf ppf "## e21 (family-based compilation)@\n@\n";
+    Fmt.pf ppf "| dialect | cold ms | family ms | speedup |@\n";
+    Fmt.pf ppf "|---|---:|---:|---:|@\n";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "| %s | %.2f | %.2f | %.1fx |@\n" r.f_dialect r.f_cold_ms
+          r.f_family_ms r.f_speedup)
+      family;
+    Fmt.pf ppf "@\n";
+    List.iter
+      (fun note -> Fmt.pf ppf "%s@\n@\n" note)
+      (match List.assoc_opt "e21" notes with Some ns -> ns | None -> [])
   end;
   (* Frontier: per dialect, the best tokens/s any engine reached in each
      experiment. *)
@@ -512,11 +601,12 @@ let run ?(strict = false) ~dir ~output () =
       let notes = List.map (fun a -> (a.a_experiment, a.a_notes)) artifacts in
       let points = List.concat_map (fun a -> a.a_points) artifacts in
       let service = List.concat_map (fun a -> a.a_service) artifacts in
+      let family = List.concat_map (fun a -> a.a_family) artifacts in
       let doc =
         Fmt.str "%a"
           (fun ppf () ->
             render ppf ~sources:files ~experiments ~bases ~notes ~service
-              points)
+              ~family points)
           ()
       in
       (match output with

@@ -488,7 +488,18 @@ let lint_cmd =
           ~doc:"Output format: text (human-readable report) or json \
                 (one JSON object per diagnostic, one per line).")
   in
-  let run features config_file format dialect =
+  let family_flag =
+    Arg.(
+      value & flag
+      & info [ "family" ]
+          ~doc:
+            "Additionally report the family-based analysis: lint runs once \
+             over the variability-aware 150% grammar and its findings are \
+             filtered to this configuration by presence condition. \
+             Informational — the per-product lint above stays the \
+             authoritative gate.")
+  in
+  let run features config_file format family dialect =
     match resolve_config dialect features config_file with
     | Error msg -> fail "%s" msg
     | Ok (label, config) -> (
@@ -518,7 +529,14 @@ let lint_cmd =
                     Fmt.pr "  backtracks: <%s> (%d ambiguous point(s))@."
                       c.Parser_gen.Engine.nt_name
                       c.Parser_gen.Engine.nt_fallbacks)
-                s.Parser_gen.Engine.classes)
+                s.Parser_gen.Engine.classes);
+           if family then begin
+             let fam = Core.family () in
+             let fdiags = Family.diagnostics_for fam config in
+             Fmt.pr "family (pc-filtered, informational): %d finding(s)@."
+               (List.length fdiags);
+             Fmt.pr "%a@." Lint.pp_report fdiags
+           end
          | `Json -> print_string (Lint.to_json_lines diags));
         if Lint.Diagnostic.has_errors diags then
           fail "%s: lint found %d error(s)" label
@@ -533,7 +551,10 @@ let lint_cmd =
              unused/undeclared terminals) and feature model (dead features, \
              false optionals, redundant constraints, fragment coverage). \
              Exits nonzero when any Error-severity diagnostic is found.")
-    Term.(ret (const run $ features_arg $ config_file_arg $ format_arg $ dialect_pos_arg))
+    Term.(
+      ret
+        (const run $ features_arg $ config_file_arg $ format_arg $ family_flag
+       $ dialect_pos_arg))
 
 (* --- diff ---------------------------------------------------------------------- *)
 
@@ -586,10 +607,21 @@ let diff_cmd =
 (* --- cache --------------------------------------------------------------------- *)
 
 let cache_stats_cmd =
-  let run () =
+  let family_flag =
+    Arg.(
+      value & flag
+      & info [ "family" ]
+          ~doc:
+            "Serve cache misses from the variability-aware family artifact \
+             (one shared compilation, per-config mask/replay) instead of the \
+             cold compose+generate pipeline, and print the artifact's \
+             statistics.")
+  in
+  let run family =
     (* Resolve every shipped dialect twice through the shared cache: the
        first pass pays compose+generate (misses), the second hits. *)
     let cache = Service.Cache.default in
+    Service.Cache.use_family cache family;
     let time f =
       let t0 = Sys.time () in
       let r = f () in
@@ -599,6 +631,9 @@ let cache_stats_cmd =
     let rec go = function
       | [] ->
         Fmt.pr "--@.%a@." Service.Cache.pp_stats (Service.Cache.stats cache);
+        Option.iter
+          (fun s -> Fmt.pr "family: %a@." Family.pp_stats s)
+          (Core.family_stats ());
         `Ok ()
       | (d : Dialects.Dialect.t) :: rest -> (
         let digest = Service.Digest_key.of_config d.config in
@@ -619,7 +654,7 @@ let cache_stats_cmd =
        ~doc:"Resolve all shipped dialects through the configuration-keyed \
              parser cache (cold, then warm) and print its hit/miss/eviction \
              counters")
-    Term.(ret (const run $ const ()))
+    Term.(ret (const run $ family_flag))
 
 let cache_key_cmd =
   let run dialect features config_file =
@@ -751,6 +786,18 @@ let serve_cmd =
              unframed SQL bytes to EOF — answered one $(b,ok)/$(b,err) \
              line per statement at a fixed memory ceiling.")
   in
+  let family_flag =
+    Arg.(
+      value & flag
+      & info [ "family" ]
+          ~doc:
+            "Serve cache misses from the variability-aware family artifact: \
+             the product line is compiled once into a shared artifact and \
+             each cold hello is instantiated by a cheap mask/replay instead \
+             of the full compose+generate pipeline. With $(b,--preload), \
+             the dialect warm-up is one family build plus six near-free \
+             instantiations.")
+  in
   let gc_space_overhead_arg =
     let doc =
       "Set the OCaml GC's space_overhead before serving (percent; the \
@@ -763,7 +810,8 @@ let serve_cmd =
       & opt (some int) None
       & info [ "gc-space-overhead" ] ~docv:"PERCENT" ~doc)
   in
-  let run listen unix_path workers max_frame preload stream gc_space_overhead =
+  let run listen unix_path workers max_frame preload stream family
+      gc_space_overhead =
     if workers < 1 then fail "--workers must be at least 1"
     else
       match resolve_address listen unix_path with
@@ -776,6 +824,7 @@ let serve_cmd =
         match Service.Server.start ~workers ~max_frame ~stream addr with
         | Error msg -> fail "%s" msg
         | Ok server ->
+          Service.Cache.use_family (Service.Server.cache server) family;
           if preload then
             List.iter
               (fun (d : Dialects.Dialect.t) ->
@@ -791,7 +840,8 @@ let serve_cmd =
             Service.Wire.pp_address
             (Service.Server.address server)
             workers
-            (if preload then ", dialects preloaded" else "");
+            ((if family then ", family-backed" else "")
+            ^ if preload then ", dialects preloaded" else "");
           let stop_now = Atomic.make false in
           let on_signal _ = Atomic.set stop_now true in
           Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -819,7 +869,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ listen_arg $ unix_arg $ workers_arg $ max_frame_arg
-       $ preload_flag $ stream_flag $ gc_space_overhead_arg))
+       $ preload_flag $ stream_flag $ family_flag $ gc_space_overhead_arg))
 
 let client_cmd =
   let digest_arg =

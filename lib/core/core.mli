@@ -43,6 +43,30 @@ val generate : ?label:string -> Feature.Config.t -> (generated, error) result
 
 val generate_dialect : Dialects.Dialect.t -> (generated, error) result
 
+(** {2 Family-based generation}
+
+    The family fast path: {!Sql.Model.model}'s fragments compiled once
+    into a process-wide variability-aware artifact ({!Family.build}, lazy,
+    shared), from which any configuration is instantiated by a cheap
+    mask/replay plus interned LL(k) classification instead of the full
+    cold pipeline. Products are behavior-identical to {!generate}'s —
+    same grammars, tokens, CSTs, errors and dispatch classifications —
+    which the differential suite enforces. *)
+
+val family : unit -> Family.t
+(** The process-wide family artifact, built on first use. *)
+
+val family_stats : unit -> Family.stats option
+(** Stats of the artifact; [None] when nothing has forced its build. *)
+
+val generate_family :
+  ?label:string -> Feature.Config.t -> (generated, error) result
+(** As {!generate}, through the family artifact: validate, mask/replay
+    ({!Family.instantiate}), then specialize (scanner, left-factoring,
+    engine generation with the interned classifier). *)
+
+val generate_family_dialect : Dialects.Dialect.t -> (generated, error) result
+
 val scan_tokens :
   generated -> string -> (Lexing_gen.Token.t array, error) result
 (** Tokenize one statement into materialized [Token.t] records. The array

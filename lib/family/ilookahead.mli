@@ -1,0 +1,51 @@
+(** Interned LL(k ≤ 2) choice-point classification.
+
+    The per-config specialization step must reproduce the cold pipeline's
+    dispatch classification {e exactly} — the differential gate compares
+    dispatch summaries and parse behavior byte for byte — but
+    {!Lint.Lookahead}'s string-list sequence sets dominate cold generation
+    time (the k = 2 fixpoint is ~95% of a cold [Core.generate] on the full
+    dialect). This module recomputes the same least fixpoints over bitset
+    planes: a set of token sequences of length ≤ 2 over [n] interned
+    terminal kinds is an epsilon flag, an [n]-bit singles plane (bit [a]
+    for the sequence [\[a\]]) and a lazily materialized [n × n] pairs
+    plane (bit [(a, c)] for [\[a; c\]]), so unions, concatenations and
+    change detection are word-parallel instead of element-wise.
+
+    Exactness: the planes are a canonical representation of exactly the
+    string sequence sets {!Lint.Lookahead} manipulates (restricted to
+    interned terminals), and every operation ([concat_k] as plane algebra,
+    star closure, the FIRST/FOLLOW fixpoints, prediction) mirrors its
+    counterpart in {!Lint.Lookahead} set for set. Least-fixpoint
+    uniqueness makes the iteration order irrelevant; set equality of the
+    prediction sets then forces {!Parser_gen.Predict.decide}'s claim
+    tables to come out identical. When some grammar terminal is {e not}
+    interned, {!make} returns [None] and the caller falls back to the
+    string path — which handles that case by classifying the affected
+    points [Fallback]. *)
+
+type t
+
+val make :
+  term_id:(string -> int option) -> n_terms:int -> Grammar.Cfg.t -> t option
+(** Build the k = 1 tables eagerly (k = 2 lazily, forced by the first
+    k = 1 conflict — same staging as {!Parser_gen.Predict.make}). [None]
+    when ["EOF"] or any terminal of the grammar has no interned id. *)
+
+val decide :
+  t -> lhs:string -> Grammar.Production.alt list -> Parser_gen.Predict.decision
+(** Drop-in replacement for {!Parser_gen.Predict.decide}: same decisions,
+    same dense tables, on the interned analysis. *)
+
+val classifier :
+  Grammar.Cfg.t ->
+  term_id:(string -> int option) ->
+  n_terms:int ->
+  lhs:string ->
+  Grammar.Production.alt list ->
+  Parser_gen.Predict.decision
+(** A [?classify] oracle for {!Parser_gen.Engine.generate}, closed over
+    lazily-built analysis state for [grammar] (the engine's left-factored
+    grammar): the first call builds the interned tables — or the
+    string-based {!Parser_gen.Predict} context if {!make} declines — and
+    subsequent calls reuse them. *)

@@ -1,0 +1,38 @@
+type t = True | Atom of int | Any of int list
+
+let atom i = Atom i
+
+let any ids =
+  match List.sort_uniq Int.compare ids with
+  | [] -> invalid_arg "Pc.any: empty disjunction"
+  | [ i ] -> Atom i
+  | is -> Any is
+
+let union a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | Atom i, Atom j -> any [ i; j ]
+  | Atom i, Any is | Any is, Atom i -> any (i :: is)
+  | Any is, Any js -> any (is @ js)
+
+let eval pc ~selected =
+  match pc with
+  | True -> true
+  | Atom i -> selected i
+  | Any is -> List.exists selected is
+
+let atoms = function True -> [] | Atom i -> [ i ] | Any is -> is
+
+let always pc ~core =
+  match pc with
+  | True -> true
+  | Atom i -> core i
+  | Any is -> List.exists core is
+
+let size = function True -> 0 | Atom _ -> 1 | Any is -> List.length is
+
+let pp ~names ppf = function
+  | True -> Fmt.string ppf "true"
+  | Atom i -> Fmt.string ppf names.(i)
+  | Any is ->
+    Fmt.(list ~sep:(any " | ") string) ppf (List.map (fun i -> names.(i)) is)

@@ -1,0 +1,52 @@
+(** Presence conditions over the feature model.
+
+    Every artifact of the family-compiled product line — a fragment event,
+    a rule, a token-spec entry — carries a presence condition: the formula
+    over feature selections under which the artifact is part of a product.
+    Because fragments are owned by exactly one feature and composition only
+    ever {e adds} a feature's contribution when that feature is selected,
+    the conditions arising here are disjunctions of positive atoms ("any of
+    these features is selected"), not arbitrary boolean formulas — a
+    BDD-lite that evaluates in O(atoms) against a configuration bitset.
+
+    [requires] / [excludes] constraints of {!Feature.Model} do not appear
+    inside conditions: they restrict which configuration bitsets are
+    admissible (checked by {!Feature.Config.validate} before any masking),
+    not which artifacts a given admissible bitset selects. What they do
+    contribute is the {e core} classification: a condition whose atoms
+    include a feature forced by the mandatory/[requires] closure of the
+    concept holds in every valid product. *)
+
+type t =
+  | True  (** present in every product *)
+  | Atom of int  (** present when this feature (by index) is selected *)
+  | Any of int list
+      (** present when any of these features is selected; sorted, distinct,
+          length at least 2 *)
+
+val atom : int -> t
+
+val any : int list -> t
+(** Normalizing constructor: sorts, dedups, collapses singletons to
+    {!Atom}. The list must be non-empty — there is no unsatisfiable
+    condition in this algebra. *)
+
+val union : t -> t -> t
+(** Disjunction: the artifact is present when either condition holds. *)
+
+val eval : t -> selected:(int -> bool) -> bool
+(** Evaluate against a configuration bitset. *)
+
+val atoms : t -> int list
+(** The feature indices mentioned; [[]] for {!True}. *)
+
+val always : t -> core:(int -> bool) -> bool
+(** Does the condition hold in {e every} valid configuration? [core i]
+    must answer whether feature [i] is in the mandatory/[requires] closure
+    of the concept. *)
+
+val size : t -> int
+(** Atom count ({!True} is 0) — the condition's footprint in the artifact
+    size accounting. *)
+
+val pp : names:string array -> t Fmt.t

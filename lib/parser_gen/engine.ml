@@ -142,7 +142,8 @@ let grammar_terminals (g : Grammar.Cfg.t) =
     g.rules;
   List.rev !acc
 
-let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner g =
+let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner
+    ?classify g =
   let all_problems = Grammar.Cfg.check g in
   let problems =
     (* Unreachable rules are tolerated in generated parsers (a fragment may
@@ -200,8 +201,19 @@ let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner g =
           all_problems
       in
       let reachable lhs = not (List.mem lhs unreachable) in
-      let pctx =
-        lazy (Predict.make ~term_id:(Interner.id_opt interner) ~n_terms g)
+      (* [?classify] swaps the decision oracle: the family fast path
+         injects an interned reimplementation of the same analysis. Either
+         oracle is built lazily — [~dispatch:false] never pays for it. *)
+      let decide =
+        match classify with
+        | Some oracle ->
+          fun ~lhs branches ->
+            oracle ~term_id:(Interner.id_opt interner) ~n_terms ~lhs branches
+        | None ->
+          let pctx =
+            lazy (Predict.make ~term_id:(Interner.id_opt interner) ~n_terms g)
+          in
+          fun ~lhs branches -> Predict.decide (Lazy.force pctx) ~lhs branches
       in
       let k1_points = ref 0 and k2_points = ref 0 and ambiguous = ref 0 in
       let nt_k : (string, int) Hashtbl.t = Hashtbl.create 64 in
@@ -215,7 +227,7 @@ let generate ?(memoize = true) ?(prune = true) ?(dispatch = true) ?interner g =
         | [] | [ _ ] -> Predict.Always
         | _ ->
           if dispatch && reachable lhs then begin
-            let d = Predict.decide (Lazy.force pctx) ~lhs branches in
+            let d = decide ~lhs branches in
             (match d with
             | Predict.Always -> ()
             | Predict.Commit1 _ ->

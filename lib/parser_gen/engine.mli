@@ -50,6 +50,12 @@ val generate :
   ?prune:bool ->
   ?dispatch:bool ->
   ?interner:Lexing_gen.Interner.t ->
+  ?classify:
+    (term_id:(string -> int option) ->
+    n_terms:int ->
+    lhs:string ->
+    Grammar.Production.alt list ->
+    Predict.decision) ->
   Grammar.Cfg.t ->
   (t, gen_error) result
 (** Compile a grammar to a parser. Prediction sets and dispatch tables are
@@ -70,7 +76,15 @@ val generate :
     and commits without backtracking wherever they are disjoint
     ([~dispatch:false] skips the lookahead analysis entirely and is the
     previous backtracking-everywhere engine). Disabling any flag only
-    affects performance, never a parse result. *)
+    affects performance, never a parse result.
+
+    [classify] replaces the default {!Predict} decision oracle (built over
+    {!Lint.Lookahead}'s string-sequence sets) with a caller-supplied one —
+    the family fast path injects an interned analysis that returns the
+    same decisions an order of magnitude faster. The oracle receives the
+    interner view and the choice point exactly as {!Predict.decide} would;
+    it must be {e exact} (same decisions on the same grammar), or dispatch
+    summaries and parse behavior diverge from the per-config pipeline. *)
 
 (** {2 Choice-point classification} *)
 

@@ -27,6 +27,15 @@ val create : ?capacity:int -> unit -> t
 val capacity : t -> int
 val length : t -> int
 
+val use_family : t -> bool -> unit
+(** Route cache misses through {!Core.generate_family} — the process-wide
+    variability-aware artifact plus a cheap per-config mask/replay —
+    instead of the cold {!Core.generate} pipeline. Products are
+    behavior-identical either way (the differential suite enforces it);
+    only miss latency changes. Off by default. *)
+
+val family_enabled : t -> bool
+
 val default : t
 (** The process-wide shared cache ([capacity = 32]) through which the CLI
     resolves every selection, so all six shipped dialects (and repeated

@@ -27,4 +27,5 @@ let () =
       ("properties", Test_properties.suite);
       ("printer", Test_printer.suite);
       ("cli", Test_cli.suite);
+      ("family", Test_family.suite);
     ]
